@@ -1,0 +1,36 @@
+//! Fig. 6(d): power consumption of RM-STC vs TB-STC datapaths.
+//!
+//! Paper point: RM-STC's gather/union modules for unstructured sparsity
+//! burden the hardware; TB-STC supports the more flexible TBS pattern
+//! with far less power.
+
+use tbstc::energy::components::PeArrayShape;
+use tbstc::prelude::*;
+use tbstc_bench::{banner, paper_vs_measured, section};
+
+fn main() {
+    banner("Fig. 6(d)", "Datapath power comparison");
+    let shape = PeArrayShape::paper_default();
+
+    println!("  {:<10} {:>12} {:>12}", "arch", "area (mm2)", "power (mW)");
+    for arch in [Arch::Tc, Arch::Stc, Arch::RmStc, Arch::TbStc] {
+        let dp = arch.datapath(shape);
+        println!(
+            "  {:<10} {:>12.3} {:>12.2}",
+            arch.to_string(),
+            dp.total_area_mm2(),
+            dp.total_power_mw()
+        );
+        for c in &dp.components {
+            println!("     - {:<22} {:>8.3} mm2 {:>9.2} mW", c.name, c.area_mm2, c.power_mw);
+        }
+    }
+
+    let rm = Arch::RmStc.datapath(shape).total_power_mw();
+    let tb = Arch::TbStc.datapath(shape).total_power_mw();
+
+    section("paper-vs-measured");
+    // The paper plots the bar chart without numbers; the claim is the
+    // direction and the rough factor (RM-STC clearly higher).
+    paper_vs_measured("RM-STC / TB-STC power ratio (paper: >1.5, bar chart)", 1.6, rm / tb);
+}

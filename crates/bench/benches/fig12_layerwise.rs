@@ -1,0 +1,94 @@
+//! Fig. 12: layer-wise speedup and normalized EDP across sparsity degrees
+//! on typical ResNet-50 and BERT layers.
+//!
+//! Paper result: average speedups of TB-STC over STC / VEGETA /
+//! HighLight / RM-STC of 1.55× / 1.29× / 1.21× / 1.06×, and 1.41× EDP
+//! over HighLight, 1.75× EDP over RM-STC.
+
+use tbstc::models::{bert_base, resnet50};
+use tbstc::prelude::*;
+use tbstc_bench::{banner, geomean, paper_vs_measured, section};
+
+fn main() {
+    banner("Fig. 12", "Layer-wise speedup and normalized EDP vs sparsity degree");
+    let cfg = HwConfig::paper_default();
+    let archs = [Arch::Tc, Arch::Stc, Arch::Vegeta, Arch::Highlight, Arch::RmStc, Arch::TbStc];
+    let sparsities = [0.5, 0.625, 0.75, 0.875];
+
+    // Typical layers: a mid-network ResNet-50 conv and the BERT FFN GEMMs.
+    let r50 = resnet50(64);
+    let bert = bert_base(128);
+    let layers = [
+        r50.layers.iter().find(|l| l.name == "conv3 3x3").expect("conv3"),
+        r50.layers.iter().find(|l| l.name == "conv4 1x1b").expect("conv4"),
+        bert.layers.iter().find(|l| l.name == "ffn.fc1").expect("fc1"),
+        bert.layers.iter().find(|l| l.name == "attn.q").expect("attn"),
+    ];
+
+    // gains[arch] = per-(layer, sparsity) speedup and EDP of TB-STC over it.
+    let mut speedups: Vec<(Arch, Vec<f64>)> = archs[..5].iter().map(|&a| (a, vec![])).collect();
+    let mut edps: Vec<(Arch, Vec<f64>)> = archs[..5].iter().map(|&a| (a, vec![])).collect();
+
+    for layer in layers {
+        section(&format!("{} (M={}, K={}, N={})", layer.name, layer.m, layer.k, layer.n));
+        println!(
+            "  {:<10} {}",
+            "arch",
+            sparsities
+                .iter()
+                .map(|s| format!("{:>12}", format!("{:.1}% spd/EDP", s * 100.0)))
+                .collect::<String>()
+        );
+        let mut results = Vec::new();
+        for &arch in &archs {
+            print!("  {:<10}", arch.to_string());
+            let mut row = Vec::new();
+            for (si, &s) in sparsities.iter().enumerate() {
+                let target = if arch == Arch::Tc { 0.0 } else { s };
+                let l = SparseLayer::build_for_arch(layer, arch, target, 300 + si as u64, &cfg);
+                let res = simulate_layer(arch, &l, &cfg);
+                print!("{:>12}", format!("{}", res.cycles));
+                row.push(res);
+            }
+            println!();
+            results.push((arch, row));
+        }
+        let tb_row = results.last().expect("tb last").1.clone();
+        for (arch, row) in &results[..5] {
+            if *arch == Arch::Tc {
+                continue;
+            }
+            for (i, r) in row.iter().enumerate() {
+                let s = speedups.iter_mut().find(|(a, _)| a == arch).unwrap();
+                s.1.push(r.cycles as f64 / tb_row[i].cycles as f64);
+                let e = edps.iter_mut().find(|(a, _)| a == arch).unwrap();
+                e.1.push(tb_row[i].edp_gain_over(r));
+            }
+        }
+    }
+
+    section("average TB-STC gains (geomean over layers x sparsities)");
+    let get = |v: &[(Arch, Vec<f64>)], a: Arch| geomean(&v.iter().find(|(x, _)| *x == a).unwrap().1);
+    println!(
+        "  speedup:  vs STC {:.2}x  vs VEGETA {:.2}x  vs HighLight {:.2}x  vs RM-STC {:.2}x",
+        get(&speedups, Arch::Stc),
+        get(&speedups, Arch::Vegeta),
+        get(&speedups, Arch::Highlight),
+        get(&speedups, Arch::RmStc)
+    );
+    println!(
+        "  EDP gain: vs STC {:.2}x  vs VEGETA {:.2}x  vs HighLight {:.2}x  vs RM-STC {:.2}x",
+        get(&edps, Arch::Stc),
+        get(&edps, Arch::Vegeta),
+        get(&edps, Arch::Highlight),
+        get(&edps, Arch::RmStc)
+    );
+
+    section("paper-vs-measured");
+    paper_vs_measured("speedup vs STC", 1.55, get(&speedups, Arch::Stc));
+    paper_vs_measured("speedup vs VEGETA", 1.29, get(&speedups, Arch::Vegeta));
+    paper_vs_measured("speedup vs HighLight", 1.21, get(&speedups, Arch::Highlight));
+    paper_vs_measured("speedup vs RM-STC", 1.06, get(&speedups, Arch::RmStc));
+    paper_vs_measured("EDP vs HighLight", 1.41, get(&edps, Arch::Highlight));
+    paper_vs_measured("EDP vs RM-STC", 1.75, get(&edps, Arch::RmStc));
+}

@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the reproduction's hot kernels: the
+//! Algorithm-1 sparsifier, format encode/decode, the codec conversion,
+//! the DRAM replay and the reference GEMM.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tbstc::dram::{DramConfig, DramModel};
+use tbstc::matrix::rng::MatrixRng;
+use tbstc::matrix::{gemm, Matrix};
+use tbstc::prelude::*;
+
+fn bench_sparsify(c: &mut Criterion) {
+    let w = MatrixRng::seed_from(1).block_structured_weights(128, 128, 8);
+    c.bench_function("alg1_tbs_sparsify_128x128", |b| {
+        b.iter(|| TbsPattern::sparsify(black_box(&w), 0.75, &TbsConfig::paper_default()))
+    });
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let w = MatrixRng::seed_from(2).block_structured_weights(128, 128, 8);
+    let p = TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default());
+    let pruned = p.mask().apply(&w);
+    c.bench_function("ddc_encode_128x128", |b| {
+        b.iter(|| Ddc::encode(black_box(&pruned), black_box(&p)))
+    });
+    let ddc = Ddc::encode(&pruned, &p);
+    c.bench_function("ddc_decode_128x128", |b| b.iter(|| black_box(&ddc).decode()));
+    c.bench_function("sdc_encode_128x128", |b| b.iter(|| Sdc::encode(black_box(&pruned))));
+    c.bench_function("csr_encode_128x128", |b| b.iter(|| Csr::encode(black_box(&pruned))));
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let w = MatrixRng::seed_from(3).block_structured_weights(128, 128, 8);
+    let p = TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default());
+    let pruned = p.mask().apply(&w);
+    let ddc = Ddc::encode(&pruned, &p);
+    let codec = CodecUnit::paper_default();
+    c.bench_function("codec_convert_all_blocks", |b| {
+        b.iter(|| {
+            for block in ddc.blocks() {
+                black_box(codec.convert_block(black_box(block)));
+            }
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let trace: Vec<(u64, u64)> = (0..4096u64).map(|i| (i * 64, 64)).collect();
+    c.bench_function("dram_replay_4096_bursts", |b| {
+        b.iter_batched(
+            || DramModel::new(DramConfig::paper_default()),
+            |mut dram| dram.replay(black_box(trace.iter().copied())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = MatrixRng::seed_from(4);
+    let a: Matrix = rng.block_structured_weights(128, 128, 8);
+    let b_mat = rng.uniform(128, 64, -1.0, 1.0);
+    c.bench_function("gemm_128x128x64", |b| {
+        b.iter(|| gemm::matmul(black_box(&a), black_box(&b_mat)))
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let cfg = HwConfig::paper_default();
+    let shape = tbstc::models::bert_base(128).layers[0].clone();
+    let layer = SparseLayer::build_for_arch(&shape, Arch::TbStc, 0.75, 5, &cfg);
+    c.bench_function("simulate_layer_tbstc", |b| {
+        b.iter(|| simulate_layer(Arch::TbStc, black_box(&layer), &cfg))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sparsify, bench_formats, bench_codec, bench_dram, bench_gemm, bench_simulate
+);
+criterion_main!(kernels);

@@ -1,0 +1,279 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! the commands are unit-testable without capturing stdout.
+
+use std::fmt::Write as _;
+
+use tbstc::energy::table3::{a100_integration_overhead, table3_rows};
+use tbstc::formats::{Csr, Ddc, Sdc};
+use tbstc::matrix::rng::MatrixRng;
+use tbstc::models::{bert_base, llama2_7b, opt_6_7b, resnet18, resnet50, Model};
+use tbstc::prelude::*;
+use tbstc::sparsity::similarity::similarity_sweep;
+use tbstc::sparsity::stats::classify_blocks;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// The help text.
+pub const USAGE: &str = "\
+tbstc-cli — TB-STC (HPCA 2025) reproduction toolkit
+
+USAGE:
+  tbstc-cli prune    [--rows 128] [--cols 128] [--sparsity 0.75] [--block 8] [--seed 0]
+  tbstc-cli formats  [--rows 128] [--cols 128] [--sparsity 0.75] [--seed 0]
+  tbstc-cli simulate [--model bert] [--arch tb-stc] [--sparsity 0.75]
+                     [--bandwidth 64] [--seed 0]
+  tbstc-cli table3
+  tbstc-cli models
+  tbstc-cli help
+
+Models: resnet50, resnet18, bert, opt, llama
+Archs:  tc, stc, vegeta, highlight, rm-stc, tb-stc
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown subcommands or invalid options.
+pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "prune" => prune(args),
+        "formats" => formats(args),
+        "simulate" => simulate(args),
+        "table3" => Ok(table3()),
+        "models" => Ok(models()),
+        other => Err(ArgError(format!("unknown subcommand `{other}`; try `help`"))),
+    }
+}
+
+fn parse_arch(name: &str) -> Result<Arch, ArgError> {
+    Ok(match name {
+        "tc" => Arch::Tc,
+        "stc" => Arch::Stc,
+        "vegeta" => Arch::Vegeta,
+        "highlight" => Arch::Highlight,
+        "rm-stc" | "rmstc" => Arch::RmStc,
+        "tb-stc" | "tbstc" => Arch::TbStc,
+        other => return Err(ArgError(format!("unknown arch `{other}`"))),
+    })
+}
+
+fn parse_model(name: &str) -> Result<Model, ArgError> {
+    Ok(match name {
+        "resnet50" => resnet50(64),
+        "resnet18" => resnet18(64),
+        "bert" => bert_base(128),
+        "opt" => opt_6_7b(128),
+        "llama" => llama2_7b(128),
+        other => return Err(ArgError(format!("unknown model `{other}`"))),
+    })
+}
+
+fn prune(args: &ParsedArgs) -> Result<String, ArgError> {
+    let rows: usize = args.num_or("rows", 128)?;
+    let cols: usize = args.num_or("cols", 128)?;
+    let sparsity: f64 = args.num_or("sparsity", 0.75)?;
+    let block: usize = args.num_or("block", 8)?;
+    let seed: u64 = args.num_or("seed", 0)?;
+    if !(0.0..=1.0).contains(&sparsity) {
+        return Err(ArgError("--sparsity must be in [0, 1]".into()));
+    }
+    if block == 0 || !block.is_power_of_two() {
+        return Err(ArgError("--block must be a power of two".into()));
+    }
+
+    let w = MatrixRng::seed_from(seed).block_structured_weights(rows, cols, block.min(8));
+    let cfg = TbsConfig::with_block_size(block);
+    let p = TbsPattern::sparsify(&w, sparsity, &cfg);
+    p.assert_valid();
+    let dist = classify_blocks(&p);
+    let (r, c, o) = dist.fractions();
+
+    let mut out = String::new();
+    writeln!(out, "TBS pruning {rows}x{cols}, target {:.1}%, block {block}", sparsity * 100.0).ok();
+    writeln!(out, "  achieved sparsity : {:.2}%", p.mask().sparsity() * 100.0).ok();
+    writeln!(out, "  blocks            : {} ({} grid)", p.blocks().len(), {
+        let (gr, gc) = p.grid();
+        format!("{gr}x{gc}")
+    })
+    .ok();
+    writeln!(
+        out,
+        "  block directions  : {:.1}% row / {:.1}% column / {:.1}% other",
+        r * 100.0,
+        c * 100.0,
+        o * 100.0
+    )
+    .ok();
+    if block == 8 {
+        for row in similarity_sweep(&w, sparsity) {
+            writeln!(out, "  similarity vs US  : {:<5} {:.2}%", row.kind.to_string(), row.similarity * 100.0).ok();
+        }
+    }
+    let t = p.transpose();
+    t.assert_valid();
+    writeln!(out, "  transposed pattern: valid (backward pass accelerates too)").ok();
+    Ok(out)
+}
+
+fn formats(args: &ParsedArgs) -> Result<String, ArgError> {
+    let rows: usize = args.num_or("rows", 128)?;
+    let cols: usize = args.num_or("cols", 128)?;
+    let sparsity: f64 = args.num_or("sparsity", 0.75)?;
+    let seed: u64 = args.num_or("seed", 0)?;
+
+    let w = MatrixRng::seed_from(seed).block_structured_weights(rows, cols, 8);
+    let p = TbsPattern::sparsify(&w, sparsity, &TbsConfig::paper_default());
+    let pruned = p.mask().apply(&w);
+    let ddc = Ddc::encode(&pruned, &p);
+    let sdc = Sdc::encode(&pruned);
+    let csr = Csr::encode(&pruned);
+    debug_assert_eq!(ddc.decode(), pruned);
+
+    let mut out = String::new();
+    writeln!(out, "Storage formats for {rows}x{cols} at {:.1}% sparsity:", sparsity * 100.0).ok();
+    writeln!(out, "  dense : {:>8} bytes", pruned.len() * 2).ok();
+    writeln!(out, "  DDC   : {:>8} bytes (info {} + data {})", ddc.stored_bytes(), ddc.info_bytes(), ddc.data_bytes()).ok();
+    writeln!(out, "  SDC   : {:>8} bytes ({:.1}% padding)", sdc.stored_bytes(), sdc.redundancy() * 100.0).ok();
+    writeln!(out, "  CSR   : {:>8} bytes (block consumption contiguity {:.2})", csr.stored_bytes(), csr.block_access_trace(8, 8).contiguity()).ok();
+    Ok(out)
+}
+
+fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
+    let arch = parse_arch(&args.str_or("arch", "tb-stc"))?;
+    let model = parse_model(&args.str_or("model", "bert"))?;
+    let sparsity: f64 = args.num_or("sparsity", 0.75)?;
+    let bandwidth: f64 = args.num_or("bandwidth", 64.0)?;
+    let seed: u64 = args.num_or("seed", 0)?;
+    if !(0.0..=1.0).contains(&sparsity) {
+        return Err(ArgError("--sparsity must be in [0, 1]".into()));
+    }
+
+    let cfg = HwConfig::with_bandwidth_gbps(bandwidth);
+    let dense = simulate_model(Arch::Tc, &model, 0.0, seed, &cfg);
+    let res = simulate_model(arch, &model, sparsity, seed, &cfg);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} on {} at {:.1}% sparsity, {bandwidth} GB/s:",
+        arch,
+        model.kind,
+        sparsity * 100.0
+    )
+    .ok();
+    writeln!(out, "  {:<12} {:>14} {:>12} {:>10} {:>10}", "layer", "cycles", "energy(uJ)", "comp.util", "bw.util").ok();
+    for l in &res.layers {
+        writeln!(
+            out,
+            "  {:<12} {:>14} {:>12.1} {:>9.1}% {:>9.1}%",
+            l.name,
+            l.cycles,
+            l.energy_pj * 1e-6,
+            l.compute_utilization * 100.0,
+            l.bandwidth_utilization * 100.0
+        )
+        .ok();
+    }
+    writeln!(out, "  total: {} cycles, {:.3} mJ", res.total_cycles, res.total_energy_pj * 1e-9).ok();
+    writeln!(
+        out,
+        "  vs dense TC: speedup {:.2}x, EDP gain {:.2}x",
+        res.speedup_over(&dense),
+        res.edp_gain_over(&dense)
+    )
+    .ok();
+    Ok(out)
+}
+
+fn table3() -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:>10} {:>9} {:>10} {:>9}", "Component", "Area(mm2)", "Area%", "Power(mW)", "Power%").ok();
+    for r in table3_rows() {
+        writeln!(
+            out,
+            "{:<12} {:>10.2} {:>8.2}% {:>10.2} {:>8.2}%",
+            r.component,
+            r.area_mm2,
+            r.area_share * 100.0,
+            r.power_mw,
+            r.power_share * 100.0
+        )
+        .ok();
+    }
+    let (added, frac) = a100_integration_overhead();
+    writeln!(out, "A100 integration: +{added:.2} mm2 = {:.2}% of the die", frac * 100.0).ok();
+    out
+}
+
+fn models() -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:>10} {:>12} {:>8}", "model", "layers", "weights(M)", "GMACs").ok();
+    for m in [resnet50(224), resnet18(224), bert_base(128), opt_6_7b(128), llama2_7b(128)] {
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>12.1} {:>8.1}",
+            m.kind.to_string(),
+            m.layers.iter().map(|l| l.repeats).sum::<usize>(),
+            m.total_weights() as f64 / 1e6,
+            m.total_macs() as f64 / 1e9
+        )
+        .ok();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, ArgError> {
+        run(&ParsedArgs::parse(line.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn prune_reports_sparsity_and_directions() {
+        let out = run_line(&["prune", "--rows", "64", "--cols", "64", "--sparsity", "0.5"]).unwrap();
+        assert!(out.contains("achieved sparsity"));
+        assert!(out.contains("block directions"));
+        assert!(out.contains("transposed pattern: valid"));
+    }
+
+    #[test]
+    fn prune_rejects_bad_sparsity() {
+        assert!(run_line(&["prune", "--sparsity", "1.5"]).is_err());
+        assert!(run_line(&["prune", "--block", "6"]).is_err());
+    }
+
+    #[test]
+    fn formats_lists_all_three() {
+        let out = run_line(&["formats", "--rows", "64", "--cols", "64"]).unwrap();
+        for f in ["DDC", "SDC", "CSR", "dense"] {
+            assert!(out.contains(f), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn simulate_small_model_runs() {
+        let out = run_line(&["simulate", "--model", "bert", "--arch", "tb-stc"]).unwrap();
+        assert!(out.contains("vs dense TC"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknowns() {
+        assert!(run_line(&["simulate", "--model", "alexnet"]).is_err());
+        assert!(run_line(&["simulate", "--arch", "tpu"]).is_err());
+    }
+
+    #[test]
+    fn table3_and_models_render() {
+        assert!(run_line(&["table3"]).unwrap().contains("DVPE Array"));
+        assert!(run_line(&["models"]).unwrap().contains("OPT-6.7B"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_line(&["frobnicate"]).is_err());
+    }
+}

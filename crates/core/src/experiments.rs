@@ -1,0 +1,183 @@
+//! Cross-cutting experiment helpers: accuracy-vs-sparsity curves,
+//! iso-accuracy sparsity selection (the Fig. 13 protocol) and Pareto
+//! frontiers (Fig. 1).
+
+use tbstc_sparsity::PatternKind;
+use tbstc_train::sparse::{SparseTrainer, TrainConfig};
+use tbstc_train::Dataset;
+
+/// An accuracy-vs-sparsity curve for one pattern on one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCurve {
+    /// The pattern measured.
+    pub pattern: PatternKind,
+    /// `(sparsity, accuracy)` points, sorted by sparsity ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl AccuracyCurve {
+    /// Measures the curve by sparse-training at each sparsity in
+    /// `sparsities` (each run uses the same seed and epoch budget, the
+    /// Table I protocol). `base` supplies the network shape, epochs and
+    /// seed; its pattern and sparsity fields are overridden per point.
+    pub fn measure(
+        data: &Dataset,
+        pattern: PatternKind,
+        sparsities: &[f64],
+        base: &TrainConfig,
+    ) -> Self {
+        let mut points: Vec<(f64, f64)> = sparsities
+            .iter()
+            .map(|&s| {
+                let mut cfg = base.clone();
+                cfg.pattern = pattern;
+                cfg.sparsity = s;
+                let rec = SparseTrainer::new(cfg).train(data);
+                (s, rec.test_accuracy)
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        AccuracyCurve { pattern, points }
+    }
+
+    /// Accuracy at `sparsity` by linear interpolation (clamped to the
+    /// measured range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve is empty.
+    pub fn accuracy_at(&self, sparsity: f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty curve");
+        let pts = &self.points;
+        if sparsity <= pts[0].0 {
+            return pts[0].1;
+        }
+        if sparsity >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            if sparsity >= w[0].0 && sparsity <= w[1].0 {
+                let t = (sparsity - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+
+    /// The highest sparsity whose (interpolated) accuracy still meets
+    /// `target` — the iso-accuracy operating point of the Fig. 13
+    /// protocol ("the end-to-end evaluation keeps the same accuracy for
+    /// all works"). Returns 0.0 when even dense misses the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve is empty.
+    pub fn max_sparsity_at_accuracy(&self, target: f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty curve");
+        // Scan a fine grid downwards; curves are noisy, not monotone.
+        let max_s = self.points.last().unwrap().0;
+        let mut s = max_s;
+        while s > 0.0 {
+            if self.accuracy_at(s) >= target {
+                return s;
+            }
+            s -= 0.01;
+        }
+        0.0
+    }
+}
+
+/// A point on the accuracy–EDP plane (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Label of the architecture/configuration.
+    pub arch: tbstc_sim::Arch,
+    /// Normalized EDP (lower is better).
+    pub edp: f64,
+    /// Model accuracy (higher is better).
+    pub accuracy: f64,
+}
+
+/// Marks which points lie on the Pareto frontier (no other point has both
+/// lower EDP and higher-or-equal accuracy).
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| {
+            !points.iter().any(|q| {
+                (q.edp < p.edp && q.accuracy >= p.accuracy)
+                    || (q.edp <= p.edp && q.accuracy > p.accuracy)
+            })
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice of positive ratios (the paper averages
+/// speedups/EDP gains across workloads).
+///
+/// Returns 1.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics when any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positives");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc_sim::Arch;
+
+    fn curve(points: Vec<(f64, f64)>) -> AccuracyCurve {
+        AccuracyCurve {
+            pattern: PatternKind::Tbs,
+            points,
+        }
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let c = curve(vec![(0.0, 0.9), (0.5, 0.8), (1.0, 0.2)]);
+        assert!((c.accuracy_at(0.25) - 0.85).abs() < 1e-12);
+        assert_eq!(c.accuracy_at(-1.0), 0.9);
+        assert_eq!(c.accuracy_at(2.0), 0.2);
+    }
+
+    #[test]
+    fn iso_accuracy_selection() {
+        let c = curve(vec![(0.0, 0.9), (0.5, 0.85), (0.75, 0.7), (0.9, 0.5)]);
+        let s = c.max_sparsity_at_accuracy(0.8);
+        assert!((0.5..0.75).contains(&s), "{s}");
+        // Unreachable accuracy -> sparsity 0.
+        assert_eq!(c.max_sparsity_at_accuracy(0.99), 0.0);
+    }
+
+    #[test]
+    fn pareto_marks_dominated_points() {
+        let pts = vec![
+            ParetoPoint { arch: Arch::TbStc, edp: 1.0, accuracy: 0.9 },
+            ParetoPoint { arch: Arch::Stc, edp: 2.0, accuracy: 0.85 }, // dominated
+            ParetoPoint { arch: Arch::RmStc, edp: 0.5, accuracy: 0.8 },
+            ParetoPoint { arch: Arch::Tc, edp: 3.0, accuracy: 0.95 },
+        ];
+        let front = pareto_frontier(&pts);
+        assert_eq!(front, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean needs positives")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

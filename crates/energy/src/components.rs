@@ -1,0 +1,323 @@
+//! Component inventories: area/power of each architecture's datapath.
+//!
+//! The paper's Fig. 6 compares the per-PE datapaths of NVIDIA STC, RM-STC
+//! and TB-STC; Table III breaks TB-STC down into the DVPE array, codec
+//! unit and MBD unit. Every architecture here is an inventory of the unit
+//! costs in [`crate::units`] with the structural counts from §VII-A1:
+//! 8 DVPE arrays × (2 × 8) DVPEs × 8 FP16 multipliers.
+
+use crate::units;
+
+/// Area and (peak) power of one named component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentCost {
+    /// Component name as it appears in Table III.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power at 1 GHz full activity, mW.
+    pub power_mw: f64,
+}
+
+/// A datapath's full component inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathCosts {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Component list.
+    pub components: Vec<ComponentCost>,
+}
+
+impl DatapathCosts {
+    /// Total area, mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total peak power, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.components.iter().map(|c| c.power_mw).sum()
+    }
+
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentCost> {
+        self.components.iter().find(|c| c.name == name)
+    }
+}
+
+/// Structural counts of the evaluated configuration (paper §VII-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeArrayShape {
+    /// Number of DVPE arrays.
+    pub arrays: usize,
+    /// DVPEs per array (2 × 8 in the paper).
+    pub dvpes_per_array: usize,
+    /// FP16 multipliers per DVPE.
+    pub mults_per_dvpe: usize,
+}
+
+impl PeArrayShape {
+    /// The paper's configuration: 8 arrays × 16 DVPEs × 8 multipliers.
+    pub fn paper_default() -> Self {
+        PeArrayShape {
+            arrays: 8,
+            dvpes_per_array: 16,
+            mults_per_dvpe: 8,
+        }
+    }
+
+    /// Total DVPE count.
+    pub fn dvpes(&self) -> usize {
+        self.arrays * self.dvpes_per_array
+    }
+
+    /// Total multiplier count.
+    pub fn mults(&self) -> usize {
+        self.dvpes() * self.mults_per_dvpe
+    }
+}
+
+const UM2_PER_MM2: f64 = 1e6;
+const UW_PER_MW: f64 = 1e3;
+
+/// The TB-STC DVPE array: multipliers + reduction nodes + alternate units.
+pub fn dvpe_array(shape: PeArrayShape) -> ComponentCost {
+    let dvpes = shape.dvpes() as f64;
+    let mults = shape.mults() as f64;
+    let nodes = (shape.mults_per_dvpe - 1) as f64; // binary reduction tree
+    let area = mults * units::FP16_MULT_AREA_UM2
+        + dvpes * (nodes * units::REDUCTION_NODE_AREA_UM2 + units::ALTERNATE_UNIT_AREA_UM2);
+    let power = mults * units::FP16_MULT_POWER_UW
+        + dvpes * (nodes * units::REDUCTION_NODE_POWER_UW + units::ALTERNATE_UNIT_POWER_UW);
+    ComponentCost {
+        name: "DVPE Array",
+        area_mm2: area / UM2_PER_MM2,
+        power_mw: power / UW_PER_MW,
+    }
+}
+
+/// The adaptive codec unit: 8 queues × 16 entries × 2.5 bytes, a merger
+/// network, and the output multiplexers.
+pub fn codec_unit() -> ComponentCost {
+    let queue_bytes = 8.0 * 16.0 * 2.5;
+    let muxes = 16.0;
+    let area =
+        queue_bytes * units::QUEUE_BYTE_AREA_UM2 + units::MERGER_AREA_UM2 + muxes * units::MUX8_AREA_UM2;
+    let power = queue_bytes * units::QUEUE_BYTE_POWER_UW
+        + units::MERGER_POWER_UW
+        + muxes * units::MUX8_POWER_UW;
+    ComponentCost {
+        name: "Codec Unit",
+        area_mm2: area / UM2_PER_MM2,
+        power_mw: power / UW_PER_MW,
+    }
+}
+
+/// The Matrix-B distribution unit: 16 8-to-1 MUXes + 4 8×8 transpose units
+/// (paper §VII-A1).
+pub fn mbd_unit() -> ComponentCost {
+    let area = 16.0 * units::MUX8_AREA_UM2 + 4.0 * units::TRANSPOSE8_AREA_UM2;
+    let power = 16.0 * units::MUX8_POWER_UW + 4.0 * units::TRANSPOSE8_POWER_UW;
+    ComponentCost {
+        name: "MBD Unit",
+        area_mm2: area / UM2_PER_MM2,
+        power_mw: power / UW_PER_MW,
+    }
+}
+
+/// The plain dense Tensor Core datapath (no sparsity support).
+pub fn tensor_core(shape: PeArrayShape) -> DatapathCosts {
+    let mults = shape.mults() as f64;
+    let dvpes = shape.dvpes() as f64;
+    let nodes = (shape.mults_per_dvpe - 1) as f64;
+    // Fixed adder tree: same adders, no configurable bypass or alternate.
+    let area = mults * units::FP16_MULT_AREA_UM2 + dvpes * nodes * units::REDUCTION_NODE_AREA_UM2 * 0.8;
+    let power = mults * units::FP16_MULT_POWER_UW + dvpes * nodes * units::REDUCTION_NODE_POWER_UW * 0.8;
+    DatapathCosts {
+        name: "TC",
+        components: vec![ComponentCost {
+            name: "VPE Array",
+            area_mm2: area / UM2_PER_MM2,
+            power_mw: power / UW_PER_MW,
+        }],
+    }
+}
+
+/// NVIDIA STC: Tensor Core plus the 2:4 input multiplexers (paper Fig. 6(a)
+/// — "whose additional overhead is very small").
+pub fn nvidia_stc(shape: PeArrayShape) -> DatapathCosts {
+    let mut dp = tensor_core(shape);
+    let mux_count = shape.mults() as f64; // one select mux per lane
+    dp.name = "STC";
+    dp.components.push(ComponentCost {
+        name: "Select MUXes",
+        area_mm2: mux_count * units::MUX8_AREA_UM2 * 0.5 / UM2_PER_MM2, // 4-to-1
+        power_mw: mux_count * units::MUX8_POWER_UW * 0.5 / UW_PER_MW,
+    });
+    dp
+}
+
+/// VEGETA-style row-wise N:M datapath: per-lane muxes plus per-row ratio
+/// control.
+pub fn vegeta(shape: PeArrayShape) -> DatapathCosts {
+    let mut dp = nvidia_stc(shape);
+    dp.name = "VEGETA";
+    dp.components.push(ComponentCost {
+        name: "Row-ratio control",
+        area_mm2: shape.dvpes() as f64 * 220.0 / UM2_PER_MM2,
+        power_mw: shape.dvpes() as f64 * 14.0 / UW_PER_MW,
+    });
+    dp
+}
+
+/// HighLight-style hierarchical datapath: tile-level gating on top of the
+/// N:M muxes.
+pub fn highlight(shape: PeArrayShape) -> DatapathCosts {
+    let mut dp = nvidia_stc(shape);
+    dp.name = "HighLight";
+    dp.components.push(ComponentCost {
+        name: "Hierarchical gating",
+        area_mm2: shape.dvpes() as f64 * 300.0 / UM2_PER_MM2,
+        power_mw: shape.dvpes() as f64 * 18.0 / UW_PER_MW,
+    });
+    dp
+}
+
+/// RM-STC: Tensor Core plus the gather and union modules that handle
+/// unstructured sparsity (paper Fig. 6(b) — "whose irregularity greatly
+/// burdens the hardware").
+pub fn rm_stc(shape: PeArrayShape) -> DatapathCosts {
+    let mut dp = tensor_core(shape);
+    let lanes = shape.mults() as f64;
+    dp.name = "RM-STC";
+    dp.components.push(ComponentCost {
+        name: "Gather module",
+        area_mm2: lanes * units::GATHER_LANE_AREA_UM2 / UM2_PER_MM2,
+        power_mw: lanes * units::GATHER_LANE_POWER_UW / UW_PER_MW,
+    });
+    dp.components.push(ComponentCost {
+        name: "Union module",
+        area_mm2: lanes * units::UNION_LANE_AREA_UM2 / UM2_PER_MM2,
+        power_mw: lanes * units::UNION_LANE_POWER_UW / UW_PER_MW,
+    });
+    dp
+}
+
+/// TB-STC: the DVPE array + codec + MBD (paper Fig. 6(c) / Table III).
+pub fn tb_stc(shape: PeArrayShape) -> DatapathCosts {
+    DatapathCosts {
+        name: "TB-STC",
+        components: vec![dvpe_array(shape), codec_unit(), mbd_unit()],
+    }
+}
+
+/// The DVPE array with SIGMA's element-level FAN instead of the TB-STC
+/// reduction network (ablation, paper §VII-E2).
+pub fn dvpe_with_fan(shape: PeArrayShape) -> DatapathCosts {
+    let mults = shape.mults() as f64;
+    let base = mults * units::FP16_MULT_AREA_UM2;
+    let base_p = mults * units::FP16_MULT_POWER_UW;
+    // FAN: ~2 nodes per multiplier (forwarding adders + links).
+    let fan_nodes = mults * 2.0;
+    DatapathCosts {
+        name: "DVPE+FAN",
+        components: vec![
+            ComponentCost {
+                name: "Multiplier lanes",
+                area_mm2: base / UM2_PER_MM2,
+                power_mw: base_p / UW_PER_MW,
+            },
+            ComponentCost {
+                name: "FAN",
+                area_mm2: fan_nodes * units::FAN_NODE_AREA_UM2 / UM2_PER_MM2,
+                power_mw: fan_nodes * units::FAN_NODE_POWER_UW / UW_PER_MW,
+            },
+            codec_unit(),
+            mbd_unit(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> PeArrayShape {
+        PeArrayShape::paper_default()
+    }
+
+    #[test]
+    fn paper_shape_counts() {
+        let s = shape();
+        assert_eq!(s.dvpes(), 128);
+        assert_eq!(s.mults(), 1024);
+    }
+
+    #[test]
+    fn dvpe_array_matches_table3() {
+        let c = dvpe_array(shape());
+        assert!((c.area_mm2 - 1.43).abs() < 0.01, "area {}", c.area_mm2);
+        assert!((c.power_mw - 197.71).abs() < 4.0, "power {}", c.power_mw);
+    }
+
+    #[test]
+    fn codec_matches_table3() {
+        let c = codec_unit();
+        assert!((c.area_mm2 - 0.03).abs() < 0.005, "area {}", c.area_mm2);
+        assert!((c.power_mw - 2.19).abs() < 0.3, "power {}", c.power_mw);
+    }
+
+    #[test]
+    fn mbd_matches_table3() {
+        let c = mbd_unit();
+        assert!((c.area_mm2 - 0.01).abs() < 0.002, "area {}", c.area_mm2);
+        assert!((c.power_mw - 0.69).abs() < 0.1, "power {}", c.power_mw);
+    }
+
+    #[test]
+    fn reduction_network_is_0_08_mm2() {
+        // Paper: "TB-STC adds a reduction network (total of 0.08 mm² area
+        // including alternate unit) within the DVPE array".
+        let s = shape();
+        let add_ons = s.dvpes() as f64
+            * ((s.mults_per_dvpe - 1) as f64 * crate::units::REDUCTION_NODE_AREA_UM2
+                + crate::units::ALTERNATE_UNIT_AREA_UM2)
+            / 1e6;
+        assert!((add_ons - 0.08).abs() < 0.005, "{add_ons}");
+    }
+
+    #[test]
+    fn stc_overhead_is_small() {
+        let tc = tensor_core(shape()).total_area_mm2();
+        let stc = nvidia_stc(shape()).total_area_mm2();
+        assert!((stc - tc) / tc < 0.12, "STC adds only muxes");
+    }
+
+    #[test]
+    fn rm_stc_burdened_by_gather_union() {
+        // Fig. 6(d): RM-STC power clearly exceeds TB-STC power.
+        let rm = rm_stc(shape()).total_power_mw();
+        let tb = tb_stc(shape()).total_power_mw();
+        assert!(rm > 1.5 * tb, "RM-STC {rm} vs TB-STC {tb}");
+    }
+
+    #[test]
+    fn tb_stc_area_below_rm_stc() {
+        // Paper: TB-STC integration overhead 1.57% < RM-STC ~1.8%.
+        assert!(tb_stc(shape()).total_area_mm2() < rm_stc(shape()).total_area_mm2());
+    }
+
+    #[test]
+    fn fan_costs_more_than_tb_stc_reduction() {
+        let fan = dvpe_with_fan(shape());
+        let tb = tb_stc(shape());
+        assert!(fan.total_power_mw() > tb.total_power_mw());
+    }
+
+    #[test]
+    fn component_lookup() {
+        let tb = tb_stc(shape());
+        assert!(tb.component("Codec Unit").is_some());
+        assert!(tb.component("Nonexistent").is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Regenerates the paper's Table III (area and power breakdown) and the
+//! §VII-C4 integration-overhead arithmetic.
+
+use crate::components::{tb_stc, DatapathCosts, PeArrayShape};
+use crate::units::a100;
+
+/// The TB-STC breakdown at the paper's configuration.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_energy::table3::tb_stc_breakdown;
+///
+/// let t = tb_stc_breakdown();
+/// let dvpe = t.component("DVPE Array").unwrap();
+/// // DVPE array dominates (97.28 % of area in the paper).
+/// assert!(dvpe.area_mm2 / t.total_area_mm2() > 0.95);
+/// ```
+pub fn tb_stc_breakdown() -> DatapathCosts {
+    tb_stc(PeArrayShape::paper_default())
+}
+
+/// One row of the printed Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Component name.
+    pub component: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Share of total area.
+    pub area_share: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Share of total power.
+    pub power_share: f64,
+}
+
+/// Produces the Table III rows (components then Total).
+pub fn table3_rows() -> Vec<Table3Row> {
+    let dp = tb_stc_breakdown();
+    let ta = dp.total_area_mm2();
+    let tp = dp.total_power_mw();
+    let mut rows: Vec<Table3Row> = dp
+        .components
+        .iter()
+        .map(|c| Table3Row {
+            component: c.name.to_string(),
+            area_mm2: c.area_mm2,
+            area_share: c.area_mm2 / ta,
+            power_mw: c.power_mw,
+            power_share: c.power_mw / tp,
+        })
+        .collect();
+    rows.push(Table3Row {
+        component: "Total".to_string(),
+        area_mm2: ta,
+        area_share: 1.0,
+        power_mw: tp,
+        power_share: 1.0,
+    });
+    rows
+}
+
+/// The paper's integration argument: TB-STC equals 1/108 of an A100's
+/// tensor cores; the *added* units (reduction network + codec + MBD,
+/// ≈0.12 mm²) scaled by 108 give the extra die area.
+///
+/// Returns `(added_mm2_total, fraction_of_a100_die)` — the paper reports
+/// (12.96 mm², 1.57 %).
+pub fn a100_integration_overhead() -> (f64, f64) {
+    let dp = tb_stc_breakdown();
+    let codec = dp.component("Codec Unit").map_or(0.0, |c| c.area_mm2);
+    let mbd = dp.component("MBD Unit").map_or(0.0, |c| c.area_mm2);
+    // Reduction network + alternate units inside the DVPE array (0.08 mm²).
+    let shape = PeArrayShape::paper_default();
+    let reduction = shape.dvpes() as f64
+        * ((shape.mults_per_dvpe - 1) as f64 * crate::units::REDUCTION_NODE_AREA_UM2
+            + crate::units::ALTERNATE_UNIT_AREA_UM2)
+        / 1e6;
+    let added_per_core = codec + mbd + reduction;
+    let total = added_per_core * a100::TENSOR_CORE_EQUIV;
+    (total, total / a100::DIE_AREA_MM2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let t = tb_stc_breakdown();
+        assert!((t.total_area_mm2() - 1.47).abs() < 0.03, "{}", t.total_area_mm2());
+        assert!((t.total_power_mw() - 200.59).abs() < 4.0, "{}", t.total_power_mw());
+    }
+
+    #[test]
+    fn shares_match_paper_structure() {
+        let rows = table3_rows();
+        let dvpe = rows.iter().find(|r| r.component == "DVPE Array").unwrap();
+        assert!((dvpe.area_share - 0.9728).abs() < 0.01, "{}", dvpe.area_share);
+        assert!((dvpe.power_share - 0.9857).abs() < 0.01, "{}", dvpe.power_share);
+        let codec = rows.iter().find(|r| r.component == "Codec Unit").unwrap();
+        assert!((codec.area_share - 0.0204).abs() < 0.01);
+    }
+
+    #[test]
+    fn total_row_is_last_and_consistent() {
+        let rows = table3_rows();
+        let total = rows.last().unwrap();
+        assert_eq!(total.component, "Total");
+        let sum: f64 = rows[..rows.len() - 1].iter().map(|r| r.area_mm2).sum();
+        assert!((sum - total.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a100_overhead_matches_paper() {
+        // Paper: 0.12 × 108 = 12.96 mm², 1.57% of 826 mm².
+        let (added, frac) = a100_integration_overhead();
+        assert!((added - 12.96).abs() < 0.7, "{added}");
+        assert!((frac - 0.0157).abs() < 0.001, "{frac}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-unit area and power costs at 7 nm / 1 GHz.
+//!
+//! These constants play the role of the synthesized cell library: every
+//! component model in [`crate::components`] is a weighted sum of them. The
+//! values are calibrated so that the TB-STC inventory reproduces the
+//! paper's Table III (1.47 mm² / 200.59 mW with a 97/2/1 split between the
+//! DVPE array, codec and MBD units) while staying in the plausible range
+//! for 7 nm standard-cell implementations.
+
+/// Area of one FP16 multiplier lane including its input registers, µm².
+pub const FP16_MULT_AREA_UM2: f64 = 1318.0;
+/// Dynamic + leakage power of one FP16 multiplier lane at 1 GHz full
+/// utilization, µW.
+pub const FP16_MULT_POWER_UW: f64 = 180.0;
+
+/// Area of one reduction node (FP16 adder + transmit bypass), µm².
+pub const REDUCTION_NODE_AREA_UM2: f64 = 70.0;
+/// Power of one reduction node, µW.
+pub const REDUCTION_NODE_POWER_UW: f64 = 9.0;
+
+/// Area of one alternate unit (output buffer + merge mux) per DVPE, µm².
+pub const ALTERNATE_UNIT_AREA_UM2: f64 = 135.0;
+/// Power of one alternate unit, µW.
+pub const ALTERNATE_UNIT_POWER_UW: f64 = 18.0;
+
+/// Area of one queue byte (register + control share) in the codec, µm².
+pub const QUEUE_BYTE_AREA_UM2: f64 = 55.0;
+/// Power of one queue byte, µW.
+pub const QUEUE_BYTE_POWER_UW: f64 = 4.0;
+
+/// Area of the codec merger network (per codec instance), µm².
+pub const MERGER_AREA_UM2: f64 = 9000.0;
+/// Power of the merger network, µW.
+pub const MERGER_POWER_UW: f64 = 700.0;
+
+/// Area of one 8-to-1 multiplexer (16-bit datapath), µm².
+pub const MUX8_AREA_UM2: f64 = 260.0;
+/// Power of one 8-to-1 multiplexer, µW.
+pub const MUX8_POWER_UW: f64 = 19.0;
+
+/// Area of one 8×8 transpose unit (register array + routing), µm².
+pub const TRANSPOSE8_AREA_UM2: f64 = 1460.0;
+/// Power of one transpose unit, µW.
+pub const TRANSPOSE8_POWER_UW: f64 = 95.0;
+
+/// Area of RM-STC's gather module per PE lane (CAM-like match logic), µm².
+pub const GATHER_LANE_AREA_UM2: f64 = 700.0;
+/// Power of the gather module per lane, µW.
+pub const GATHER_LANE_POWER_UW: f64 = 95.0;
+
+/// Area of RM-STC's union module per PE lane, µm².
+pub const UNION_LANE_AREA_UM2: f64 = 500.0;
+/// Power of the union module per lane, µW.
+pub const UNION_LANE_POWER_UW: f64 = 70.0;
+
+/// Area of one SIGMA FAN (forwarding adder network) node, µm².
+///
+/// FAN is element-granular, so its node count scales with multiplier count
+/// and its per-node cost exceeds a plain reduction node (paper §VII-E2).
+pub const FAN_NODE_AREA_UM2: f64 = 210.0;
+/// Power of one FAN node, µW (element-granular forwarding keeps long
+/// wires and comparators switching every cycle).
+pub const FAN_NODE_POWER_UW: f64 = 70.0;
+
+/// SRAM macro density at 7 nm, mm² per KiB (CACTI-class).
+pub const SRAM_AREA_MM2_PER_KIB: f64 = 0.0008;
+/// SRAM read energy, pJ per byte.
+pub const SRAM_READ_PJ_PER_BYTE: f64 = 0.8;
+/// SRAM leakage, µW per KiB.
+pub const SRAM_LEAKAGE_UW_PER_KIB: f64 = 2.0;
+
+/// Energy of one FP16 multiply-accumulate at 7 nm, pJ.
+pub const FP16_MAC_PJ: f64 = 0.8;
+/// Register-file energy per byte moved, pJ.
+pub const REGFILE_PJ_PER_BYTE: f64 = 0.15;
+
+/// NVIDIA A100 constants used by the paper's 1.57 % area argument.
+pub mod a100 {
+    /// A100 die area, mm².
+    pub const DIE_AREA_MM2: f64 = 826.0;
+    /// Tensor-core-equivalent count the paper scales by.
+    pub const TENSOR_CORE_EQUIV: f64 = 108.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_costs_are_positive() {
+        for v in [
+            FP16_MULT_AREA_UM2,
+            FP16_MULT_POWER_UW,
+            REDUCTION_NODE_AREA_UM2,
+            QUEUE_BYTE_AREA_UM2,
+            MUX8_AREA_UM2,
+            TRANSPOSE8_AREA_UM2,
+            FP16_MAC_PJ,
+            SRAM_AREA_MM2_PER_KIB,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn mac_energy_plausible_for_7nm() {
+        // FP16 MAC at 7 nm is a fraction of a pJ to ~1 pJ.
+        assert!((0.1..2.0).contains(&FP16_MAC_PJ));
+    }
+
+    #[test]
+    fn gather_union_exceed_plain_reduction() {
+        // The reason RM-STC's unstructured support burdens the hardware
+        // (paper Fig. 6(d)).
+        assert!(GATHER_LANE_POWER_UW + UNION_LANE_POWER_UW > 10.0 * REDUCTION_NODE_POWER_UW);
+    }
+}

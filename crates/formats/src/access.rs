@@ -1,0 +1,181 @@
+//! Memory-access traces: the interface between storage formats and the
+//! DRAM model.
+//!
+//! A format does not just have a size — it has an *access pattern*: the
+//! sequence of byte ranges a block-oriented consumer (the PE array walking
+//! the matrix block by block) requests from memory. Contiguity of that
+//! sequence is what determines DRAM row-buffer hit rate and therefore
+//! effective bandwidth (paper challenge 2).
+
+/// One memory read request issued by the consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Start byte address (relative to the tensor's base).
+    pub addr: u64,
+    /// Request length in bytes.
+    pub bytes: u64,
+}
+
+impl MemRequest {
+    /// First byte after the request.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes
+    }
+}
+
+/// An ordered sequence of read requests with summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_formats::{AccessTrace, MemRequest};
+///
+/// let mut t = AccessTrace::new();
+/// t.push(MemRequest { addr: 0, bytes: 64 });
+/// t.push(MemRequest { addr: 64, bytes: 64 });  // contiguous
+/// t.push(MemRequest { addr: 4096, bytes: 32 }); // jump
+/// assert_eq!(t.total_bytes(), 160);
+/// assert!((t.contiguity() - 0.5).abs() < 1e-12); // 1 of 2 transitions
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    requests: Vec<MemRequest>,
+}
+
+impl AccessTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        AccessTrace::default()
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, req: MemRequest) {
+        self.requests.push(req);
+    }
+
+    /// The requests in issue order.
+    pub fn requests(&self) -> &[MemRequest] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total bytes requested (including any format padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Fraction of request *transitions* that are sequential (each request
+    /// starting exactly where the previous one ended). 1.0 = perfectly
+    /// streaming, 0.0 = every request jumps.
+    ///
+    /// Returns 1.0 for traces with fewer than two requests.
+    pub fn contiguity(&self) -> f64 {
+        if self.requests.len() < 2 {
+            return 1.0;
+        }
+        let seq = self
+            .requests
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].end())
+            .count();
+        seq as f64 / (self.requests.len() - 1) as f64
+    }
+
+    /// Mean request size in bytes (0 for an empty trace).
+    pub fn mean_request_bytes(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.requests.len() as f64
+        }
+    }
+
+    /// Concatenates another trace after this one, rebasing its addresses by
+    /// `offset`.
+    pub fn extend_rebased(&mut self, other: &AccessTrace, offset: u64) {
+        for r in other.requests() {
+            self.push(MemRequest {
+                addr: r.addr + offset,
+                bytes: r.bytes,
+            });
+        }
+    }
+}
+
+impl FromIterator<MemRequest> for AccessTrace {
+    fn from_iter<I: IntoIterator<Item = MemRequest>>(iter: I) -> Self {
+        AccessTrace {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MemRequest> for AccessTrace {
+    fn extend<I: IntoIterator<Item = MemRequest>>(&mut self, iter: I) {
+        self.requests.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_trivially_contiguous() {
+        let t = AccessTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.contiguity(), 1.0);
+        assert_eq!(t.mean_request_bytes(), 0.0);
+    }
+
+    #[test]
+    fn fully_sequential_trace() {
+        let t: AccessTrace = (0..10)
+            .map(|i| MemRequest {
+                addr: i * 128,
+                bytes: 128,
+            })
+            .collect();
+        assert_eq!(t.contiguity(), 1.0);
+        assert_eq!(t.total_bytes(), 1280);
+        assert_eq!(t.mean_request_bytes(), 128.0);
+    }
+
+    #[test]
+    fn scattered_trace() {
+        let t: AccessTrace = (0..10)
+            .map(|i| MemRequest {
+                addr: i * 4096,
+                bytes: 16,
+            })
+            .collect();
+        assert_eq!(t.contiguity(), 0.0);
+    }
+
+    #[test]
+    fn extend_rebased_shifts_addresses() {
+        let mut a = AccessTrace::new();
+        a.push(MemRequest { addr: 0, bytes: 8 });
+        let mut b = AccessTrace::new();
+        b.push(MemRequest { addr: 0, bytes: 8 });
+        a.extend_rebased(&b, 8);
+        assert_eq!(a.contiguity(), 1.0);
+        assert_eq!(a.requests()[1].addr, 8);
+    }
+
+    #[test]
+    fn extend_trait_appends() {
+        let mut a = AccessTrace::new();
+        a.extend([MemRequest { addr: 0, bytes: 4 }, MemRequest { addr: 4, bytes: 4 }]);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Compressed sparse row (CSR) — paper Fig. 7(b).
+//!
+//! CSR stores only the non-zero values with row pointers and column
+//! indices: minimal redundancy. The cost appears at *consumption* time: a
+//! block-oriented PE array works on `M`-row × `M`-column blocks, but a
+//! block's elements live in `M` separate row segments at unrelated
+//! offsets, so the consumer issues many small scattered reads (the paper
+//! measures <38.2 % bandwidth utilization on TBS matrices).
+
+use tbstc_matrix::Matrix;
+
+use crate::access::{AccessTrace, MemRequest};
+use crate::{INDEX_BYTES, VALUE_BYTES};
+
+/// Per-element index bytes in CSR (full column indices need 2 bytes,
+/// unlike intra-tile positions).
+const CSR_INDEX_BYTES: u64 = 2 * INDEX_BYTES;
+/// Row-pointer entry size.
+const ROW_PTR_BYTES: u64 = 4;
+
+/// A matrix in compressed-sparse-row format.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::Matrix;
+/// use tbstc_formats::Csr;
+///
+/// let w = Matrix::from_rows(&[vec![0.0, 7.0], vec![5.0, 0.0]]).unwrap();
+/// let csr = Csr::encode(&w);
+/// assert_eq!(csr.decode(), w);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u16>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Encodes a (sparse) matrix.
+    pub fn encode(w: &Matrix) -> Self {
+        let (rows, cols) = w.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = w[(r, c)];
+                if v != 0.0 {
+                    col_idx.push(c as u16);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn decode(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out[(r, self.col_idx[i] as usize)] = self.values[i];
+            }
+        }
+        out
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-zeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= self.rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Total stored bytes: row pointers + column indices + values.
+    pub fn stored_bytes(&self) -> u64 {
+        (self.row_ptr.len() as u64) * ROW_PTR_BYTES
+            + self.nnz() as u64 * (VALUE_BYTES + CSR_INDEX_BYTES)
+    }
+
+    /// The consumption access trace for a block-oriented consumer that
+    /// walks `block_cols`-wide column ranges of `block_rows` rows at a
+    /// time.
+    ///
+    /// For each block the consumer must visit each member row's segment and
+    /// read the slice overlapping the block's column range — `block_rows`
+    /// small reads at scattered offsets per block. This is the
+    /// non-contiguous behaviour of Fig. 7(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either block dimension is zero.
+    pub fn block_access_trace(&self, block_rows: usize, block_cols: usize) -> AccessTrace {
+        assert!(block_rows > 0 && block_cols > 0, "block dims must be positive");
+        let elem = VALUE_BYTES + CSR_INDEX_BYTES;
+        let mut trace = AccessTrace::new();
+        for br in (0..self.rows).step_by(block_rows) {
+            for bc in (0..self.cols).step_by(block_cols) {
+                for r in br..(br + block_rows).min(self.rows) {
+                    // Locate the sub-segment of row r within [bc, bc+block_cols).
+                    let (start, end) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                    let lo = self.col_idx[start..end]
+                        .partition_point(|&c| (c as usize) < bc)
+                        + start;
+                    let hi = self.col_idx[start..end]
+                        .partition_point(|&c| (c as usize) < bc + block_cols)
+                        + start;
+                    if hi > lo {
+                        trace.push(MemRequest {
+                            addr: lo as u64 * elem,
+                            bytes: (hi - lo) as u64 * elem,
+                        });
+                    }
+                }
+            }
+        }
+        trace
+    }
+
+    /// The streaming access trace: rows in order, which *is* contiguous —
+    /// but only usable by a row-streaming consumer, not the block-parallel
+    /// PE array.
+    pub fn streaming_trace(&self) -> AccessTrace {
+        let elem = VALUE_BYTES + CSR_INDEX_BYTES;
+        let mut trace = AccessTrace::new();
+        for r in 0..self.rows {
+            let n = self.row_nnz(r);
+            if n > 0 {
+                trace.push(MemRequest {
+                    addr: self.row_ptr[r] as u64 * elem,
+                    bytes: n as u64 * elem,
+                });
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tbstc_matrix::rng::MatrixRng;
+
+    #[test]
+    fn round_trip_sparse() {
+        let w = MatrixRng::seed_from(1).sparse_gaussian(16, 16, 0.8, 1.0);
+        assert_eq!(Csr::encode(&w).decode(), w);
+    }
+
+    #[test]
+    fn round_trip_all_zero() {
+        let w = Matrix::zeros(4, 6);
+        let csr = Csr::encode(&w);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.decode(), w);
+    }
+
+    #[test]
+    fn row_nnz_counts() {
+        let w = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let csr = Csr::encode(&w);
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn storage_is_minimal() {
+        // CSR bytes scale with nnz, not with padding (contrast SDC).
+        let w = Matrix::from_fn(8, 8, |r, _| if r == 0 { 1.0 } else { 0.0 });
+        let csr = Csr::encode(&w);
+        let sdc = crate::sdc::Sdc::encode(&w);
+        assert!(csr.stored_bytes() < sdc.stored_bytes());
+    }
+
+    #[test]
+    fn block_trace_is_scattered_on_tbs_like_data() {
+        // A matrix with mixed row populations: the blocked consumer's reads
+        // jump between row segments -> low contiguity.
+        let w = MatrixRng::seed_from(2).sparse_gaussian(32, 32, 0.6, 1.0);
+        let trace = Csr::encode(&w).block_access_trace(8, 8);
+        assert!(
+            trace.contiguity() < 0.3,
+            "blocked CSR reads should be scattered, got {}",
+            trace.contiguity()
+        );
+    }
+
+    #[test]
+    fn streaming_trace_is_contiguous() {
+        let w = MatrixRng::seed_from(3).sparse_gaussian(16, 16, 0.5, 1.0);
+        let trace = Csr::encode(&w).streaming_trace();
+        assert_eq!(trace.contiguity(), 1.0);
+    }
+
+    #[test]
+    fn block_trace_covers_exactly_nnz_bytes() {
+        let w = MatrixRng::seed_from(4).sparse_gaussian(24, 24, 0.7, 1.0);
+        let csr = Csr::encode(&w);
+        let elem = VALUE_BYTES + CSR_INDEX_BYTES;
+        assert_eq!(
+            csr.block_access_trace(8, 8).total_bytes(),
+            csr.nnz() as u64 * elem
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_sparsity(seed in 0u64..200, sp in 0u32..=100) {
+            let w = MatrixRng::seed_from(seed)
+                .sparse_gaussian(10, 14, f64::from(sp) / 100.0, 1.0);
+            prop_assert_eq!(Csr::encode(&w).decode(), w);
+        }
+
+        #[test]
+        fn block_trace_bytes_independent_of_block_size(
+            seed in 0u64..50, bs in 1usize..16
+        ) {
+            let w = MatrixRng::seed_from(seed).sparse_gaussian(16, 16, 0.5, 1.0);
+            let csr = Csr::encode(&w);
+            let a = csr.block_access_trace(bs, bs).total_bytes();
+            let b = csr.block_access_trace(16, 16).total_bytes();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for dimension-checked matrix operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when matrix dimensions are incompatible for an operation.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::{DimError, Matrix};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(4, 5);
+/// let err = tbstc_matrix::gemm::try_matmul(&a, &b).unwrap_err();
+/// assert!(matches!(err, DimError { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimError {
+    /// Human-readable description of the operation that failed.
+    pub op: &'static str,
+    /// Dimensions of the left-hand operand, `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Dimensions of the right-hand operand, `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for DimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension mismatch in {}: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for DimError {}
+
+/// Convenience alias for results of dimension-checked operations.
+pub type Result<T> = std::result::Result<T, DimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DimError {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DimError>();
+    }
+}

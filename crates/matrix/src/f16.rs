@@ -1,0 +1,237 @@
+//! Software emulation of IEEE-754 binary16 ("half precision").
+//!
+//! The TB-STC datapath computes in FP16 (8 FP16 multipliers per DVPE). The
+//! simulator does not need bit-exact FP16 arithmetic, but the accuracy
+//! experiments do need the *rounding behaviour* so that quantization studies
+//! (paper Fig. 15(b)) compare fp16 weights against int8 weights honestly.
+//!
+//! [`F16`] stores the 16-bit pattern and converts to/from `f32` with
+//! round-to-nearest-even, matching hardware conversion units.
+
+use std::fmt;
+
+/// An IEEE-754 binary16 value stored as its raw 16-bit pattern.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::F16;
+///
+/// let x = F16::from_f32(1.0);
+/// assert_eq!(x.to_f32(), 1.0);
+/// // binary16 has 10 mantissa bits: 1 + 2^-11 rounds to 1.0.
+/// let y = F16::from_f32(1.0 + f32::powi(2.0, -11));
+/// assert_eq!(y.to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// The largest finite binary16 value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    ///
+    /// Values above the binary16 range become infinity; subnormal results
+    /// are rounded correctly.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+            let m = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | m);
+        }
+
+        // Re-bias exponent: f32 bias 127 -> f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7C00); // overflow to infinity
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep top 10 mantissa bits, round to nearest even.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let shifted = mant >> 13;
+            let rounding = round_bit(mant, 13);
+            let mut out = sign | half_exp | shifted as u16;
+            out = out.wrapping_add(rounding as u16);
+            return F16(out); // carry into exponent is correct by construction
+        }
+        if unbiased >= -24 {
+            // Subnormal range: implicit leading 1 becomes explicit.
+            let full = mant | 0x0080_0000;
+            let shift = (-unbiased - 14 + 13) as u32;
+            let shifted = full >> shift;
+            let rounding = round_bit(full, shift);
+            let out = sign | (shifted as u16).wrapping_add(rounding as u16);
+            return F16(out);
+        }
+        F16(sign) // underflow to zero
+    }
+
+    /// Converts this binary16 value to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: value = mant * 2^-24. Normalize so the leading
+                // one becomes the implicit f32 bit.
+                let shift = mant.leading_zeros() - 21; // 10 - position of leading one
+                let m = (mant << shift) & 0x03FF;
+                let e = 113 - shift; // biased exponent: (9 - shift + 1) - 24 + 127
+                sign | (e << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Rounds an `f32` through binary16 precision and back.
+    ///
+    /// This is the "store to fp16 register, read back" operation the
+    /// accuracy experiments use to emulate the datapath precision.
+    pub fn round_trip(value: f32) -> f32 {
+        Self::from_f32(value).to_f32()
+    }
+
+    /// Returns `true` if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+/// Computes the round-to-nearest-even increment when truncating the low
+/// `shift` bits of `mant`.
+fn round_bit(mant: u32, shift: u32) -> u32 {
+    let halfway = 1u32 << (shift - 1);
+    let low = mant & ((1 << shift) - 1);
+    let kept_lsb = (mant >> shift) & 1;
+    u32::from(low > halfway || (low == halfway && kept_lsb == 1))
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::round_trip(x), x, "integer {i} should be exact");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_round_trip() {
+        for e in -14..=15 {
+            let x = f32::powi(2.0, e);
+            assert_eq!(F16::round_trip(x), x);
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_value_is_65504() {
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(F16::from_f32(1e-10).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = f32::powi(2.0, -24);
+        assert_eq!(F16::round_trip(tiny), tiny);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10;
+        // even mantissa (1.0) wins.
+        assert_eq!(F16::round_trip(1.0 + f32::powi(2.0, -11)), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; the even
+        // neighbour is 1 + 2^-9... mantissa of 1+2^-10 is odd (1), so round up.
+        let up = F16::round_trip(1.0 + 3.0 * f32::powi(2.0, -11));
+        assert_eq!(up, 1.0 + f32::powi(2.0, -9));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_is_idempotent(x in -65504.0f32..65504.0) {
+            let once = F16::round_trip(x);
+            let twice = F16::round_trip(once);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn relative_error_within_half_ulp(x in 1e-3f32..6e4) {
+            let r = F16::round_trip(x);
+            // binary16 has 10 mantissa bits -> rel error <= 2^-11.
+            let rel = ((r - x) / x).abs();
+            prop_assert!(rel <= f32::powi(2.0, -11) + f32::EPSILON);
+        }
+
+        #[test]
+        fn sign_symmetry(x in -6e4f32..6e4) {
+            prop_assert_eq!(F16::round_trip(-x), -F16::round_trip(x));
+        }
+
+        #[test]
+        fn monotone_on_positives(a in 0.0f32..6e4, b in 0.0f32..6e4) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(F16::round_trip(lo) <= F16::round_trip(hi));
+        }
+    }
+}

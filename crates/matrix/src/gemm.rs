@@ -1,0 +1,222 @@
+//! Reference matrix-multiplication kernels.
+//!
+//! These are the golden models for SpMM (`D = A × B + C`, paper §II-A).
+//! The cycle-level simulator never *computes* with them (it only counts
+//! cycles), but every storage-format round-trip and every dataflow variant
+//! is validated against these kernels in the integration tests.
+
+use crate::error::{DimError, Result};
+use crate::f16::F16;
+use crate::matrix::Matrix;
+
+/// Computes `A × B` with dimension checking.
+///
+/// # Errors
+///
+/// Returns [`DimError`] when `A.cols() != B.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::{Matrix, gemm};
+///
+/// let a = Matrix::filled(2, 3, 1.0);
+/// let b = Matrix::filled(3, 2, 1.0);
+/// let d = gemm::try_matmul(&a, &b)?;
+/// assert_eq!(d[(0, 0)], 3.0);
+/// # Ok::<(), tbstc_matrix::DimError>(())
+/// ```
+pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(DimError {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut d = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let drow = d.row_mut(i);
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue; // skip zeros: same arithmetic, faster golden model
+            }
+            let brow = b.row(p);
+            for (j, out) in drow.iter_mut().enumerate() {
+                *out += aval * brow[j];
+            }
+        }
+    }
+    debug_assert_eq!(k, b.rows());
+    Ok(d)
+}
+
+/// Computes `A × B`.
+///
+/// # Panics
+///
+/// Panics when `A.cols() != B.rows()`; use [`try_matmul`] to handle the
+/// error instead.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    try_matmul(a, b).expect("matmul dimension mismatch")
+}
+
+/// Computes the full SpMM operator `D = A × B + C` (paper §II-A).
+///
+/// # Errors
+///
+/// Returns [`DimError`] when the inner dimensions disagree or `C` does not
+/// have shape `(A.rows(), B.cols())`.
+pub fn try_spmm(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix> {
+    let mut d = try_matmul(a, b)?;
+    if c.shape() != d.shape() {
+        return Err(DimError {
+            op: "spmm bias add",
+            lhs: d.shape(),
+            rhs: c.shape(),
+        });
+    }
+    for (out, &bias) in d.as_mut_slice().iter_mut().zip(c.as_slice()) {
+        *out += bias;
+    }
+    Ok(d)
+}
+
+/// Computes `A × B` with every product and accumulation rounded through
+/// binary16, emulating the FP16 DVPE datapath.
+///
+/// # Errors
+///
+/// Returns [`DimError`] when `A.cols() != B.rows()`.
+pub fn try_matmul_f16(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(DimError {
+            op: "matmul_f16",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, _) = a.shape();
+    let n = b.cols();
+    let mut d = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..a.cols() {
+                let prod = F16::round_trip(F16::round_trip(a[(i, p)]) * F16::round_trip(b[(p, j)]));
+                acc = F16::round_trip(acc + prod);
+            }
+            d[(i, j)] = acc;
+        }
+    }
+    Ok(d)
+}
+
+/// Number of scalar multiply-accumulate operations a dense `A × B` performs.
+pub fn dense_macs(a: &Matrix, b: &Matrix) -> u64 {
+    a.rows() as u64 * a.cols() as u64 * b.cols() as u64
+}
+
+/// Number of MACs a sparsity-skipping kernel performs: one per non-zero of
+/// `A` per column of `B`.
+pub fn sparse_macs(a: &Matrix, b_cols: usize) -> u64 {
+    a.count_nonzeros() as u64 * b_cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::MatrixRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + 2 * c) as f32);
+        assert_eq!(matmul(&a, &Matrix::identity(3)), a);
+        assert_eq!(matmul(&Matrix::identity(3), &a), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let d = matmul(&a, &b);
+        assert_eq!(d, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn spmm_adds_bias() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let c = Matrix::filled(2, 2, 10.0);
+        let d = try_spmm(&a, &b, &c).unwrap();
+        assert_eq!(d, Matrix::filled(2, 2, 11.0));
+    }
+
+    #[test]
+    fn spmm_rejects_bad_bias_shape() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let c = Matrix::zeros(3, 3);
+        assert!(try_spmm(&a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn mismatch_is_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = try_matmul(&a, &b).unwrap_err();
+        assert_eq!(err.lhs, (2, 3));
+    }
+
+    #[test]
+    fn mac_counts() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0]]).unwrap();
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(dense_macs(&a, &b), 12);
+        assert_eq!(sparse_macs(&a, 4), 8);
+    }
+
+    #[test]
+    fn f16_matmul_close_to_f32() {
+        let mut rng = MatrixRng::seed_from(7);
+        let a = rng.uniform(8, 8, -1.0, 1.0);
+        let b = rng.uniform(8, 8, -1.0, 1.0);
+        let exact = matmul(&a, &b);
+        let half = try_matmul_f16(&a, &b).unwrap();
+        // 8-term fp16 accumulation of O(1) values: generous tolerance.
+        assert!(exact.max_abs_diff(&half).unwrap() < 0.05);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_transpose(seed in 0u64..1000) {
+            // (A B)^T == B^T A^T
+            let mut rng = MatrixRng::seed_from(seed);
+            let a = rng.uniform(4, 6, -2.0, 2.0);
+            let b = rng.uniform(6, 3, -2.0, 2.0);
+            let lhs = matmul(&a, &b).transpose();
+            let rhs = matmul(&b.transpose(), &a.transpose());
+            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+        }
+
+        #[test]
+        fn zero_rows_skip_is_equivalent(seed in 0u64..1000) {
+            // Masking A then multiplying equals multiplying the masked A:
+            // exercises the zero-skip fast path against the dense path.
+            let mut rng = MatrixRng::seed_from(seed);
+            let mut a = rng.uniform(5, 5, -2.0, 2.0);
+            for c in 0..5 {
+                a[(2, c)] = 0.0;
+            }
+            let b = rng.uniform(5, 5, -2.0, 2.0);
+            let d = matmul(&a, &b);
+            for c in 0..5 {
+                prop_assert_eq!(d[(2, c)], 0.0);
+            }
+        }
+    }
+}

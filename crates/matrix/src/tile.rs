@@ -1,0 +1,181 @@
+//! Block/tile iteration over matrices.
+//!
+//! The TBS pattern operates on `M × M` blocks of the weight matrix
+//! (paper §III-A); the hardware schedulers operate on the same granularity.
+//! [`Blocks`] enumerates the blocks of a matrix in row-major block order,
+//! zero-padding edge blocks, together with their [`BlockCoord`].
+
+use crate::matrix::Matrix;
+
+/// Grid coordinates of a block within a tiled matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockCoord {
+    /// Block-row index (not element row).
+    pub block_row: usize,
+    /// Block-column index (not element column).
+    pub block_col: usize,
+}
+
+impl BlockCoord {
+    /// Element-space origin of this block for block size `m`.
+    pub fn origin(&self, m: usize) -> (usize, usize) {
+        (self.block_row * m, self.block_col * m)
+    }
+}
+
+/// Number of blocks needed to cover `len` elements with blocks of size `m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn blocks_along(len: usize, m: usize) -> usize {
+    assert!(m > 0, "block size must be positive");
+    len.div_ceil(m)
+}
+
+/// Iterator over the `M × M` blocks of a matrix.
+///
+/// Edge blocks are zero-padded, matching [`Matrix::block`].
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::{Matrix, tile::Blocks};
+///
+/// let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+/// let blocks: Vec<_> = Blocks::new(&m, 2).collect();
+/// assert_eq!(blocks.len(), 4);
+/// assert_eq!(blocks[3].1[(0, 0)], 10.0); // bottom-right block
+/// ```
+#[derive(Debug)]
+pub struct Blocks<'a> {
+    matrix: &'a Matrix,
+    m: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    next: usize,
+}
+
+impl<'a> Blocks<'a> {
+    /// Creates a block iterator with block size `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(matrix: &'a Matrix, m: usize) -> Self {
+        Blocks {
+            matrix,
+            m,
+            grid_rows: blocks_along(matrix.rows(), m),
+            grid_cols: blocks_along(matrix.cols(), m),
+            next: 0,
+        }
+    }
+
+    /// The block-grid shape `(block_rows, block_cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+}
+
+impl Iterator for Blocks<'_> {
+    type Item = (BlockCoord, Matrix);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.grid_rows * self.grid_cols {
+            return None;
+        }
+        let coord = BlockCoord {
+            block_row: self.next / self.grid_cols,
+            block_col: self.next % self.grid_cols,
+        };
+        self.next += 1;
+        let (r0, c0) = coord.origin(self.m);
+        Some((coord, self.matrix.block(r0, c0, self.m, self.m)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.grid_rows * self.grid_cols - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Blocks<'_> {}
+
+/// Reassembles a matrix of shape `(rows, cols)` from `(coord, block)` pairs
+/// produced by [`Blocks`].
+pub fn assemble(
+    rows: usize,
+    cols: usize,
+    m: usize,
+    blocks: impl IntoIterator<Item = (BlockCoord, Matrix)>,
+) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    for (coord, block) in blocks {
+        let (r0, c0) = coord.origin(m);
+        out.set_block(r0, c0, &block);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_count_covers_matrix() {
+        let m = Matrix::zeros(10, 7);
+        let blocks = Blocks::new(&m, 4);
+        assert_eq!(blocks.grid(), (3, 2));
+        assert_eq!(blocks.count(), 6);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let m = Matrix::zeros(8, 8);
+        let mut it = Blocks::new(&m, 4);
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn blocks_are_row_major() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let coords: Vec<_> = Blocks::new(&m, 2).map(|(c, _)| c).collect();
+        assert_eq!(
+            coords,
+            vec![
+                BlockCoord { block_row: 0, block_col: 0 },
+                BlockCoord { block_row: 0, block_col: 1 },
+                BlockCoord { block_row: 1, block_col: 0 },
+                BlockCoord { block_row: 1, block_col: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_blocks_zero_padded() {
+        let m = Matrix::filled(3, 3, 5.0);
+        let last = Blocks::new(&m, 2).last().unwrap().1;
+        assert_eq!(last[(0, 0)], 5.0);
+        assert_eq!(last[(1, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = Blocks::new(&m, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn assemble_inverts_blocks(rows in 1usize..20, cols in 1usize..20, m in 1usize..9) {
+            let mat = Matrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32 + 1.0);
+            let rebuilt = assemble(rows, cols, m, Blocks::new(&mat, m));
+            prop_assert_eq!(rebuilt, mat);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The architecture registry: which pattern each baseline executes and
+//! what its datapath costs are.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+/// A simulated accelerator architecture (§VII-A2 baselines + ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// Dense Tensor Core.
+    Tc,
+    /// NVIDIA Sparse Tensor Core (2:4 / 4:8 tile sparsity only).
+    Stc,
+    /// VEGETA: row-wise N:M with per-row ratios.
+    Vegeta,
+    /// HighLight: hierarchical structured sparsity.
+    Highlight,
+    /// RM-STC: unstructured row-merge sparse tensor core.
+    RmStc,
+    /// TB-STC: this paper.
+    TbStc,
+    /// Ablation: TB-STC's DVPEs replaced by SIGMA's FAN reduction
+    /// (paper §VII-E2).
+    DvpeFan,
+    /// SGCN: high-sparsity GNN accelerator (Fig. 15(d) baseline).
+    Sgcn,
+}
+
+impl Arch {
+    /// The baselines of the main comparison figures (Fig. 12/13), in the
+    /// paper's plotting order.
+    pub const MAIN_BASELINES: [Arch; 6] = [
+        Arch::Tc,
+        Arch::Stc,
+        Arch::Vegeta,
+        Arch::Highlight,
+        Arch::RmStc,
+        Arch::TbStc,
+    ];
+
+    /// The sparsity pattern this architecture natively executes.
+    pub fn native_pattern(self) -> PatternKind {
+        match self {
+            Arch::Tc => PatternKind::Dense,
+            Arch::Stc => PatternKind::TileNm,
+            Arch::Vegeta => PatternKind::RowWiseVegeta,
+            Arch::Highlight => PatternKind::RowWiseHighlight,
+            Arch::RmStc | Arch::Sgcn => PatternKind::Unstructured,
+            Arch::TbStc | Arch::DvpeFan => PatternKind::Tbs,
+        }
+    }
+
+    /// The datapath cost inventory for this architecture.
+    pub fn datapath(self, shape: PeArrayShape) -> DatapathCosts {
+        match self {
+            Arch::Tc => components::tensor_core(shape),
+            Arch::Stc => components::nvidia_stc(shape),
+            Arch::Vegeta => components::vegeta(shape),
+            Arch::Highlight => components::highlight(shape),
+            Arch::RmStc => components::rm_stc(shape),
+            Arch::TbStc => components::tb_stc(shape),
+            Arch::DvpeFan => components::dvpe_with_fan(shape),
+            // SGCN's compressed-sparse frontend carries gather/union-class
+            // logic like RM-STC's.
+            Arch::Sgcn => {
+                let mut dp = components::rm_stc(shape);
+                dp.name = "SGCN";
+                dp
+            }
+        }
+    }
+
+    /// Multiplier-lane count available to this architecture. The paper
+    /// keeps peak compute equal across baselines (§VII-A1); SGCN differs
+    /// through its bandwidth ratio and element-granular frontend, not its
+    /// lane count.
+    pub fn lanes(self, shape: PeArrayShape) -> usize {
+        shape.mults()
+    }
+
+    /// Off-chip bandwidth override in GB/s (SGCN provisions 256 GB/s,
+    /// §VII-D4); `None` = use the platform default.
+    pub fn bandwidth_override_gbps(self) -> Option<f64> {
+        match self {
+            Arch::Sgcn => Some(256.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this architecture has the inter/intra-block sparsity-aware
+    /// scheduling of §VI (used by the Fig. 16(b) ablation).
+    pub fn has_hierarchical_scheduling(self) -> bool {
+        matches!(self, Arch::TbStc)
+    }
+
+    /// Per-MAC dynamic-energy multiplier over the plain FP16 MAC.
+    /// Unstructured engines burn extra energy per operand on index
+    /// matching (RM-STC's gather/union; SGCN's CSR intersection) — the
+    /// reason their EDP trails TB-STC even at similar speed (Fig. 6(d),
+    /// §VII-C1).
+    pub fn mac_energy_multiplier(self) -> f64 {
+        match self {
+            Arch::RmStc => 2.1,
+            Arch::Sgcn => 1.8,
+            Arch::DvpeFan => 1.45, // FAN forwards operands through extra nodes
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Arch::Tc => "TC",
+            Arch::Stc => "STC",
+            Arch::Vegeta => "VEGETA",
+            Arch::Highlight => "HighLight",
+            Arch::RmStc => "RM-STC",
+            Arch::TbStc => "TB-STC",
+            Arch::DvpeFan => "DVPE+FAN",
+            Arch::Sgcn => "SGCN",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_match_paper_table() {
+        assert_eq!(Arch::Stc.native_pattern(), PatternKind::TileNm);
+        assert_eq!(Arch::Vegeta.native_pattern(), PatternKind::RowWiseVegeta);
+        assert_eq!(Arch::TbStc.native_pattern(), PatternKind::Tbs);
+        assert_eq!(Arch::RmStc.native_pattern(), PatternKind::Unstructured);
+    }
+
+    #[test]
+    fn sgcn_has_high_bandwidth_ratio() {
+        let shape = PeArrayShape::paper_default();
+        assert_eq!(Arch::Sgcn.lanes(shape), 1024);
+        assert_eq!(Arch::Sgcn.bandwidth_override_gbps(), Some(256.0));
+        assert_eq!(Arch::TbStc.bandwidth_override_gbps(), None);
+    }
+
+    #[test]
+    fn only_tb_stc_has_hierarchical_scheduling() {
+        for a in Arch::MAIN_BASELINES {
+            assert_eq!(a.has_hierarchical_scheduling(), a == Arch::TbStc);
+        }
+    }
+
+    #[test]
+    fn datapath_costs_are_distinct() {
+        let shape = PeArrayShape::paper_default();
+        let tb = Arch::TbStc.datapath(shape).total_power_mw();
+        let rm = Arch::RmStc.datapath(shape).total_power_mw();
+        let tc = Arch::Tc.datapath(shape).total_power_mw();
+        assert!(rm > tb, "RM-STC {rm} > TB-STC {tb}");
+        assert!(tb > tc, "TB-STC {tb} > TC {tc}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Arch::TbStc.to_string(), "TB-STC");
+        assert_eq!(Arch::DvpeFan.to_string(), "DVPE+FAN");
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-architecture compute-cycle models.
+//!
+//! Each architecture turns the sampled pruned weights into a list of
+//! per-block [`BlockWork`] items reflecting its dataflow's structural
+//! constraints, then runs them through the scheduler model. The
+//! constraints (documented per match arm in [`block_works`]) are where the
+//! baselines' compute differences come from:
+//!
+//! * **TC** executes every slot densely;
+//! * **STC** executes at 4:8 density — the mask was already projected at
+//!   50 %, so its slots equal its nnz;
+//! * **VEGETA / HighLight** can pack multiple rows of the *same* ratio
+//!   into one SIMD issue, but rows of different `N` need separate issues
+//!   (their B-select logic is per-ratio), so a block costs
+//!   `Σ_N ceil(rows_N · N / width)` issues — the row-heterogeneity
+//!   penalty of one-dimensional patterns (challenge 3);
+//! * **RM-STC** is nnz-proportional with a row-merge efficiency factor
+//!   and stream merging (that is what "row-merge dataflow" does);
+//! * **TB-STC** is nnz-proportional; its intra/inter-block scheduling
+//!   (Fig. 11) recovers the imbalance, and the ablation switches it off;
+//! * **SGCN** is element-granular CSR processing: nnz-proportional with a
+//!   gather-efficiency factor plus a per-row frontend overhead — great at
+//!   extreme sparsity, wasteful in the 30–90 % band (Fig. 15(d)).
+
+use crate::arch::Arch;
+use crate::config::HwConfig;
+use crate::layer::SparseLayer;
+use crate::sched::{self, BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// Row-merge packing efficiency of RM-STC's unstructured dataflow
+/// (merge bubbles between rows; its speedup loss vs TB-STC is small —
+/// paper: 1.06×).
+const RM_STC_EFFICIENCY: f64 = 0.94;
+/// Extra pipeline occupancy of SIGMA's FAN (deeper forwarding network).
+const FAN_OVERHEAD: f64 = 1.12;
+/// SGCN's element-granular gather efficiency at DNN-range sparsity.
+const SGCN_EFFICIENCY: f64 = 0.7;
+/// HighLight's two-level metadata intersection overhead per element
+/// cluster (hierarchical coordinate decoding on the datapath).
+const HIGHLIGHT_INTERSECT_OVERHEAD: f64 = 1.06;
+
+/// The compute-side result for one layer (already scaled to real size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeResult {
+    /// Compute cycles of the whole layer.
+    pub cycles: u64,
+    /// Useful MACs (non-zero weight × activation).
+    pub useful_macs: u64,
+    /// Issued MAC slots (useful + structural padding).
+    pub issued_macs: u64,
+    /// Compute utilization: useful slots / (lanes × cycles).
+    pub utilization: f64,
+}
+
+/// Scheduling knobs (for the Fig. 16(b) ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePolicy {
+    /// Inter-block placement.
+    pub inter: InterBlockPolicy,
+    /// Intra-block lane packing.
+    pub intra: IntraBlockPolicy,
+}
+
+impl SchedulePolicy {
+    /// The policy an architecture ships with.
+    pub fn native(arch: Arch) -> Self {
+        match arch {
+            // TB-STC's hierarchical scheduling; RM-STC's row-merge
+            // dataflow achieves the same stream merging for unstructured
+            // work; the FAN ablation keeps TB-STC's scheduler.
+            Arch::TbStc | Arch::DvpeFan | Arch::RmStc | Arch::Sgcn => SchedulePolicy {
+                inter: InterBlockPolicy::SparsityAware,
+                intra: IntraBlockPolicy::Balanced,
+            },
+            // VEGETA/HighLight ship one-dimensional workload balancing
+            // (row-wise reordering, paper §I challenge 3), modelled as
+            // balanced placement; their ratio-grouping penalty lives in
+            // the slot counts instead.
+            Arch::Vegeta | Arch::Highlight => SchedulePolicy {
+                inter: InterBlockPolicy::SparsityAware,
+                intra: IntraBlockPolicy::Balanced,
+            },
+            // Uniform patterns have nothing to balance.
+            Arch::Tc | Arch::Stc => SchedulePolicy {
+                inter: InterBlockPolicy::Direct,
+                intra: IntraBlockPolicy::Balanced,
+            },
+        }
+    }
+
+    /// The non-scheduled ablation point (Fig. 16(b) "w/o scheduling").
+    pub fn naive() -> Self {
+        SchedulePolicy {
+            inter: InterBlockPolicy::Direct,
+            intra: IntraBlockPolicy::Naive,
+        }
+    }
+}
+
+/// Extracts the per-block work list the architecture's dataflow sees,
+/// walking the sampled weights in 8×8 blocks.
+pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
+    use tbstc_sparsity::SparsityDim;
+    let w = layer.sampled();
+    let m = 8usize;
+    let (rows, cols) = w.shape();
+    let grid_rows = rows.div_ceil(m);
+    let grid_cols = cols.div_ceil(m);
+    let mut works = Vec::with_capacity(grid_rows * grid_cols);
+
+    for br in 0..grid_rows {
+        for bc in 0..grid_cols {
+            let (r0, c0) = (br * m, bc * m);
+            // Per-row non-zero counts of this block.
+            let mut row_nnz = [0usize; 8];
+            for (dr, count) in row_nnz.iter_mut().enumerate() {
+                for dc in 0..m {
+                    if let Some(v) = w.get(r0 + dr, c0 + dc) {
+                        if v != 0.0 {
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+            let nnz: usize = row_nnz.iter().sum();
+            let nonempty = row_nnz.iter().filter(|&&c| c > 0).count();
+            // TBS blocks carry their sparsity dimension; everything else
+            // is reduction-dimension by construction.
+            let independent_dim = layer
+                .tbs()
+                .and_then(|t| {
+                    let gc = t.mask().cols().div_ceil(t.config().m);
+                    t.blocks().get(br * gc + bc).map(|b| b.dim == SparsityDim::Independent)
+                })
+                .unwrap_or(false);
+
+            let work = match arch {
+                // Dense: every lane slot issues.
+                Arch::Tc => BlockWork {
+                    slots: dense_slots(rows, cols, r0, c0, m),
+                    nonempty_rows: m.min(rows.saturating_sub(r0)),
+                    independent_dim,
+                },
+                // STC executes its 4:8 mask; slots = nnz of the 50% mask.
+                Arch::Stc => BlockWork {
+                    slots: nnz,
+                    nonempty_rows: nonempty,
+                    independent_dim,
+                },
+                // VEGETA's vertical SIMD has two one-dimensional
+                // constraints: adjacent row pairs run in lockstep
+                // (2 × max per pair) and rows of different ratios need
+                // separate B-select issues. Uniform ratios satisfy both
+                // for free; heterogeneous blocks pay the binding one —
+                // the challenge-3 imbalance.
+                Arch::Vegeta => BlockWork {
+                    slots: lockstep_slots(&row_nnz, 4).max(ratio_grouped_slots(&row_nnz, m)),
+                    nonempty_rows: nonempty,
+                    independent_dim,
+                },
+                // HighLight's uniform hierarchical ratio keeps rows
+                // homogeneous (small grouping penalty) but pays two-level
+                // metadata intersection on every cluster.
+                Arch::Highlight => BlockWork {
+                    slots: (ratio_grouped_slots(&row_nnz, m) as f64
+                        * HIGHLIGHT_INTERSECT_OVERHEAD)
+                        .ceil() as usize,
+                    nonempty_rows: nonempty,
+                    independent_dim,
+                },
+                Arch::RmStc => BlockWork {
+                    slots: ((nnz as f64) / RM_STC_EFFICIENCY).ceil() as usize,
+                    nonempty_rows: nonempty,
+                    independent_dim,
+                },
+                Arch::Sgcn => BlockWork {
+                    slots: ((nnz as f64) / SGCN_EFFICIENCY).ceil() as usize,
+                    nonempty_rows: nonempty,
+                    independent_dim,
+                },
+                // TB-STC (and the FAN ablation): nnz-proportional. The
+                // per-original-row counts are the computation-format row
+                // occupancy (elements group by reduction row in both block
+                // dimensions), which is what the naive intra policy pays
+                // per-row for.
+                Arch::TbStc | Arch::DvpeFan => {
+                    let slots = if arch == Arch::DvpeFan {
+                        ((nnz as f64) * FAN_OVERHEAD).ceil() as usize
+                    } else {
+                        nnz
+                    };
+                    BlockWork {
+                        slots,
+                        nonempty_rows: nonempty,
+                        independent_dim,
+                    }
+                }
+            };
+            works.push(work);
+        }
+    }
+    works
+}
+
+/// Slots a lockstep SIMD engine needs: adjacent groups of `group` rows
+/// run together, each costing `group × max(row nnz)`.
+fn lockstep_slots(row_nnz: &[usize; 8], group: usize) -> usize {
+    row_nnz
+        .chunks(group)
+        .map(|g| g.len() * g.iter().copied().max().unwrap_or(0))
+        .sum()
+}
+
+/// Slots a ratio-grouped SIMD engine needs for one block: rows sharing a
+/// non-zero count pack into common issues; each distinct count needs its
+/// own issues (`width` lanes each).
+fn ratio_grouped_slots(row_nnz: &[usize; 8], width: usize) -> usize {
+    let mut issues = 0usize;
+    for ratio in 1..=width {
+        let rows = row_nnz.iter().filter(|&&c| c == ratio).count();
+        if rows > 0 {
+            issues += (rows * ratio).div_ceil(width);
+        }
+    }
+    issues * width
+}
+
+/// Dense slots of a (possibly edge-clipped) block.
+fn dense_slots(rows: usize, cols: usize, r0: usize, c0: usize, m: usize) -> usize {
+    let h = m.min(rows.saturating_sub(r0));
+    let w = m.min(cols.saturating_sub(c0));
+    h * w
+}
+
+/// Runs the compute model for a layer on an architecture.
+pub fn simulate_compute(
+    arch: Arch,
+    layer: &SparseLayer,
+    cfg: &HwConfig,
+    policy: SchedulePolicy,
+) -> ComputeResult {
+    let works = block_works(arch, layer);
+    let lanes = arch.lanes(cfg.pe);
+    let width = cfg.lane_width();
+    let pes = lanes / width;
+
+    let mut sampled_cycles =
+        sched::schedule_stream(&works, layer.sn, pes, width, policy.inter, policy.intra);
+    // SGCN pays a per-row frontend setup (CSR row decode), amortized over
+    // the layer: one slot-cycle per non-empty row of the weight stream.
+    if arch == Arch::Sgcn {
+        let rows: u64 = works.iter().map(|w| w.nonempty_rows as u64).sum();
+        sampled_cycles += rows.div_ceil(pes as u64);
+    }
+
+    let scale = layer.weight_scale() * layer.col_scale();
+    let cycles = (sampled_cycles as f64 * scale).ceil() as u64;
+
+    let useful_sampled: u64 = layer.sampled().count_nonzeros() as u64 * layer.sn as u64;
+    let issued_sampled: u64 =
+        works.iter().map(|w| w.slots as u64).sum::<u64>() * layer.sn as u64;
+    let useful_macs = (useful_sampled as f64 * scale) as u64;
+    let issued_macs = (issued_sampled as f64 * scale) as u64;
+
+    let utilization = if cycles == 0 {
+        1.0
+    } else {
+        (useful_macs as f64) / (cycles as f64 * lanes as f64)
+    };
+
+    ComputeResult {
+        cycles,
+        useful_macs,
+        issued_macs,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc_models::LayerShape;
+
+    fn shape(m: usize, k: usize, n: usize) -> LayerShape {
+        LayerShape {
+            name: "test".into(),
+            m,
+            k,
+            n,
+            repeats: 1,
+            prunable: true,
+        }
+    }
+
+    fn cfg() -> HwConfig {
+        HwConfig::paper_default()
+    }
+
+    fn run(arch: Arch, target: f64) -> ComputeResult {
+        let layer = SparseLayer::build_for_arch(&shape(128, 128, 64), arch, target, 11, &cfg());
+        simulate_compute(arch, &layer, &cfg(), SchedulePolicy::native(arch))
+    }
+
+    #[test]
+    fn dense_tc_full_utilization() {
+        let r = run(Arch::Tc, 0.0);
+        assert!(r.utilization > 0.9, "{}", r.utilization);
+        assert_eq!(r.useful_macs, 128 * 128 * 64);
+    }
+
+    #[test]
+    fn stc_executes_half_density_regardless_of_target() {
+        let lo = run(Arch::Stc, 0.5);
+        let hi = run(Arch::Stc, 0.875);
+        // Same cycles: the 4:8 floor.
+        assert_eq!(lo.cycles, hi.cycles);
+        let dense = run(Arch::Tc, 0.0);
+        let ratio = dense.cycles as f64 / lo.cycles as f64;
+        assert!((1.8..2.2).contains(&ratio), "STC ≈ 2x dense: {ratio}");
+    }
+
+    #[test]
+    fn tb_stc_scales_with_sparsity() {
+        let half = run(Arch::TbStc, 0.5);
+        let deep = run(Arch::TbStc, 0.875);
+        let ratio = half.cycles as f64 / deep.cycles as f64;
+        assert!(ratio > 2.0, "87.5% sparsity much faster than 50%: {ratio}");
+    }
+
+    #[test]
+    fn tb_stc_near_perfect_utilization() {
+        let r = run(Arch::TbStc, 0.75);
+        assert!(r.utilization > 0.85, "{}", r.utilization);
+    }
+
+    #[test]
+    fn tb_stc_beats_lockstep_engines_at_equal_sparsity() {
+        let tb = run(Arch::TbStc, 0.75);
+        let veg = run(Arch::Vegeta, 0.75);
+        assert!(
+            veg.cycles as f64 > tb.cycles as f64 * 1.05,
+            "VEGETA {} vs TB-STC {}",
+            veg.cycles,
+            tb.cycles
+        );
+        assert!(tb.utilization > veg.utilization);
+    }
+
+    #[test]
+    fn rm_stc_close_to_tb_stc_in_speed() {
+        // Paper: RM-STC speedup gap is only ~1.06x.
+        let tb = run(Arch::TbStc, 0.75);
+        let rm = run(Arch::RmStc, 0.75);
+        let ratio = rm.cycles as f64 / tb.cycles as f64;
+        assert!((1.0..1.25).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn naive_scheduling_hurts_tb_stc() {
+        let layer =
+            SparseLayer::build_for_arch(&shape(128, 128, 64), Arch::TbStc, 0.75, 12, &cfg());
+        let smart = simulate_compute(Arch::TbStc, &layer, &cfg(), SchedulePolicy::native(Arch::TbStc));
+        let naive = simulate_compute(Arch::TbStc, &layer, &cfg(), SchedulePolicy::naive());
+        let gain = naive.cycles as f64 / smart.cycles as f64;
+        assert!(
+            (1.3..6.0).contains(&gain),
+            "scheduling gain {gain} (paper: 1.57x utilization)"
+        );
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        for arch in Arch::MAIN_BASELINES {
+            let r = run(arch, 0.6);
+            assert!(r.utilization <= 1.0 + 1e-9, "{arch}: {}", r.utilization);
+            assert!(r.issued_macs >= r.useful_macs, "{arch}");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_per_element_cost() {
+        // A 4x larger layer (sampled identically) costs ~4x the cycles.
+        let small = SparseLayer::build_for_arch(&shape(128, 128, 64), Arch::TbStc, 0.5, 13, &cfg());
+        let big = SparseLayer::build_for_arch(&shape(256, 256, 64), Arch::TbStc, 0.5, 13, &cfg());
+        let a = simulate_compute(Arch::TbStc, &small, &cfg(), SchedulePolicy::native(Arch::TbStc));
+        let b = simulate_compute(Arch::TbStc, &big, &cfg(), SchedulePolicy::native(Arch::TbStc));
+        let ratio = b.cycles as f64 / a.cycles as f64;
+        assert!((3.0..5.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn fan_slower_than_dvpe() {
+        let tb = run(Arch::TbStc, 0.75);
+        let fan = run(Arch::DvpeFan, 0.75);
+        assert!(fan.cycles >= tb.cycles);
+    }
+
+    #[test]
+    fn ratio_grouping_penalizes_mixed_rows() {
+        // Uniform rows (all N=2): 2 issues = 16 slots = nnz.
+        let uniform = ratio_grouped_slots(&[2; 8], 8);
+        assert_eq!(uniform, 16);
+        // Mixed rows {8,4,2,1,1,0,0,0}: each ratio its own issues.
+        let mixed = ratio_grouped_slots(&[8, 4, 2, 1, 1, 0, 0, 0], 8);
+        assert!(mixed > 16, "mixed rows need more slots: {mixed}");
+    }
+
+    #[test]
+    fn lockstep_free_on_uniform_rows() {
+        assert_eq!(lockstep_slots(&[4; 8], 2), 32); // = nnz
+        assert_eq!(lockstep_slots(&[4; 8], 4), 32);
+        // Heterogeneous neighbours pad to the group max.
+        let mixed = lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 2);
+        let nnz = 8 + 1 + 4 + 2 + 2 + 1;
+        assert!(mixed > nnz, "{mixed} > {nnz}");
+        assert_eq!(mixed, 2 * (8 + 4 + 2 + 1));
+        // Wider lockstep pads at least as much.
+        assert!(lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 4) >= mixed);
+    }
+
+    #[test]
+    fn sgcn_wasteful_at_dnn_sparsity() {
+        let tb = run(Arch::TbStc, 0.6);
+        let sg = run(Arch::Sgcn, 0.6);
+        assert!(sg.cycles as f64 > tb.cycles as f64 * 1.2, "SGCN {} TB {}", sg.cycles, tb.cycles);
+    }
+}

@@ -1,0 +1,283 @@
+//! Sparse-layer construction: from a workload shape to the pruned weights
+//! the simulator walks.
+//!
+//! Real layers can be enormous (OPT-6.7B's fc1 is 4096 × 16384). The
+//! simulator's per-block models only need the *block-statistics* of the
+//! pruned weights, which are stationary across a layer, so large layers
+//! are built at a sampled size and all extensive results (cycles, traffic,
+//! MACs, energy) are scaled back up by the exact element-count ratio. The
+//! sampled weights use the block-structured generator, which reproduces
+//! the local row/column heterogeneity of trained weights (see
+//! `MatrixRng::block_structured_weights`).
+
+use tbstc_matrix::rng::MatrixRng;
+use tbstc_matrix::Matrix;
+use tbstc_models::LayerShape;
+use tbstc_sparsity::pattern::{paper_pattern, TileNm};
+use tbstc_sparsity::{Mask, Pattern, PatternKind, TbsConfig, TbsPattern};
+
+use crate::arch::Arch;
+use crate::config::HwConfig;
+
+/// A pruned layer ready for simulation: sampled weights + pattern
+/// metadata + scale factors back to the real size.
+#[derive(Debug, Clone)]
+pub struct SparseLayer {
+    /// Layer name (from the workload).
+    pub name: String,
+    /// Real weight rows (independent dim).
+    pub m: usize,
+    /// Real weight cols (reduction dim).
+    pub k: usize,
+    /// Real activation columns.
+    pub n: usize,
+    /// The sparsity target requested.
+    pub target: f64,
+    /// The pattern that produced the mask.
+    pub pattern: PatternKind,
+    /// Sampled, pruned weights (`sm × sk`).
+    sampled: Matrix,
+    /// TBS metadata when `pattern == Tbs` (needed for DDC and the codec).
+    tbs: Option<TbsPattern>,
+    /// Sampled B-column count used by compute models.
+    pub sn: usize,
+}
+
+impl SparseLayer {
+    /// Builds a sparse layer for `shape` pruned with `pattern` at `target`
+    /// sparsity, deterministically from `seed`.
+    ///
+    /// Sampling uses the defaults of [`HwConfig::paper_default`]; use
+    /// [`SparseLayer::build_with`] to control the sample size.
+    pub fn build(shape: &LayerShape, pattern: PatternKind, target: f64, seed: u64) -> Self {
+        Self::build_with(shape, pattern, target, seed, &HwConfig::paper_default())
+    }
+
+    /// Builds with explicit sampling limits from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is outside `[0, 1]`.
+    pub fn build_with(
+        shape: &LayerShape,
+        pattern: PatternKind,
+        target: f64,
+        seed: u64,
+        cfg: &HwConfig,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&target), "target sparsity in [0, 1]");
+        let sm = shape.m.min(cfg.sample_dim).max(8);
+        let sk = shape.k.min(cfg.sample_dim).max(8);
+        let sn = shape.n.min(cfg.sample_cols).max(1);
+        let mut rng = MatrixRng::seed_from(seed ^ fxhash(&shape.name));
+        let weights = rng.block_structured_weights(sm, sk, 8);
+
+        let (mask, tbs): (Mask, Option<TbsPattern>) = match pattern {
+            PatternKind::Tbs => {
+                let p = TbsPattern::sparsify(&weights, target, &TbsConfig::paper_default());
+                (p.mask().clone(), Some(p))
+            }
+            PatternKind::TileNm => {
+                // NVIDIA STC hardware supports exactly 2:4/4:8 — its
+                // metadata format cannot express other ratios, so the
+                // pattern is projected at 50 % regardless of the target
+                // (paper Table I footnote and Fig. 12 caption).
+                (TileNm::new(4, 8).project(&weights, 0.5), None)
+            }
+            other => (paper_pattern(other).project(&weights, target), None),
+        };
+
+        SparseLayer {
+            name: shape.name.clone(),
+            m: shape.m,
+            k: shape.k,
+            n: shape.n,
+            target,
+            pattern,
+            sampled: mask.apply(&weights),
+            tbs,
+            sn,
+        }
+    }
+
+    /// Builds the layer for an architecture's native pattern.
+    pub fn build_for_arch(shape: &LayerShape, arch: Arch, target: f64, seed: u64, cfg: &HwConfig) -> Self {
+        Self::build_with(shape, arch.native_pattern(), target, seed, cfg)
+    }
+
+    /// Builds a TBS layer with a custom block-size configuration
+    /// (Fig. 15(a) block-size sensitivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is outside `[0, 1]` or `tbs_cfg` is invalid.
+    pub fn build_tbs_with_config(
+        shape: &LayerShape,
+        target: f64,
+        seed: u64,
+        cfg: &HwConfig,
+        tbs_cfg: &TbsConfig,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&target), "target sparsity in [0, 1]");
+        let sm = shape.m.min(cfg.sample_dim).max(tbs_cfg.m);
+        let sk = shape.k.min(cfg.sample_dim).max(tbs_cfg.m);
+        let sn = shape.n.min(cfg.sample_cols).max(1);
+        let mut rng = MatrixRng::seed_from(seed ^ fxhash(&shape.name));
+        let weights = rng.block_structured_weights(sm, sk, tbs_cfg.m);
+        let p = TbsPattern::sparsify(&weights, target, tbs_cfg);
+        SparseLayer {
+            name: shape.name.clone(),
+            m: shape.m,
+            k: shape.k,
+            n: shape.n,
+            target,
+            pattern: PatternKind::Tbs,
+            sampled: p.mask().apply(&weights),
+            tbs: Some(p),
+            sn,
+        }
+    }
+
+    /// The sampled pruned weight matrix.
+    pub fn sampled(&self) -> &Matrix {
+        &self.sampled
+    }
+
+    /// TBS metadata (present only for the TBS pattern).
+    pub fn tbs(&self) -> Option<&TbsPattern> {
+        self.tbs.as_ref()
+    }
+
+    /// Sampled rows.
+    pub fn sm(&self) -> usize {
+        self.sampled.rows()
+    }
+
+    /// Sampled reduction columns.
+    pub fn sk(&self) -> usize {
+        self.sampled.cols()
+    }
+
+    /// Factor scaling sampled weight-extensive quantities (block walks,
+    /// A-traffic) to the real layer.
+    pub fn weight_scale(&self) -> f64 {
+        (self.m as f64 * self.k as f64) / (self.sm() as f64 * self.sk() as f64)
+    }
+
+    /// Factor scaling sampled activation-extensive quantities to the real
+    /// layer.
+    pub fn col_scale(&self) -> f64 {
+        self.n as f64 / self.sn as f64
+    }
+
+    /// The sparsity the projection actually achieved on the sample.
+    pub fn actual_sparsity(&self) -> f64 {
+        self.sampled.sparsity()
+    }
+
+    /// Real (scaled) non-zero weight count.
+    pub fn real_nnz(&self) -> f64 {
+        self.sampled.count_nonzeros() as f64 * self.weight_scale()
+    }
+
+    /// Real useful MACs: one per non-zero weight per activation column.
+    pub fn real_useful_macs(&self) -> f64 {
+        self.real_nnz() * self.n as f64
+    }
+}
+
+/// A tiny deterministic string hash so two layers with the same seed but
+/// different names get different weights.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc_models::bert_base;
+
+    fn shape() -> LayerShape {
+        bert_base(128).layers[0].clone()
+    }
+
+    #[test]
+    fn sampling_caps_dimensions() {
+        let l = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 1);
+        assert_eq!(l.sm(), 128);
+        assert_eq!(l.sk(), 128);
+        assert_eq!(l.m, 768);
+        assert!((l.weight_scale() - 36.0).abs() < 1e-9); // (768/128)²
+    }
+
+    #[test]
+    fn small_layers_not_scaled() {
+        let small = LayerShape {
+            name: "tiny".into(),
+            m: 64,
+            k: 64,
+            n: 32,
+            repeats: 1,
+            prunable: true,
+        };
+        let l = SparseLayer::build(&small, PatternKind::Unstructured, 0.5, 2);
+        assert_eq!(l.weight_scale(), 1.0);
+        assert_eq!(l.col_scale(), 1.0);
+    }
+
+    #[test]
+    fn target_sparsity_achieved() {
+        for kind in [PatternKind::Unstructured, PatternKind::Tbs, PatternKind::RowWiseVegeta] {
+            let l = SparseLayer::build(&shape(), kind, 0.75, 3);
+            assert!(
+                (l.actual_sparsity() - 0.75).abs() < 0.06,
+                "{kind}: {}",
+                l.actual_sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn stc_pinned_to_half_density() {
+        // Target 0.875 but STC executes 4:8.
+        let l = SparseLayer::build(&shape(), PatternKind::TileNm, 0.875, 4);
+        assert!((l.actual_sparsity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tbs_layers_carry_metadata() {
+        let l = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 5);
+        assert!(l.tbs().is_some());
+        let l2 = SparseLayer::build(&shape(), PatternKind::Unstructured, 0.5, 5);
+        assert!(l2.tbs().is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
+        let b = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
+        assert_eq!(a.sampled(), b.sampled());
+    }
+
+    #[test]
+    fn different_layer_names_differ() {
+        let mut s2 = shape();
+        s2.name = "other".into();
+        let a = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
+        let b = SparseLayer::build(&s2, PatternKind::Tbs, 0.5, 7);
+        assert_ne!(a.sampled(), b.sampled());
+    }
+
+    #[test]
+    fn useful_macs_scale() {
+        let l = SparseLayer::build(&shape(), PatternKind::Unstructured, 0.5, 8);
+        let expect = 768.0 * 768.0 * 0.5 * 128.0;
+        let got = l.real_useful_macs();
+        assert!((got / expect - 1.0).abs() < 0.05, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Cycle-level performance simulator for TB-STC and all paper baselines.
+//!
+//! This crate is the reproduction of the paper's "cycle-level performance
+//! simulator to model the hardware behavior and evaluate execution cycles"
+//! (§VII-A1), extended with the energy hooks (Sparseloop-lite) so that it
+//! also produces EDP.
+//!
+//! The simulated architectures (§VII-A2):
+//!
+//! | [`Arch`] | Pattern executed | Key constraint modelled |
+//! |---|---|---|
+//! | `Tc` | dense | full MACs |
+//! | `Stc` | 4:8 tile | density floor at 50 % regardless of target |
+//! | `Vegeta` | RS-V | SIMD lockstep across co-scheduled rows |
+//! | `Highlight` | RS-H | density ladder rounds *up* off-ladder targets |
+//! | `RmStc` | unstructured | nnz-proportional + gather/union power |
+//! | `TbStc` | TBS | DDC + hierarchical sparsity-aware scheduling |
+//! | `DvpeFan` | TBS | SIGMA's element-level FAN instead (ablation) |
+//! | `Sgcn` | unstructured | few lanes, 256 GB/s, per-row overhead |
+//!
+//! The flow: build a [`layer::SparseLayer`] from a workload shape, a
+//! pattern and a target sparsity (large layers are sampled and results
+//! scaled — see `SparseLayer::scale`), then [`pipeline::simulate_layer`]
+//! produces a [`result::LayerResult`] with cycles, a phase breakdown,
+//! utilizations and energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use tbstc_models::bert_base;
+//! use tbstc_sim::{simulate_layer, Arch, HwConfig, SparseLayer};
+//!
+//! let cfg = HwConfig::paper_default();
+//! let layer = &bert_base(128).layers[0];
+//! let sparse = SparseLayer::build(layer, Arch::TbStc.native_pattern(), 0.75, 42);
+//! let res = simulate_layer(Arch::TbStc, &sparse, &cfg);
+//! assert!(res.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod compute;
+pub mod config;
+pub mod dvpe;
+pub mod layer;
+pub mod mbd;
+pub mod memory;
+pub mod pipeline;
+pub mod result;
+pub mod sched;
+pub mod schedunit;
+
+pub use arch::Arch;
+pub use config::HwConfig;
+pub use layer::SparseLayer;
+pub use pipeline::{simulate_layer, simulate_model};
+pub use result::{CycleBreakdown, LayerResult, ModelResult};

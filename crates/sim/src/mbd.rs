@@ -1,0 +1,177 @@
+//! Functional model of the Matrix-B Distribution (MBD) unit
+//! (paper §VI-A2, Fig. 10(b)).
+//!
+//! The MBD unit feeds the DVPEs the B-matrix operands matching the sparse
+//! indices of A. It supports both row-major and column-major B tiles via
+//! a configurable pipeline of a **MUX array** (16 8-to-1 multiplexers
+//! selecting B elements under A's indices) and a **transpose array**
+//! (four 8×8 register transposers), sequenced by the C0–C2 multiplexers;
+//! C3 outputs the reorganized data.
+
+use tbstc_matrix::Matrix;
+
+/// Storage order of the incoming B tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileOrder {
+    /// Rows of B are contiguous (the natural GEMM layout).
+    RowMajor,
+    /// Columns of B are contiguous (produced by some producers/layouts);
+    /// the transpose array runs *before* the MUX array.
+    ColMajor,
+}
+
+/// Activity counters of the MBD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbdTrace {
+    /// 8-to-1 selections performed.
+    pub mux_selects: u64,
+    /// 8×8 tile transposes performed.
+    pub transposes: u64,
+}
+
+/// The functional MBD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbdUnit {
+    tile: usize,
+}
+
+impl MbdUnit {
+    /// The paper's configuration: 8×8 tiles (16 MUXes / 4 transposers
+    /// cover two tiles per cycle; functionally one tile at a time).
+    pub fn paper_default() -> Self {
+        MbdUnit { tile: 8 }
+    }
+
+    /// Tile dimension.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Selects the B operands for one output column `col` of an 8×8 B
+    /// tile, given the reduction-dimension indices of A's non-zeros.
+    ///
+    /// `b_tile` holds the tile in the given `order` (an `8 × 8` matrix
+    /// whose logical element `(k, j)` is `B[k][j]`; for
+    /// [`TileOrder::ColMajor`] the stored matrix is the transpose and the
+    /// transpose array restores it first — C0/C1/C2 route accordingly).
+    ///
+    /// Returns one selected `B[k][col]` per index, plus the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tile is not `8 × 8`, `col` is out of range, or an
+    /// index exceeds the tile.
+    pub fn select(
+        &self,
+        b_tile: &Matrix,
+        order: TileOrder,
+        indices: &[usize],
+        col: usize,
+    ) -> (Vec<f32>, MbdTrace) {
+        assert_eq!(
+            b_tile.shape(),
+            (self.tile, self.tile),
+            "MBD operates on {0}x{0} tiles",
+            self.tile
+        );
+        assert!(col < self.tile, "column {col} out of tile range");
+        let mut trace = MbdTrace::default();
+
+        // C0/C1: the transpose array restores logical (k, j) orientation
+        // for column-major tiles before the MUX array runs.
+        let logical = match order {
+            TileOrder::RowMajor => b_tile.clone(),
+            TileOrder::ColMajor => {
+                trace.transposes += 1;
+                b_tile.transpose()
+            }
+        };
+
+        // The MUX array: one 8-to-1 selection per sparse index.
+        let selected = indices
+            .iter()
+            .map(|&k| {
+                assert!(k < self.tile, "index {k} exceeds tile");
+                trace.mux_selects += 1;
+                logical[(k, col)]
+            })
+            .collect();
+        (selected, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc_matrix::rng::MatrixRng;
+
+    fn tile(seed: u64) -> Matrix {
+        MatrixRng::seed_from(seed).uniform(8, 8, -1.0, 1.0)
+    }
+
+    #[test]
+    fn row_major_selection_matches_direct_indexing() {
+        let b = tile(1);
+        let mbd = MbdUnit::paper_default();
+        let idx = [0usize, 3, 5, 7];
+        let (sel, trace) = mbd.select(&b, TileOrder::RowMajor, &idx, 2);
+        let expect: Vec<f32> = idx.iter().map(|&k| b[(k, 2)]).collect();
+        assert_eq!(sel, expect);
+        assert_eq!(trace.mux_selects, 4);
+        assert_eq!(trace.transposes, 0);
+    }
+
+    #[test]
+    fn col_major_selection_goes_through_transpose_array() {
+        let b = tile(2);
+        let stored = b.transpose(); // column-major storage of the same tile
+        let mbd = MbdUnit::paper_default();
+        let idx = [1usize, 2, 6];
+        let (row_sel, _) = mbd.select(&b, TileOrder::RowMajor, &idx, 4);
+        let (col_sel, trace) = mbd.select(&stored, TileOrder::ColMajor, &idx, 4);
+        assert_eq!(row_sel, col_sel, "both paths select the same operands");
+        assert_eq!(trace.transposes, 1);
+    }
+
+    #[test]
+    fn selection_feeds_correct_spmm_operands() {
+        // End-to-end: row r of sparse A times B column j equals the dot of
+        // A's non-zeros with the MBD-selected operands.
+        let mut rng = MatrixRng::seed_from(3);
+        let a = rng.sparse_gaussian(8, 8, 0.6, 1.0);
+        let b = rng.uniform(8, 8, -1.0, 1.0);
+        let mbd = MbdUnit::paper_default();
+        for r in 0..8 {
+            let (vals, idx): (Vec<f32>, Vec<usize>) = (0..8)
+                .filter(|&c| a[(r, c)] != 0.0)
+                .map(|c| (a[(r, c)], c))
+                .unzip();
+            for j in 0..8 {
+                let (sel, _) = mbd.select(&b, TileOrder::RowMajor, &idx, j);
+                let dot: f32 = vals.iter().zip(&sel).map(|(x, y)| x * y).sum();
+                let golden: f32 = (0..8).map(|c| a[(r, c)] * b[(c, j)]).sum();
+                assert!((dot - golden).abs() < 1e-5, "row {r} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_list_selects_nothing() {
+        let (sel, trace) = MbdUnit::paper_default().select(&tile(4), TileOrder::RowMajor, &[], 0);
+        assert!(sel.is_empty());
+        assert_eq!(trace.mux_selects, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tile")]
+    fn out_of_range_index_rejected() {
+        let _ = MbdUnit::paper_default().select(&tile(5), TileOrder::RowMajor, &[8], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8x8 tiles")]
+    fn wrong_tile_shape_rejected() {
+        let b = Matrix::zeros(4, 8);
+        let _ = MbdUnit::paper_default().select(&b, TileOrder::RowMajor, &[0], 0);
+    }
+}

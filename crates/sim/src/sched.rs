@@ -1,0 +1,343 @@
+//! Hierarchical sparsity-aware scheduling (paper §VI-B, Fig. 11).
+//!
+//! Two levels:
+//!
+//! * **Inter-block** (Fig. 11(a,b)): a scheduling unit between the on-chip
+//!   buffer and the PEs dispatches blocks to the least-loaded PE and
+//!   merges partial lane slots of consecutive blocks, so PE time is
+//!   proportional to total work instead of per-block ceilings.
+//! * **Intra-block** (Fig. 11(c,d)): within an independent-dimension
+//!   block, the elements of different rows are concatenated across lanes
+//!   (handled by the reduction nodes + alternate unit), so a block costs
+//!   `ceil(nnz / lane_width)` cycles instead of one cycle per non-empty
+//!   row.
+//!
+//! Both levels have naive counterparts used by the Fig. 16(b) ablation.
+//!
+//! Tasks are `(block, activation-column)` pairs: the same block stream
+//! repeats for every column group, and the hardware spreads those
+//! repetitions over PEs, so [`schedule_stream`] schedules the expanded
+//! task list.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How blocks are placed onto PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterBlockPolicy {
+    /// Direct mapping: task `i` goes to PE `i mod P`, each block occupies
+    /// whole cycles (`ceil(slots / width)`), no merging across blocks.
+    Direct,
+    /// Sparsity-aware: least-loaded dispatch with slot merging across
+    /// consecutive blocks (Fig. 11(b)).
+    SparsityAware,
+}
+
+/// How a block's lanes are packed within a PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraBlockPolicy {
+    /// One issue per non-empty computation row (Fig. 11(c) naive).
+    Naive,
+    /// Rows concatenated across lanes: `ceil(nnz / width)` (Fig. 11(c,d)).
+    Balanced,
+}
+
+/// Per-block cost in *lane-slots* (MAC slots) for one activation column,
+/// plus the row-occupancy data the intra-block policy needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockWork {
+    /// Total MAC slots the block needs (non-zeros, or padded slots for
+    /// structurally constrained architectures).
+    pub slots: usize,
+    /// Non-empty computation-format rows (for the naive intra policy).
+    pub nonempty_rows: usize,
+    /// Whether the block's N:M runs along the independent dimension.
+    /// Only independent-dimension blocks scatter their elements across
+    /// computation rows, so only they pay the per-row cost under the
+    /// naive intra policy (Fig. 11(c)); reduction-dimension blocks pack
+    /// rows natively even without the alternate unit.
+    pub independent_dim: bool,
+}
+
+/// Cycles one PE needs for one block under an intra-block policy, with
+/// `width` lanes.
+pub fn intra_block_cycles(work: &BlockWork, policy: IntraBlockPolicy, width: usize) -> u64 {
+    match policy {
+        IntraBlockPolicy::Naive if work.independent_dim => {
+            work.nonempty_rows.max(usize::from(work.slots > 0)) as u64
+        }
+        _ => (work.slots as u64).div_ceil(width as u64),
+    }
+}
+
+/// Schedules the `(block × column)` task stream of a layer onto the PE
+/// array and returns the cycles until the slowest PE finishes.
+///
+/// `blocks` is the per-block work of one activation column; the stream
+/// repeats `cols` times.
+///
+/// # Panics
+///
+/// Panics when `pes` or `width` is zero.
+pub fn schedule_stream(
+    blocks: &[BlockWork],
+    cols: usize,
+    pes: usize,
+    width: usize,
+    inter: InterBlockPolicy,
+    intra: IntraBlockPolicy,
+) -> u64 {
+    assert!(pes > 0 && width > 0, "need PEs and lanes");
+    if blocks.is_empty() || cols == 0 {
+        return 0;
+    }
+    match inter {
+        InterBlockPolicy::Direct => {
+            // Round-robin over the expanded task list; whole cycles per
+            // block, no cross-block merging. One pass over the blocks
+            // repeated `cols` times is equivalent to accumulating each
+            // block's cost into PE (i + c·B) mod P.
+            let mut load = vec![0u64; pes];
+            for pass in 0..cols.min(pes) {
+                // Column tiles rotate across PEs (the output-stationary
+                // mapping shifts by one per column group), so simulate at
+                // most `pes` distinct passes then scale.
+                for (i, w) in blocks.iter().enumerate() {
+                    load[(i + pass) % pes] += intra_block_cycles(w, intra, width);
+                }
+            }
+            let passes = cols.min(pes) as u64;
+            let max = load.into_iter().max().unwrap_or(0);
+            // Remaining columns repeat the same balanced pattern.
+            (max as f64 * cols as f64 / passes as f64).ceil() as u64
+        }
+        InterBlockPolicy::SparsityAware => {
+            // Least-loaded dispatch with slot merging: a PE that drains
+            // early takes the next (block, column) task from the queue, so
+            // the scheduler balances across the whole expanded stream and
+            // each PE's time is ceil(sum of its slots / width).
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+                (0..pes).map(|p| Reverse((0u64, p))).collect();
+            for _ in 0..cols {
+                for w in blocks {
+                    let Reverse((load, p)) = heap.pop().expect("pes > 0");
+                    let add = match intra {
+                        IntraBlockPolicy::Balanced => w.slots as u64,
+                        IntraBlockPolicy::Naive => {
+                            intra_block_cycles(w, intra, width) * width as u64
+                        }
+                    };
+                    heap.push(Reverse((load + add, p)));
+                }
+            }
+            let max_slots = heap
+                .into_iter()
+                .map(|Reverse((load, _))| load)
+                .max()
+                .unwrap_or(0);
+            max_slots.div_ceil(width as u64)
+        }
+    }
+}
+
+/// Compute utilization: useful slots over issued lane-cycles.
+pub fn utilization(useful_slots: u64, cycles: u64, pes: usize, width: usize) -> f64 {
+    if cycles == 0 {
+        return 1.0;
+    }
+    useful_slots as f64 / (cycles as f64 * (pes * width) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(slots: usize, rows: usize) -> BlockWork {
+        // Tests model independent-dimension blocks (the interesting case
+        // for the naive intra policy).
+        BlockWork {
+            slots,
+            nonempty_rows: rows,
+            independent_dim: true,
+        }
+    }
+
+    #[test]
+    fn fig11a_example() {
+        // Paper Fig. 11(a): merging low-occupancy blocks converts per-block
+        // ceilings into work-proportional time. Blocks {8,16,8,4,4} = 40
+        // slots on one 8-lane PE: scheduled = 5 cycles; naive pays per row.
+        let blocks = vec![work(8, 8), work(16, 8), work(8, 8), work(4, 4), work(4, 4)];
+        let naive = schedule_stream(
+            &blocks,
+            1,
+            1,
+            8,
+            InterBlockPolicy::Direct,
+            IntraBlockPolicy::Naive,
+        );
+        let smart = schedule_stream(
+            &blocks,
+            1,
+            1,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        assert_eq!(smart, 5, "total 40 slots / 8 lanes");
+        assert!(naive > smart, "naive {naive} vs scheduled {smart}");
+    }
+
+    #[test]
+    fn balanced_intra_is_ceil_of_nnz() {
+        assert_eq!(intra_block_cycles(&work(9, 5), IntraBlockPolicy::Balanced, 8), 2);
+        assert_eq!(intra_block_cycles(&work(8, 8), IntraBlockPolicy::Balanced, 8), 1);
+        assert_eq!(intra_block_cycles(&work(0, 0), IntraBlockPolicy::Balanced, 8), 0);
+    }
+
+    #[test]
+    fn naive_intra_pays_per_row() {
+        // Fig. 11(c): rows {4,1,2,1} = 8 slots. Balanced: 1 cycle;
+        // naive: 4 cycles.
+        let w = work(8, 4);
+        assert_eq!(intra_block_cycles(&w, IntraBlockPolicy::Naive, 8), 4);
+        assert_eq!(intra_block_cycles(&w, IntraBlockPolicy::Balanced, 8), 1);
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        assert_eq!(
+            schedule_stream(&[], 4, 4, 8, InterBlockPolicy::SparsityAware, IntraBlockPolicy::Balanced),
+            0
+        );
+        assert_eq!(
+            schedule_stream(&[work(8, 8)], 0, 4, 8, InterBlockPolicy::Direct, IntraBlockPolicy::Balanced),
+            0
+        );
+    }
+
+    #[test]
+    fn sparsity_aware_approaches_work_lower_bound() {
+        // Heterogeneous blocks over many PEs: scheduled time should be
+        // within ~20% of total_slots / (pes × width).
+        let blocks: Vec<BlockWork> = (0..256)
+            .map(|i| work([0, 8, 16, 32, 64][i % 5], 8))
+            .collect();
+        let total: u64 = blocks.iter().map(|b| b.slots as u64).sum();
+        let cycles = schedule_stream(
+            &blocks,
+            64,
+            128,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        let bound = (total * 64).div_ceil(128 * 8);
+        assert!(cycles >= bound);
+        assert!(cycles as f64 <= bound as f64 * 1.2, "{cycles} vs bound {bound}");
+    }
+
+    #[test]
+    fn direct_mapping_suffers_from_heterogeneity() {
+        let blocks: Vec<BlockWork> = (0..256)
+            .map(|i| work([0, 8, 16, 32, 64][i % 5], 8))
+            .collect();
+        let smart = schedule_stream(
+            &blocks,
+            64,
+            128,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        let direct = schedule_stream(
+            &blocks,
+            64,
+            128,
+            8,
+            InterBlockPolicy::Direct,
+            IntraBlockPolicy::Balanced,
+        );
+        // Rotation spreads most of the imbalance across columns; the
+        // per-block ceiling still makes direct no faster than merged.
+        assert!(direct >= smart, "direct {direct} vs scheduled {smart}");
+        // The merged schedule is within a whisker of the work lower bound,
+        // which direct's per-block ceilings cannot reach on heterogeneous
+        // blocks: check direct wastes at least the ceiling slack.
+        let total: u64 = blocks.iter().map(|b| b.slots as u64).sum();
+        let bound = (total * 64).div_ceil(128 * 8);
+        assert!(smart <= bound + bound / 10, "smart {smart} vs bound {bound}");
+    }
+
+    #[test]
+    fn scheduled_utilization_improvement_matches_paper_scale() {
+        // A TBS-like mix of block occupancies. The paper reports a 1.57×
+        // utilization gain from hierarchical scheduling (§VII-E2).
+        let mut blocks = Vec::new();
+        for i in 0..256 {
+            let (slots, rows) = match i % 5 {
+                0 => (0, 0),
+                1 => (8, 6),
+                2 => (16, 8),
+                3 => (32, 8),
+                _ => (64, 8),
+            };
+            blocks.push(work(slots, rows));
+        }
+        let useful: u64 = blocks.iter().map(|b| b.slots as u64).sum::<u64>() * 16;
+        let naive_cycles = schedule_stream(
+            &blocks,
+            16,
+            16,
+            8,
+            InterBlockPolicy::Direct,
+            IntraBlockPolicy::Naive,
+        );
+        let smart_cycles = schedule_stream(
+            &blocks,
+            16,
+            16,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        let u_naive = utilization(useful, naive_cycles, 16, 8);
+        let u_smart = utilization(useful, smart_cycles, 16, 8);
+        let gain = u_smart / u_naive;
+        assert!(
+            (1.2..2.4).contains(&gain),
+            "utilization gain {gain} (naive {u_naive:.3}, smart {u_smart:.3})"
+        );
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        assert_eq!(utilization(0, 0, 4, 8), 1.0);
+        let u = utilization(32, 1, 4, 8);
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_scaling_is_linear() {
+        let blocks: Vec<BlockWork> = (0..64).map(|i| work(8 + i % 16, 8)).collect();
+        let one = schedule_stream(
+            &blocks,
+            1,
+            16,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        let many = schedule_stream(
+            &blocks,
+            10,
+            16,
+            8,
+            InterBlockPolicy::SparsityAware,
+            IntraBlockPolicy::Balanced,
+        );
+        // Cross-column balancing can make the long run slightly cheaper
+        // than 10 independent columns, never more expensive.
+        assert!(many >= one * 7 && many <= one * 11, "one {one} many {many}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Sparsity patterns and sparsification algorithms for the TB-STC
+//! reproduction.
+//!
+//! This crate implements the algorithmic contribution of the paper
+//! (§III): the **Transposable Block-wise N:M** (TBS) sparsity pattern and
+//! its sparsification procedure (Algorithm 1), together with every
+//! baseline pattern the paper compares against:
+//!
+//! * [`pattern::Unstructured`] — element-wise top-k (US),
+//! * [`pattern::TileNm`] — tile-wise N:M as in NVIDIA's Sparse Tensor Core
+//!   (TS),
+//! * [`pattern::RowWiseVegeta`] — VEGETA's row-wise N:M with per-row N
+//!   (RS-V),
+//! * [`pattern::RowWiseHighlight`] — HighLight's hierarchical two-level
+//!   sparsity (RS-H),
+//! * [`tbs::TbsPattern`] — the paper's transposable block-wise pattern.
+//!
+//! Supporting analyses:
+//!
+//! * [`mask_space`] — the Mask-Space measure, equations (1)–(4),
+//! * [`similarity`] — mask similarity to the unstructured mask (Fig. 4(b)),
+//! * [`criteria`] — magnitude / Wanda / SparseGPT pruning criteria,
+//! * [`stats`] — block-direction distribution (Fig. 17).
+//!
+//! # Examples
+//!
+//! ```
+//! use tbstc_matrix::rng::MatrixRng;
+//! use tbstc_sparsity::tbs::{TbsConfig, TbsPattern};
+//!
+//! let w = MatrixRng::seed_from(0).weights(16, 16);
+//! let tbs = TbsPattern::sparsify(&w, 0.5, &TbsConfig::paper_default());
+//! assert!((tbs.mask().sparsity() - 0.5).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criteria;
+pub mod mask;
+pub mod mask_space;
+pub mod pattern;
+pub mod similarity;
+pub mod stats;
+pub mod tbs;
+
+pub use mask::Mask;
+pub use pattern::{Pattern, PatternKind};
+pub use tbs::{SparsityDim, TbsConfig, TbsPattern};

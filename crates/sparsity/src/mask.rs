@@ -1,0 +1,413 @@
+//! Binary pruning masks.
+//!
+//! A [`Mask`] records which elements of a weight matrix are *kept*
+//! (`true`) versus pruned to zero (`false`). Every sparsity pattern in this
+//! crate is ultimately a procedure that maps an importance-score matrix to
+//! a `Mask` subject to the pattern's structural constraint.
+
+use std::fmt;
+
+use tbstc_matrix::Matrix;
+
+/// A binary keep/prune mask with the same shape as the matrix it applies to.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::Matrix;
+/// use tbstc_sparsity::Mask;
+///
+/// let w = Matrix::from_rows(&[vec![3.0, -1.0], vec![0.5, 2.0]]).unwrap();
+/// // Keep the 2 largest-magnitude elements.
+/// let mask = Mask::top_k(&w.map(f32::abs), 2);
+/// assert!(mask.get(0, 0) && mask.get(1, 1));
+/// assert_eq!(mask.count_kept(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Mask {
+    rows: usize,
+    cols: usize,
+    keep: Vec<bool>,
+}
+
+impl Mask {
+    /// An all-pruned (dense-zero) mask.
+    pub fn none(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            keep: vec![false; rows * cols],
+        }
+    }
+
+    /// An all-kept (dense) mask.
+    pub fn all(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            keep: vec![true; rows * cols],
+        }
+    }
+
+    /// Builds a mask by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut keep = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                keep.push(f(r, c));
+            }
+        }
+        Mask { rows, cols, keep }
+    }
+
+    /// Builds the mask of non-zero elements of `m`.
+    pub fn nonzeros(m: &Matrix) -> Self {
+        Mask::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] != 0.0)
+    }
+
+    /// Keeps the `k` highest-scoring elements of `scores` (global top-k, the
+    /// unstructured-pruning projection).
+    ///
+    /// Ties are broken by position (earlier row-major positions win), which
+    /// keeps the procedure deterministic.
+    pub fn top_k(scores: &Matrix, k: usize) -> Self {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        let data = scores.as_slice();
+        idx.sort_by(|&a, &b| {
+            data[b]
+                .partial_cmp(&data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut keep = vec![false; scores.len()];
+        for &i in idx.iter().take(k.min(keep.len())) {
+            keep[i] = true;
+        }
+        Mask {
+            rows: scores.rows(),
+            cols: scores.cols(),
+            keep,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of positions.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Returns `true` when the mask covers no positions.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Whether position `(r, c)` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "mask index out of bounds");
+        self.keep[r * self.cols + c]
+    }
+
+    /// Sets position `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, kept: bool) {
+        assert!(r < self.rows && c < self.cols, "mask index out of bounds");
+        self.keep[r * self.cols + c] = kept;
+    }
+
+    /// Number of kept positions.
+    pub fn count_kept(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Fraction of pruned positions (sparsity degree, paper §II-A).
+    ///
+    /// Returns `0.0` for an empty mask.
+    pub fn sparsity(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            1.0 - self.count_kept() as f64 / self.len() as f64
+        }
+    }
+
+    /// Number of kept positions in row `r`.
+    pub fn row_kept(&self, r: usize) -> usize {
+        (0..self.cols).filter(|&c| self.get(r, c)).count()
+    }
+
+    /// Number of kept positions in column `c`.
+    pub fn col_kept(&self, c: usize) -> usize {
+        (0..self.rows).filter(|&r| self.get(r, c)).count()
+    }
+
+    /// The transposed mask.
+    pub fn transpose(&self) -> Mask {
+        Mask::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Copies the `height × width` sub-mask at `(row0, col0)`, treating
+    /// out-of-bounds positions as pruned.
+    pub fn block(&self, row0: usize, col0: usize, height: usize, width: usize) -> Mask {
+        Mask::from_fn(height, width, |r, c| {
+            let (rr, cc) = (row0 + r, col0 + c);
+            rr < self.rows && cc < self.cols && self.get(rr, cc)
+        })
+    }
+
+    /// Writes `block` into `self` at `(row0, col0)`, ignoring out-of-bounds
+    /// positions.
+    pub fn set_block(&mut self, row0: usize, col0: usize, block: &Mask) {
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                if row0 + r < self.rows && col0 + c < self.cols {
+                    self.set(row0 + r, col0 + c, block.get(r, c));
+                }
+            }
+        }
+    }
+
+    /// Hamming distance: number of positions where the masks disagree.
+    ///
+    /// This is the `L1` distance of Algorithm 1 step 3 when masks are viewed
+    /// as 0/1 matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn hamming(&self, other: &Mask) -> usize {
+        assert_eq!(self.shape(), other.shape(), "mask shape mismatch");
+        self.keep
+            .iter()
+            .zip(&other.keep)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Number of positions kept by both masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn intersection_kept(&self, other: &Mask) -> usize {
+        assert_eq!(self.shape(), other.shape(), "mask shape mismatch");
+        self.keep
+            .iter()
+            .zip(&other.keep)
+            .filter(|(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Applies the mask: returns `w` with pruned positions zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn apply(&self, w: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), w.shape(), "mask/matrix shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            if self.get(r, c) {
+                w[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Converts the mask to a 0/1 matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| f32::from(u8::from(self.get(r, c))))
+    }
+
+    /// Iterates over the kept coordinates in row-major order.
+    pub fn iter_kept(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        self.keep
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(move |(i, _)| (i / cols, i % cols))
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Mask {}x{} ({} kept, sparsity {:.3}) [",
+            self.rows,
+            self.cols,
+            self.count_kept(),
+            self.sparsity()
+        )?;
+        for r in 0..self.rows.min(16) {
+            let row: String = (0..self.cols.min(64))
+                .map(|c| if self.get(r, c) { '#' } else { '.' })
+                .collect();
+            writeln!(f, "  {row}")?;
+        }
+        if self.rows > 16 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tbstc_matrix::rng::MatrixRng;
+
+    #[test]
+    fn none_and_all() {
+        assert_eq!(Mask::none(2, 3).count_kept(), 0);
+        assert_eq!(Mask::all(2, 3).count_kept(), 6);
+        assert_eq!(Mask::none(2, 3).sparsity(), 1.0);
+        assert_eq!(Mask::all(2, 3).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn top_k_keeps_largest() {
+        let s = Matrix::from_rows(&[vec![1.0, 9.0, 3.0], vec![7.0, 2.0, 8.0]]).unwrap();
+        let m = Mask::top_k(&s, 3);
+        assert!(m.get(0, 1) && m.get(1, 0) && m.get(1, 2));
+        assert_eq!(m.count_kept(), 3);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let s = Matrix::filled(2, 2, 1.0);
+        let m = Mask::top_k(&s, 2);
+        assert!(m.get(0, 0) && m.get(0, 1));
+        assert!(!m.get(1, 0) && !m.get(1, 1));
+    }
+
+    #[test]
+    fn top_k_clamps_to_len() {
+        let m = Mask::top_k(&Matrix::zeros(2, 2), 100);
+        assert_eq!(m.count_kept(), 4);
+    }
+
+    #[test]
+    fn apply_zeroes_pruned() {
+        let w = Matrix::filled(2, 2, 3.0);
+        let mut mask = Mask::all(2, 2);
+        mask.set(0, 1, false);
+        let out = mask.apply(&w);
+        assert_eq!(out[(0, 1)], 0.0);
+        assert_eq!(out[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn hamming_counts_disagreements() {
+        let a = Mask::all(2, 2);
+        let mut b = Mask::all(2, 2);
+        b.set(0, 0, false);
+        b.set(1, 1, false);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn transpose_preserves_counts() {
+        let s = MatrixRng::seed_from(1).uniform(5, 7, 0.0, 1.0);
+        let m = Mask::top_k(&s, 13);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (7, 5));
+        assert_eq!(t.count_kept(), 13);
+        assert!(m.get(2, 4) == t.get(4, 2));
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let s = MatrixRng::seed_from(2).uniform(8, 8, 0.0, 1.0);
+        let m = Mask::top_k(&s, 20);
+        let mut rebuilt = Mask::none(8, 8);
+        for r0 in (0..8).step_by(4) {
+            for c0 in (0..8).step_by(4) {
+                rebuilt.set_block(r0, c0, &m.block(r0, c0, 4, 4));
+            }
+        }
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn block_out_of_bounds_is_pruned() {
+        let m = Mask::all(3, 3);
+        let b = m.block(2, 2, 2, 2);
+        assert!(b.get(0, 0));
+        assert!(!b.get(1, 1));
+    }
+
+    #[test]
+    fn row_col_counts() {
+        let m = Mask::from_fn(3, 3, |r, c| r == c);
+        assert_eq!(m.row_kept(1), 1);
+        assert_eq!(m.col_kept(2), 1);
+    }
+
+    #[test]
+    fn iter_kept_row_major() {
+        let m = Mask::from_fn(2, 2, |r, c| r != c);
+        let v: Vec<_> = m.iter_kept().collect();
+        assert_eq!(v, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn nonzeros_matches_matrix() {
+        let w = Matrix::from_rows(&[vec![0.0, 1.0], vec![-2.0, 0.0]]).unwrap();
+        let m = Mask::nonzeros(&w);
+        assert!(!m.get(0, 0) && m.get(0, 1) && m.get(1, 0) && !m.get(1, 1));
+    }
+
+    #[test]
+    fn debug_shows_grid() {
+        let m = Mask::all(1, 3);
+        assert!(format!("{m:?}").contains("###"));
+    }
+
+    proptest! {
+        #[test]
+        fn top_k_exact_count(k in 0usize..64, seed in 0u64..100) {
+            let s = MatrixRng::seed_from(seed).uniform(8, 8, 0.0, 1.0);
+            prop_assert_eq!(Mask::top_k(&s, k).count_kept(), k.min(64));
+        }
+
+        #[test]
+        fn apply_then_nonzeros_subset(seed in 0u64..100) {
+            let mut rng = MatrixRng::seed_from(seed);
+            let w = rng.uniform(6, 6, 0.5, 1.0); // strictly non-zero weights
+            let m = Mask::top_k(&w, 18);
+            let kept = Mask::nonzeros(&m.apply(&w));
+            prop_assert_eq!(kept, m);
+        }
+
+        #[test]
+        fn transpose_involution(seed in 0u64..100) {
+            let s = MatrixRng::seed_from(seed).uniform(5, 9, 0.0, 1.0);
+            let m = Mask::top_k(&s, 11);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+    }
+}

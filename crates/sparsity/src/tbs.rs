@@ -1,0 +1,695 @@
+//! The Transposable Block-wise N:M (TBS) sparsity pattern — Algorithm 1.
+//!
+//! TBS (paper §III-A) splits a weight matrix into `M × M` blocks. Each
+//! block independently chooses
+//!
+//! 1. a density level `N ∈ N_candidate` (a divisor chain of `M`, the paper
+//!    uses `{0, 1, 2, 4, 8}` for `M = 8`), and
+//! 2. a *sparsity dimension*: whether the N:M constraint runs along the
+//!    **reduction** dimension (row-wise within the block) or the
+//!    **independent** dimension (column-wise within the block).
+//!
+//! The sparsification procedure (Algorithm 1) finds the TBS pattern closest
+//! to the unstructured pattern:
+//!
+//! * **Step 1** — unstructured pruning at the target sparsity,
+//! * **Step 2** — per block, pick the `N` whose density `N/M` is closest to
+//!   the block's unstructured density,
+//! * **Step 3** — build the N:M mask in both dimensions (keeping top-`N`
+//!   absolute values per row / per column) and keep whichever is closer in
+//!   `L1` (Hamming) distance to the unstructured mask.
+//!
+//! A final global adjustment nudges the per-block `N` choices so that the
+//! overall sparsity meets the predetermined target, as required by step 2
+//! of the paper's algorithm.
+
+use tbstc_matrix::tile::{blocks_along, BlockCoord};
+use tbstc_matrix::Matrix;
+
+use crate::mask::Mask;
+
+/// The sparsity dimension a block's N:M constraint runs along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparsityDim {
+    /// N:M within each row of the block (reduction dimension). This is the
+    /// computation-friendly orientation that needs no format conversion.
+    Reduction,
+    /// N:M within each column of the block (independent dimension); the
+    /// codec converts it to computation format on the fly.
+    Independent,
+}
+
+impl SparsityDim {
+    /// The other dimension.
+    pub fn flip(self) -> Self {
+        match self {
+            SparsityDim::Reduction => SparsityDim::Independent,
+            SparsityDim::Independent => SparsityDim::Reduction,
+        }
+    }
+}
+
+/// Configuration of the TBS pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsConfig {
+    /// Block size `M` (the paper uses 8).
+    pub m: usize,
+    /// Candidate non-zero counts per `M` (the paper uses `{0, 1, 2, 4, 8}`).
+    pub n_candidates: Vec<usize>,
+}
+
+impl TbsConfig {
+    /// The paper's configuration: `M = 8`, `N ∈ {0, 1, 2, 4, 8}`.
+    pub fn paper_default() -> Self {
+        TbsConfig {
+            m: 8,
+            n_candidates: vec![0, 1, 2, 4, 8],
+        }
+    }
+
+    /// A configuration with block size `m` and the power-of-two candidate
+    /// ladder `{0, 1, 2, …, m}` (plus `m` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two or is zero.
+    pub fn with_block_size(m: usize) -> Self {
+        assert!(m > 0 && m.is_power_of_two(), "block size must be a power of two");
+        let mut n_candidates = vec![0];
+        let mut n = 1;
+        while n <= m {
+            n_candidates.push(n);
+            n *= 2;
+        }
+        TbsConfig { m, n_candidates }
+    }
+
+    /// Validates invariants: `m > 0`, candidates sorted, unique, `≤ m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert!(self.m > 0, "block size must be positive");
+        assert!(!self.n_candidates.is_empty(), "need at least one N candidate");
+        assert!(
+            self.n_candidates.windows(2).all(|w| w[0] < w[1]),
+            "N candidates must be strictly increasing"
+        );
+        assert!(
+            *self.n_candidates.last().unwrap() <= self.m,
+            "N candidates cannot exceed M"
+        );
+    }
+}
+
+/// Per-block metadata of a TBS pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Grid position of the block.
+    pub coord: BlockCoord,
+    /// Chosen `N` (non-zeros per `M` along the sparsity dimension).
+    pub n: usize,
+    /// Chosen sparsity dimension.
+    pub dim: SparsityDim,
+}
+
+impl BlockInfo {
+    /// The block's density `N/M` for block size `m`.
+    pub fn density(&self, m: usize) -> f64 {
+        self.n as f64 / m as f64
+    }
+}
+
+/// A complete TBS pattern: the mask plus per-block metadata.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_matrix::rng::MatrixRng;
+/// use tbstc_sparsity::{TbsConfig, TbsPattern};
+///
+/// let w = MatrixRng::seed_from(1).weights(32, 32);
+/// let p = TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default());
+/// // Every block satisfies N:M along its chosen dimension.
+/// p.assert_valid();
+/// assert!((p.mask().sparsity() - 0.75).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbsPattern {
+    mask: Mask,
+    blocks: Vec<BlockInfo>,
+    config: TbsConfig,
+}
+
+impl TbsPattern {
+    /// Runs Algorithm 1 on importance scores `scores` (higher = more
+    /// important) at target sparsity `target` ∈ `[0, 1]`.
+    ///
+    /// For magnitude pruning pass `w.map(f32::abs)` (or the raw weights —
+    /// only `|scores|` ordering matters); for Wanda/SparseGPT pass those
+    /// criteria's score matrices (see [`crate::criteria`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is outside `[0, 1]` or `config` is invalid.
+    pub fn sparsify(scores: &Matrix, target: f64, config: &TbsConfig) -> Self {
+        assert!((0.0..=1.0).contains(&target), "target sparsity in [0, 1]");
+        config.validate();
+        let m = config.m;
+        let abs_scores = scores.map(f32::abs);
+
+        // Step 1: unstructured pruning at the target sparsity.
+        let total = scores.len();
+        let keep_total = ((1.0 - target) * total as f64).round() as usize;
+        let unstructured = Mask::top_k(&abs_scores, keep_total);
+
+        // Step 2: choose N per block to match the block's unstructured
+        // density, then globally adjust so overall sparsity hits the target.
+        let grid_rows = blocks_along(scores.rows(), m);
+        let grid_cols = blocks_along(scores.cols(), m);
+        let mut chosen: Vec<(BlockCoord, usize)> = Vec::with_capacity(grid_rows * grid_cols);
+        for br in 0..grid_rows {
+            for bc in 0..grid_cols {
+                let coord = BlockCoord {
+                    block_row: br,
+                    block_col: bc,
+                };
+                let (r0, c0) = coord.origin(m);
+                let block_mask = unstructured.block(r0, c0, m, m);
+                let density = 1.0 - block_mask.sparsity();
+                let n = nearest_candidate(&config.n_candidates, density, m);
+                chosen.push((coord, n));
+            }
+        }
+        adjust_to_target(&mut chosen, &abs_scores, config, keep_total);
+
+        // Step 3: per block, build both directional masks and keep the one
+        // closer (L1/Hamming) to the unstructured mask.
+        let mut mask = Mask::none(scores.rows(), scores.cols());
+        let mut blocks = Vec::with_capacity(chosen.len());
+        for (coord, n) in chosen {
+            let (r0, c0) = coord.origin(m);
+            let block_scores = abs_scores.block(r0, c0, m, m);
+            let block_un = unstructured.block(r0, c0, m, m);
+
+            let row_mask = nm_block_mask(&block_scores, n, SparsityDim::Reduction);
+            let col_mask = nm_block_mask(&block_scores, n, SparsityDim::Independent);
+            let (dim, best) = if row_mask.hamming(&block_un) <= col_mask.hamming(&block_un) {
+                (SparsityDim::Reduction, row_mask)
+            } else {
+                (SparsityDim::Independent, col_mask)
+            };
+            mask.set_block(r0, c0, &best);
+            blocks.push(BlockInfo { coord, n, dim });
+        }
+        // Edge blocks may have padded positions; clear anything outside.
+        let mask = Mask::from_fn(scores.rows(), scores.cols(), |r, c| mask.get(r, c));
+
+        TbsPattern {
+            mask,
+            blocks,
+            config: config.clone(),
+        }
+    }
+
+    /// The combined keep/prune mask.
+    pub fn mask(&self) -> &Mask {
+        &self.mask
+    }
+
+    /// Per-block metadata in row-major block order.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// The configuration the pattern was built with.
+    pub fn config(&self) -> &TbsConfig {
+        &self.config
+    }
+
+    /// Block-grid shape `(block_rows, block_cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        let m = self.config.m;
+        (
+            blocks_along(self.mask.rows(), m),
+            blocks_along(self.mask.cols(), m),
+        )
+    }
+
+    /// The transposed pattern — the paper's titular property.
+    ///
+    /// DL training multiplies by `W` in the forward pass and by `Wᵀ` in
+    /// the backward pass (§I challenge 1). A TBS pattern stays TBS under
+    /// transposition: each `M × M` block transposes in place with its
+    /// sparsity dimension flipped (a row-wise N:M block becomes a
+    /// column-wise one and vice versa), so the *same* hardware
+    /// accelerates both passes. One-dimensional patterns (TS/RS) lose
+    /// their structure when transposed — this closure property is what
+    /// earns TBS its name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tbstc_matrix::rng::MatrixRng;
+    /// use tbstc_sparsity::{TbsConfig, TbsPattern};
+    ///
+    /// let w = MatrixRng::seed_from(3).block_structured_weights(32, 32, 8);
+    /// let p = TbsPattern::sparsify(&w, 0.5, &TbsConfig::paper_default());
+    /// let t = p.transpose();
+    /// t.assert_valid(); // still a structurally valid TBS pattern
+    /// assert_eq!(t.transpose(), p); // involution
+    /// ```
+    pub fn transpose(&self) -> TbsPattern {
+        let mut blocks: Vec<BlockInfo> = self
+            .blocks
+            .iter()
+            .map(|b| BlockInfo {
+                coord: BlockCoord {
+                    block_row: b.coord.block_col,
+                    block_col: b.coord.block_row,
+                },
+                n: b.n,
+                dim: b.dim.flip(),
+            })
+            .collect();
+        // Keep row-major block order in the transposed grid.
+        blocks.sort_by_key(|b| (b.coord.block_row, b.coord.block_col));
+        TbsPattern {
+            mask: self.mask.transpose(),
+            blocks,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Checks the structural invariant: every block keeps at most `N`
+    /// elements per lane of its sparsity dimension, and `N` is a configured
+    /// candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated block.
+    pub fn assert_valid(&self) {
+        let m = self.config.m;
+        for info in &self.blocks {
+            assert!(
+                self.config.n_candidates.contains(&info.n),
+                "block {:?} uses non-candidate N {}",
+                info.coord,
+                info.n
+            );
+            let (r0, c0) = info.coord.origin(m);
+            let block = self.mask.block(r0, c0, m, m);
+            for lane in 0..m {
+                let kept = match info.dim {
+                    SparsityDim::Reduction => block.row_kept(lane),
+                    SparsityDim::Independent => block.col_kept(lane),
+                };
+                assert!(
+                    kept <= info.n,
+                    "block {:?} lane {} keeps {} > N={} ({:?})",
+                    info.coord,
+                    lane,
+                    kept,
+                    info.n,
+                    info.dim
+                );
+            }
+        }
+    }
+}
+
+/// Keeps the top-`n` scores per lane of `dim` within an `m × m` block.
+///
+/// Lane = row for [`SparsityDim::Reduction`], column for
+/// [`SparsityDim::Independent`].
+pub fn nm_block_mask(block_scores: &Matrix, n: usize, dim: SparsityDim) -> Mask {
+    let m = block_scores.rows();
+    debug_assert_eq!(block_scores.cols(), m, "blocks are square");
+    let mut mask = Mask::none(m, m);
+    for lane in 0..m {
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.sort_by(|&a, &b| {
+            let (sa, sb) = match dim {
+                SparsityDim::Reduction => (block_scores[(lane, a)], block_scores[(lane, b)]),
+                SparsityDim::Independent => (block_scores[(a, lane)], block_scores[(b, lane)]),
+            };
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in idx.iter().take(n) {
+            match dim {
+                SparsityDim::Reduction => mask.set(lane, i, true),
+                SparsityDim::Independent => mask.set(i, lane, true),
+            }
+        }
+    }
+    mask
+}
+
+/// Picks the candidate `N` whose density `N/M` is nearest `density`
+/// (Algorithm 1 line 6, reading `s_p` as the block *density* — the printed
+/// formula `|N_i/M − s_p|` with `s_p` the sparsity degree is a typo: `N/M`
+/// is a density, so it must be compared with the density `1 − s_p`).
+fn nearest_candidate(candidates: &[usize], density: f64, m: usize) -> usize {
+    *candidates
+        .iter()
+        .min_by(|&&a, &&b| {
+            let da = (a as f64 / m as f64 - density).abs();
+            let db = (b as f64 / m as f64 - density).abs();
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a)) // prefer the denser candidate on ties
+        })
+        .expect("candidates validated non-empty")
+}
+
+/// Globally adjusts per-block `N` choices so that the total kept count is
+/// as close as possible to `keep_total` (paper: "ensuring the overall
+/// sparsity meets the predetermined target").
+///
+/// Greedy: repeatedly move the block whose change sacrifices the least
+/// importance mass per kept-slot step.
+fn adjust_to_target(
+    chosen: &mut [(BlockCoord, usize)],
+    abs_scores: &Matrix,
+    config: &TbsConfig,
+    keep_total: usize,
+) {
+    let m = config.m;
+    let kept_of = |n: usize| n * m; // each block keeps N per lane × M lanes
+    let mut total_kept: i64 = chosen.iter().map(|&(_, n)| kept_of(n) as i64).sum();
+    let target = keep_total as i64;
+
+    // Score a block's marginal value at candidate step: mean lane score mass
+    // between its current and next N (cheap proxy for importance lost/gained).
+    let block_mass = |coord: BlockCoord| -> f64 {
+        let (r0, c0) = coord.origin(m);
+        abs_scores.block(r0, c0, m, m).l1_norm()
+    };
+
+    let step = |n: usize, up: bool| -> Option<usize> {
+        let pos = config.n_candidates.iter().position(|&c| c == n)?;
+        if up {
+            config.n_candidates.get(pos + 1).copied()
+        } else {
+            pos.checked_sub(1).map(|p| config.n_candidates[p])
+        }
+    };
+
+    // Move towards the target one candidate step at a time, choosing the
+    // block with the most (when increasing) or least (when decreasing)
+    // importance mass. Stop when no step improves the distance to target.
+    loop {
+        let deficit = target - total_kept;
+        if deficit == 0 {
+            break;
+        }
+        let up = deficit > 0;
+        let mut best: Option<(usize, usize, i64, f64)> = None; // (idx, new_n, delta, mass)
+        for (i, &(coord, n)) in chosen.iter().enumerate() {
+            let Some(new_n) = step(n, up) else { continue };
+            let delta = kept_of(new_n) as i64 - kept_of(n) as i64;
+            // Only steps that reduce |deficit| are useful.
+            if (total_kept + delta - target).abs() >= deficit.abs() {
+                continue;
+            }
+            let mass = block_mass(coord);
+            let better = match &best {
+                None => true,
+                Some((_, _, _, best_mass)) => {
+                    if up {
+                        mass > *best_mass // densify the most important block
+                    } else {
+                        mass < *best_mass // sparsify the least important block
+                    }
+                }
+            };
+            if better {
+                best = Some((i, new_n, delta, mass));
+            }
+        }
+        let Some((i, new_n, delta, _)) = best else { break };
+        chosen[i].1 = new_n;
+        total_kept += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tbstc_matrix::rng::MatrixRng;
+    use crate::pattern::Pattern;
+
+    fn cfg() -> TbsConfig {
+        TbsConfig::paper_default()
+    }
+
+    #[test]
+    fn paper_default_matches_paper() {
+        let c = cfg();
+        assert_eq!(c.m, 8);
+        assert_eq!(c.n_candidates, vec![0, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn with_block_size_ladder() {
+        let c = TbsConfig::with_block_size(16);
+        assert_eq!(c.n_candidates, vec![0, 1, 2, 4, 8, 16]);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_block_size_rejects_non_pow2() {
+        let _ = TbsConfig::with_block_size(6);
+    }
+
+    #[test]
+    fn nearest_candidate_matches_density() {
+        let cands = vec![0, 1, 2, 4, 8];
+        assert_eq!(nearest_candidate(&cands, 0.0, 8), 0);
+        assert_eq!(nearest_candidate(&cands, 0.13, 8), 1);
+        assert_eq!(nearest_candidate(&cands, 0.5, 8), 4);
+        assert_eq!(nearest_candidate(&cands, 1.0, 8), 8);
+    }
+
+    #[test]
+    fn nm_block_mask_row_dim() {
+        let s = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let m = nm_block_mask(&s, 2, SparsityDim::Reduction);
+        for r in 0..4 {
+            assert_eq!(m.row_kept(r), 2);
+            // Highest scores are in the last columns.
+            assert!(m.get(r, 2) && m.get(r, 3));
+        }
+    }
+
+    #[test]
+    fn nm_block_mask_col_dim() {
+        let s = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let m = nm_block_mask(&s, 2, SparsityDim::Independent);
+        for c in 0..4 {
+            assert_eq!(m.col_kept(c), 2);
+            assert!(m.get(2, c) && m.get(3, c));
+        }
+    }
+
+    #[test]
+    fn sparsify_hits_target_sparsity() {
+        let w = MatrixRng::seed_from(10).weights(64, 64);
+        for &target in &[0.25, 0.5, 0.75, 0.875] {
+            let p = TbsPattern::sparsify(&w, target, &cfg());
+            p.assert_valid();
+            assert!(
+                (p.mask().sparsity() - target).abs() < 0.03,
+                "target {target} got {}",
+                p.mask().sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn sparsify_zero_target_keeps_all() {
+        let w = MatrixRng::seed_from(11).weights(16, 16);
+        let p = TbsPattern::sparsify(&w, 0.0, &cfg());
+        assert_eq!(p.mask().count_kept(), 256);
+    }
+
+    #[test]
+    fn sparsify_full_target_prunes_all() {
+        let w = MatrixRng::seed_from(12).weights(16, 16);
+        let p = TbsPattern::sparsify(&w, 1.0, &cfg());
+        assert_eq!(p.mask().count_kept(), 0);
+    }
+
+    #[test]
+    fn blocks_choose_both_dimensions() {
+        // A large random matrix should produce a mixture of directions
+        // (paper Fig. 17: neither dimension dominates completely).
+        let w = MatrixRng::seed_from(13).weights(128, 128);
+        let p = TbsPattern::sparsify(&w, 0.6, &cfg());
+        let row = p
+            .blocks()
+            .iter()
+            .filter(|b| b.dim == SparsityDim::Reduction)
+            .count();
+        let col = p.blocks().len() - row;
+        assert!(row > 0 && col > 0, "row {row} col {col}");
+    }
+
+    #[test]
+    fn tbs_closer_to_unstructured_than_tile_pattern() {
+        // The motivating claim: TBS mask is closer to the US mask than a
+        // fixed-direction tile pattern at the same sparsity.
+        let w = MatrixRng::seed_from(14).weights(64, 64);
+        let target = 0.5;
+        let abs = w.map(f32::abs);
+        let us = Mask::top_k(&abs, (64 * 64) / 2);
+        let p = TbsPattern::sparsify(&w, target, &cfg());
+        let tile = crate::pattern::TileNm::new(4, 8).project(&abs, target);
+        assert!(p.mask().hamming(&us) <= tile.hamming(&us));
+    }
+
+    #[test]
+    fn non_multiple_shapes_are_padded() {
+        let w = MatrixRng::seed_from(15).weights(20, 28); // not multiples of 8
+        let p = TbsPattern::sparsify(&w, 0.5, &cfg());
+        p.assert_valid();
+        assert_eq!(p.mask().shape(), (20, 28));
+        assert_eq!(p.grid(), (3, 4));
+    }
+
+    #[test]
+    fn block_info_density() {
+        let b = BlockInfo {
+            coord: BlockCoord {
+                block_row: 0,
+                block_col: 0,
+            },
+            n: 4,
+            dim: SparsityDim::Reduction,
+        };
+        assert_eq!(b.density(8), 0.5);
+    }
+
+    #[test]
+    fn sparsity_dim_flip() {
+        assert_eq!(SparsityDim::Reduction.flip(), SparsityDim::Independent);
+        assert_eq!(SparsityDim::Independent.flip(), SparsityDim::Reduction);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn valid_for_any_target(seed in 0u64..50, target_pct in 0u32..=100) {
+            let target = f64::from(target_pct) / 100.0;
+            let w = MatrixRng::seed_from(seed).weights(32, 32);
+            let p = TbsPattern::sparsify(&w, target, &cfg());
+            p.assert_valid();
+            // Never keeps more than the dense count, never negative.
+            prop_assert!(p.mask().count_kept() <= 32 * 32);
+        }
+
+        #[test]
+        fn mask_kept_positions_score_above_block_median(seed in 0u64..20) {
+            // Kept elements should generally be the important ones: the
+            // total kept mass must exceed the mass of a random mask of the
+            // same size.
+            let w = MatrixRng::seed_from(seed).weights(32, 32);
+            let p = TbsPattern::sparsify(&w, 0.5, &cfg());
+            let kept_mass: f64 = p
+                .mask()
+                .iter_kept()
+                .map(|(r, c)| f64::from(w[(r, c)].abs()))
+                .sum();
+            let total = w.l1_norm();
+            let frac = kept_mass / total;
+            // Random 50% mask keeps ~50% of mass; top-k style keeps much more.
+            prop_assert!(frac > 0.6, "kept fraction {frac}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod transpose_tests {
+    use super::*;
+    use crate::pattern::{paper_pattern, Pattern};
+    use proptest::prelude::*;
+    use tbstc_matrix::rng::MatrixRng;
+
+    #[test]
+    fn transpose_is_valid_and_involutive() {
+        let w = MatrixRng::seed_from(41).block_structured_weights(48, 64, 8);
+        let p = TbsPattern::sparsify(&w, 0.6, &TbsConfig::paper_default());
+        let t = p.transpose();
+        t.assert_valid();
+        assert_eq!(t.mask().shape(), (64, 48));
+        assert_eq!(t.transpose(), p);
+    }
+
+    #[test]
+    fn transpose_flips_every_block_dim() {
+        let w = MatrixRng::seed_from(42).block_structured_weights(32, 32, 8);
+        let p = TbsPattern::sparsify(&w, 0.5, &TbsConfig::paper_default());
+        let t = p.transpose();
+        for b in p.blocks() {
+            let tb = t
+                .blocks()
+                .iter()
+                .find(|x| {
+                    x.coord.block_row == b.coord.block_col
+                        && x.coord.block_col == b.coord.block_row
+                })
+                .expect("transposed block exists");
+            assert_eq!(tb.n, b.n);
+            assert_eq!(tb.dim, b.dim.flip());
+        }
+    }
+
+    #[test]
+    fn transposed_mask_matches_mask_transpose() {
+        let w = MatrixRng::seed_from(43).block_structured_weights(40, 24, 8);
+        let p = TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default());
+        assert_eq!(*p.transpose().mask(), p.mask().transpose());
+    }
+
+    #[test]
+    fn one_dimensional_patterns_do_not_survive_transposition() {
+        // The motivating contrast: a TS (4:8 row-tile) mask transposed is
+        // generally NOT a valid 4:8 row-tile mask, while TBS is closed
+        // under transposition by construction.
+        let w = MatrixRng::seed_from(44).block_structured_weights(64, 64, 8);
+        let ts_mask = paper_pattern(crate::PatternKind::TileNm).project(&w, 0.5);
+        let t = ts_mask.transpose();
+        let mut violated = false;
+        'outer: for r in 0..t.rows() {
+            for tile0 in (0..t.cols()).step_by(8) {
+                let kept = (tile0..(tile0 + 8).min(t.cols()))
+                    .filter(|&c| t.get(r, c))
+                    .count();
+                if kept > 4 {
+                    violated = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(violated, "transposed TS mask should violate 4:8 tiles");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn transpose_closure_any_shape(seed in 0u64..100, t_pct in 0u32..=100) {
+            let w = MatrixRng::seed_from(seed).block_structured_weights(24, 40, 8);
+            let p = TbsPattern::sparsify(&w, f64::from(t_pct) / 100.0, &TbsConfig::paper_default());
+            let t = p.transpose();
+            t.assert_valid();
+            prop_assert_eq!(t.mask().count_kept(), p.mask().count_kept());
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Synthetic classification datasets with train/test splits.
+//!
+//! Two families, standing in for the paper's vision (CIFAR/ImageNet) and
+//! NLP (GLUE) workloads:
+//!
+//! * [`Dataset::gaussian_mixture`] — each class is an anisotropic Gaussian
+//!   cluster around a random prototype; feature importances vary, so
+//!   trained first-layer weights develop the row/column heterogeneity
+//!   that makes pruning-pattern quality measurable.
+//! * [`Dataset::token_bag`] — each class has a sparse signature over a
+//!   vocabulary; samples are noisy bags of signature tokens (a crude
+//!   sentence-classification proxy).
+
+use tbstc_matrix::rng::MatrixRng;
+use tbstc_matrix::Matrix;
+
+/// A supervised classification dataset (row-major samples).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training inputs, `train_n × features`.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Held-out test inputs.
+    pub test_x: Matrix,
+    /// Held-out test labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Feature dimensionality.
+    pub fn features(&self) -> usize {
+        self.train_x.cols()
+    }
+
+    /// Training-set size.
+    pub fn train_len(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// Test-set size.
+    pub fn test_len(&self) -> usize {
+        self.test_y.len()
+    }
+
+    /// A Gaussian-mixture classification task.
+    ///
+    /// `difficulty` ∈ (0, 1]: larger values move clusters closer together
+    /// (lower attainable accuracy), giving pruning quality room to show.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes < 2` or sizes are zero.
+    pub fn gaussian_mixture(
+        features: usize,
+        classes: usize,
+        train_n: usize,
+        test_n: usize,
+        difficulty: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(train_n > 0 && test_n > 0, "need samples");
+        let mut rng = MatrixRng::seed_from(seed);
+        // Class prototypes with per-feature importance: only a subset of
+        // features is strongly informative.
+        let prototypes = rng.gaussian(classes, features, 0.0, 1.0);
+        let importance: Vec<f32> = (0..features)
+            .map(|_| if rng.unit() < 0.4 { 1.0 } else { 0.15 })
+            .collect();
+        let noise = (difficulty as f32).clamp(0.05, 1.0) * 1.2;
+
+        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+            let mut x = Matrix::zeros(n, features);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let c = rng.index(classes);
+                y.push(c);
+                for f in 0..features {
+                    let mean = prototypes[(c, f)] * importance[f];
+                    x[(i, f)] = mean + noise * rng.standard_normal();
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = sample(train_n, &mut rng);
+        let (test_x, test_y) = sample(test_n, &mut rng);
+        Dataset {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+        }
+    }
+
+    /// A token-bag classification task: class signatures over a vocabulary
+    /// of `features` tokens; samples mix signature tokens with noise
+    /// tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes < 2` or sizes are zero.
+    pub fn token_bag(
+        features: usize,
+        classes: usize,
+        train_n: usize,
+        test_n: usize,
+        difficulty: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(train_n > 0 && test_n > 0, "need samples");
+        let mut rng = MatrixRng::seed_from(seed);
+        let signature_len = (features / 8).max(2);
+        // Each class owns a sparse token signature.
+        let signatures: Vec<Vec<usize>> = (0..classes)
+            .map(|_| {
+                let mut idx: Vec<usize> = (0..features).collect();
+                rng.shuffle(&mut idx);
+                idx.truncate(signature_len);
+                idx
+            })
+            .collect();
+        let noise_tokens = ((signature_len as f64) * difficulty * 2.0).ceil() as usize;
+
+        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+            let mut x = Matrix::zeros(n, features);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let c = rng.index(classes);
+                y.push(c);
+                for &t in &signatures[c] {
+                    if rng.unit() < 0.8 {
+                        x[(i, t)] += 1.0;
+                    }
+                }
+                for _ in 0..noise_tokens {
+                    let t = rng.index(features);
+                    x[(i, t)] += 1.0;
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = sample(train_n, &mut rng);
+        let (test_x, test_y) = sample(test_n, &mut rng);
+        Dataset {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+        }
+    }
+
+    /// A capacity-bound teacher–student task: labels come from a frozen
+    /// random *teacher network* whose weights have the block-local
+    /// row/column structure of trained models (see
+    /// `MatrixRng::block_structured_weights` and paper Fig. 17). Matching
+    /// the teacher requires most of the student's capacity, so pruning
+    /// genuinely costs accuracy and the *pattern quality* of the mask is
+    /// what decides how much — the mechanism behind Tables I and II.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes < 2` or sizes are zero.
+    pub fn teacher_student(
+        features: usize,
+        classes: usize,
+        hidden: usize,
+        train_n: usize,
+        test_n: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(train_n > 0 && test_n > 0, "need samples");
+        let mut rng = MatrixRng::seed_from(seed);
+        // Frozen teacher: features -> hidden (ReLU) -> classes, with
+        // block-structured weights.
+        let w1 = rng.block_structured_weights(hidden, features, 8);
+        let w2 = rng.block_structured_weights(classes, hidden, 8);
+
+        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+            let x = rng.gaussian(n, features, 0.0, 1.0);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                // h = relu(W1 x); logits = W2 h.
+                let mut best = (f32::NEG_INFINITY, 0usize);
+                let mut h = vec![0.0f32; hidden];
+                for (j, hj) in h.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for f in 0..features {
+                        acc += w1[(j, f)] * x[(i, f)];
+                    }
+                    *hj = acc.max(0.0);
+                }
+                for c in 0..classes {
+                    let mut acc = 0.0;
+                    for (j, &hj) in h.iter().enumerate() {
+                        acc += w2[(c, j)] * hj;
+                    }
+                    if acc > best.0 {
+                        best = (acc, c);
+                    }
+                }
+                y.push(best.1);
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = sample(train_n, &mut rng);
+        let (test_x, test_y) = sample(test_n, &mut rng);
+        Dataset {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+        }
+    }
+
+    /// Iterates over mini-batches of the training set in a fixed order.
+    pub fn batches(&self, batch: usize) -> impl Iterator<Item = (Matrix, Vec<usize>)> + '_ {
+        let n = self.train_len();
+        (0..n).step_by(batch.max(1)).map(move |start| {
+            let end = (start + batch.max(1)).min(n);
+            let x = self.train_x.block(start, 0, end - start, self.features());
+            let y = self.train_y[start..end].to_vec();
+            (x, y)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_mixture_shapes() {
+        let d = Dataset::gaussian_mixture(16, 4, 100, 50, 0.3, 1);
+        assert_eq!(d.train_x.shape(), (100, 16));
+        assert_eq!(d.test_len(), 50);
+        assert!(d.train_y.iter().all(|&y| y < 4));
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = Dataset::gaussian_mixture(8, 2, 20, 10, 0.5, 7);
+        let b = Dataset::gaussian_mixture(8, 2, 20, 10, 0.5, 7);
+        assert_eq!(a.train_x, b.train_x);
+        assert_eq!(a.test_y, b.test_y);
+    }
+
+    #[test]
+    fn token_bag_is_nonnegative_counts() {
+        let d = Dataset::token_bag(32, 4, 50, 20, 0.5, 2);
+        assert!(d.train_x.as_slice().iter().all(|&x| x >= 0.0));
+        assert!(d.train_x.as_slice().iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let d = Dataset::gaussian_mixture(8, 2, 25, 5, 0.3, 3);
+        let total: usize = d.batches(10).map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 25);
+        let sizes: Vec<usize> = d.batches(10).map(|(x, _)| x.rows()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn classes_are_separable_at_low_difficulty() {
+        // A nearest-prototype classifier should do well when noise is low,
+        // confirming the labels carry signal.
+        let d = Dataset::gaussian_mixture(16, 3, 60, 60, 0.1, 4);
+        // Estimate prototypes from training data.
+        let mut protos = Matrix::zeros(3, 16);
+        let mut counts = [0usize; 3];
+        for i in 0..d.train_len() {
+            let c = d.train_y[i];
+            counts[c] += 1;
+            for f in 0..16 {
+                protos[(c, f)] += d.train_x[(i, f)];
+            }
+        }
+        for c in 0..3 {
+            for f in 0..16 {
+                protos[(c, f)] /= counts[c].max(1) as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.test_len() {
+            let mut best = (f32::MAX, 0);
+            for c in 0..3 {
+                let dist: f32 = (0..16)
+                    .map(|f| (d.test_x[(i, f)] - protos[(c, f)]).powi(2))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            if best.1 == d.test_y[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.test_len() as f64;
+        assert!(acc > 0.8, "nearest-prototype accuracy {acc}");
+    }
+}

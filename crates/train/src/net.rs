@@ -1,0 +1,401 @@
+//! Multi-layer perceptrons with manual backpropagation.
+//!
+//! The network is a stack of `Linear → ReLU` layers with a final linear
+//! classifier trained by softmax cross-entropy and SGD with momentum.
+//! Masks (when sparse training) are applied to the *effective* weights on
+//! the forward/backward pass while gradients update the dense weights —
+//! the straight-through scheme of the paper's sparse-training flow.
+
+use tbstc_matrix::gemm;
+use tbstc_matrix::rng::MatrixRng;
+use tbstc_matrix::Matrix;
+use tbstc_sparsity::Mask;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Input feature count.
+    pub inputs: usize,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Output class count.
+    pub classes: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum coefficient.
+    pub momentum: f32,
+}
+
+impl MlpConfig {
+    /// A small default network for the synthetic tasks.
+    pub fn small(inputs: usize, classes: usize) -> Self {
+        MlpConfig {
+            inputs,
+            hidden: vec![128, 64],
+            classes,
+            lr: 0.05,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// One linear layer with its optimizer state and optional mask.
+#[derive(Debug, Clone)]
+struct Linear {
+    /// Dense weights, `out × in`.
+    w: Matrix,
+    /// Bias, length `out`.
+    b: Vec<f32>,
+    /// Momentum buffer for `w`.
+    vw: Matrix,
+    /// Momentum buffer for `b`.
+    vb: Vec<f32>,
+    /// Active mask (None = dense).
+    mask: Option<Mask>,
+}
+
+impl Linear {
+    fn new(inputs: usize, outputs: usize, rng: &mut MatrixRng) -> Self {
+        Linear {
+            w: rng.weights(outputs, inputs),
+            b: vec![0.0; outputs],
+            vw: Matrix::zeros(outputs, inputs),
+            vb: vec![0.0; outputs],
+            mask: None,
+        }
+    }
+
+    /// The weights the forward pass actually uses.
+    fn effective_w(&self) -> Matrix {
+        match &self.mask {
+            Some(m) => m.apply(&self.w),
+            None => self.w.clone(),
+        }
+    }
+
+    /// `X (out×in W)ᵀ + b` for a row-major batch `X` (`n × in`).
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = gemm::matmul(x, &self.effective_w().transpose());
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                h[(r, c)] += self.b[c];
+            }
+        }
+        h
+    }
+
+    /// Backward: given `dH` (`n × out`) and the input `x`, returns `dX`
+    /// and applies the SGD-momentum update to the dense weights.
+    fn backward_update(&mut self, x: &Matrix, dh: &Matrix, lr: f32, momentum: f32) -> Matrix {
+        let n = x.rows().max(1) as f32;
+        // dW = dHᵀ X / n ; dB = mean(dH) ; dX = dH W_eff.
+        let dw = gemm::matmul(&dh.transpose(), x).map(|g| g / n);
+        let dx = gemm::matmul(dh, &self.effective_w());
+        for c in 0..self.b.len() {
+            let db: f32 = (0..dh.rows()).map(|r| dh[(r, c)]).sum::<f32>() / n;
+            self.vb[c] = momentum * self.vb[c] - lr * db;
+            self.b[c] += self.vb[c];
+        }
+        for r in 0..self.w.rows() {
+            for c in 0..self.w.cols() {
+                self.vw[(r, c)] = momentum * self.vw[(r, c)] - lr * dw[(r, c)];
+                self.w[(r, c)] += self.vw[(r, c)];
+            }
+        }
+        dx
+    }
+}
+
+/// A multi-layer perceptron classifier.
+///
+/// # Examples
+///
+/// ```
+/// use tbstc_train::{Mlp, MlpConfig};
+/// use tbstc_matrix::Matrix;
+///
+/// let mut net = Mlp::new(&MlpConfig::small(8, 3), 0);
+/// let x = Matrix::zeros(4, 8);
+/// let probs = net.forward(&x);
+/// assert_eq!(probs.shape(), (4, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    lr: f32,
+    momentum: f32,
+}
+
+impl Mlp {
+    /// Creates a randomly initialized network.
+    pub fn new(cfg: &MlpConfig, seed: u64) -> Self {
+        let mut rng = MatrixRng::seed_from(seed);
+        let mut dims = vec![cfg.inputs];
+        dims.extend(&cfg.hidden);
+        dims.push(cfg.classes);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+        }
+    }
+
+    /// Number of weight layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrows layer `i`'s dense weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn weights(&self, i: usize) -> &Matrix {
+        &self.layers[i].w
+    }
+
+    /// Replaces layer `i`'s dense weights (used by one-shot pruners that
+    /// apply weight updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes mismatch or `i` is out of range.
+    pub fn set_weights(&mut self, i: usize, w: Matrix) {
+        assert_eq!(self.layers[i].w.shape(), w.shape(), "weight shape mismatch");
+        self.layers[i].w = w;
+    }
+
+    /// Borrows layer `i`'s active mask, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn mask(&self, i: usize) -> Option<&Mask> {
+        self.layers[i].mask.as_ref()
+    }
+
+    /// Sets (or clears) layer `i`'s mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask shape mismatches or `i` is out of range.
+    pub fn set_mask(&mut self, i: usize, mask: Option<Mask>) {
+        if let Some(m) = &mask {
+            assert_eq!(self.layers[i].w.shape(), m.shape(), "mask shape mismatch");
+        }
+        self.layers[i].mask = mask;
+    }
+
+    /// Forward pass returning class probabilities (`n × classes`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let (probs, _) = self.forward_cached(x);
+        probs
+    }
+
+    /// Forward pass that also returns the per-layer inputs (activations
+    /// before each linear layer) for backprop and for Wanda calibration.
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<Matrix>) {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            acts.push(h.clone());
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h.map_inplace(|v| v.max(0.0)); // ReLU
+            }
+        }
+        (softmax_rows(&h), acts)
+    }
+
+    /// One SGD step on a batch; returns the mean cross-entropy loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len() != x.rows()` or a label is out of range.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), x.rows(), "one label per sample");
+        let (probs, acts) = self.forward_cached(x);
+        let classes = probs.cols();
+        assert!(labels.iter().all(|&y| y < classes), "label out of range");
+
+        let n = x.rows();
+        let mut loss = 0.0f64;
+        // dLogits = probs - onehot.
+        let mut grad = probs.clone();
+        for (i, &y) in labels.iter().enumerate() {
+            loss -= f64::from(probs[(i, y)].max(1e-12).ln());
+            grad[(i, y)] -= 1.0;
+        }
+        loss /= n as f64;
+
+        // Backprop through the stack; ReLU derivative gates hidden grads.
+        for li in (0..self.layers.len()).rev() {
+            let x_in = &acts[li];
+            let (lr, mom) = (self.lr, self.momentum);
+            let mut dx = self.layers[li].backward_update(x_in, &grad, lr, mom);
+            if li > 0 {
+                // Gate by the ReLU that produced acts[li].
+                for r in 0..dx.rows() {
+                    for c in 0..dx.cols() {
+                        if acts[li][(r, c)] <= 0.0 {
+                            dx[(r, c)] = 0.0;
+                        }
+                    }
+                }
+            }
+            grad = dx;
+        }
+        loss
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len() != x.rows()`.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), x.rows(), "one label per sample");
+        if labels.is_empty() {
+            return 1.0;
+        }
+        let probs = self.forward(x);
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &y)| {
+                let row = probs.row(i);
+                let best = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                best == y
+            })
+            .count();
+        correct as f64 / labels.len() as f64
+    }
+}
+
+/// Row-wise softmax with max-subtraction for stability.
+fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum.max(1e-12);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax_rows(&l);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p[(0, 2)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&MlpConfig::small(10, 4), 0);
+        let x = Matrix::zeros(3, 10);
+        assert_eq!(net.forward(&x).shape(), (3, 4));
+        assert_eq!(net.layer_count(), 3);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let d = Dataset::gaussian_mixture(16, 3, 128, 64, 0.3, 5);
+        let mut net = Mlp::new(&MlpConfig::small(16, 3), 1);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..10 {
+            for (x, y) in d.batches(32) {
+                last = net.train_batch(&x, &y);
+                first.get_or_insert(last);
+            }
+        }
+        assert!(last < first.unwrap() * 0.5, "{last} vs {first:?}");
+    }
+
+    #[test]
+    fn trained_net_beats_chance() {
+        let d = Dataset::gaussian_mixture(16, 4, 256, 128, 0.3, 6);
+        let mut net = Mlp::new(&MlpConfig::small(16, 4), 2);
+        for _ in 0..20 {
+            for (x, y) in d.batches(32) {
+                net.train_batch(&x, &y);
+            }
+        }
+        let acc = net.accuracy(&d.test_x, &d.test_y);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mask_zeroes_effective_weights() {
+        let mut net = Mlp::new(&MlpConfig::small(8, 2), 3);
+        let shape = net.weights(0).shape();
+        net.set_mask(0, Some(Mask::none(shape.0, shape.1)));
+        let x = Matrix::filled(2, 8, 1.0);
+        let p = net.forward(&x);
+        // First layer output is all bias -> ReLU -> same for every sample;
+        // probabilities become uniform across samples.
+        assert!((p[(0, 0)] - p[(1, 0)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_training_keeps_mask_effective() {
+        let d = Dataset::gaussian_mixture(16, 2, 64, 32, 0.4, 7);
+        let mut net = Mlp::new(&MlpConfig::small(16, 2), 4);
+        let shape = net.weights(0).shape();
+        let mask = Mask::from_fn(shape.0, shape.1, |r, c| (r + c) % 2 == 0);
+        net.set_mask(0, Some(mask.clone()));
+        for (x, y) in d.batches(16) {
+            net.train_batch(&x, &y);
+        }
+        // The mask still gates the forward pass after updates.
+        let eff = net.layers[0].effective_w();
+        for (r, c) in (0..shape.0).flat_map(|r| (0..shape.1).map(move |c| (r, c))) {
+            if !mask.get(r, c) {
+                assert_eq!(eff[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn label_count_checked() {
+        let mut net = Mlp::new(&MlpConfig::small(4, 2), 5);
+        let x = Matrix::zeros(2, 4);
+        let _ = net.train_batch(&x, &[0]);
+    }
+
+    #[test]
+    fn forward_cached_exposes_activations() {
+        let net = Mlp::new(&MlpConfig::small(8, 2), 6);
+        let x = Matrix::filled(3, 8, 0.5);
+        let (_, acts) = net.forward_cached(&x);
+        assert_eq!(acts.len(), net.layer_count());
+        assert_eq!(acts[0].shape(), (3, 8));
+    }
+}

@@ -1,0 +1,84 @@
+//! Storage-format explorer: sweep sparsity degrees and compare SDC, CSR
+//! and DDC on stored bytes, consumption contiguity and the DRAM
+//! bandwidth utilization each achieves (paper §V / Fig. 7).
+//!
+//! Run with: `cargo run --release --example format_explorer`
+
+use tbstc::dram::{DramConfig, DramModel};
+use tbstc::formats::AccessTrace;
+use tbstc::prelude::*;
+
+/// Effective bandwidth utilization: *information* bytes (values + indices
+/// of the actual non-zeros) over the channel-cycles the format's access
+/// pattern costs — SDC padding and CSR burst waste both count against it.
+fn replay(trace: &AccessTrace, info_bytes: f64) -> f64 {
+    let cfg = DramConfig::paper_default();
+    let mut dram = DramModel::new(cfg);
+    let res = dram.replay(trace.requests().iter().map(|r| (r.addr, r.bytes)));
+    if res.cycles == 0 {
+        return 1.0;
+    }
+    (info_bytes / (res.cycles as f64 * cfg.bytes_per_cycle)).min(1.0)
+}
+
+fn main() {
+    println!("Format comparison on 128x128 TBS-pruned weights (paper Fig. 7 / §V)\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "sparsity", "DDC bytes", "SDC bytes", "CSR bytes", "DDC BW util", "SDC BW util", "CSR BW util"
+    );
+
+    for &sparsity in &[0.3, 0.5, 0.625, 0.75, 0.875, 0.9375] {
+        let w = MatrixRng::seed_from(99).block_structured_weights(128, 128, 8);
+        let pattern = TbsPattern::sparsify(&w, sparsity, &TbsConfig::paper_default());
+        let pruned = pattern.mask().apply(&w);
+
+        let ddc = Ddc::encode(&pruned, &pattern);
+        let sdc = Sdc::encode(&pruned);
+        let csr = Csr::encode(&pruned);
+        assert_eq!(ddc.decode(), pruned);
+        assert_eq!(sdc.decode(), pruned);
+        assert_eq!(csr.decode(), pruned);
+
+        let info = pruned.count_nonzeros() as f64 * 3.0; // fp16 value + index
+        let ddc_util = replay(&ddc.access_trace(), info);
+        let sdc_util = replay(&sdc.access_trace(), info);
+        let csr_util = replay(&csr.block_access_trace(8, 8), info);
+
+        println!(
+            "{:<10.3} {:>10} {:>10} {:>10} {:>11.1}% {:>11.1}% {:>11.1}%",
+            sparsity,
+            ddc.stored_bytes(),
+            sdc.stored_bytes(),
+            csr.stored_bytes(),
+            ddc_util * 100.0,
+            sdc_util * 100.0,
+            csr_util * 100.0
+        );
+    }
+
+    println!("\nCodec conversion on the independent-dimension blocks:");
+    let w = MatrixRng::seed_from(99).block_structured_weights(128, 128, 8);
+    let pattern = TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default());
+    let pruned = pattern.mask().apply(&w);
+    let ddc = Ddc::encode(&pruned, &pattern);
+    let codec = CodecUnit::paper_default();
+    let mut cycles = 0u64;
+    let mut elems = 0usize;
+    let mut converted_blocks = 0usize;
+    for block in ddc.blocks() {
+        let (out, stats) = codec.convert_block(block);
+        if stats.total_cycles() > 0 {
+            converted_blocks += 1;
+            cycles += stats.total_cycles();
+            elems += out.len();
+        }
+    }
+    println!(
+        "  {} blocks converted, {} elements in {} cycles ({:.2} elements/cycle)",
+        converted_blocks,
+        elems,
+        cycles,
+        elems as f64 / cycles.max(1) as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: prune a weight matrix with TBS, store it in DDC, and
+//! simulate one layer on TB-STC versus the dense Tensor Core and NVIDIA
+//! STC.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tbstc::prelude::*;
+use tbstc::sparsity::stats::classify_blocks;
+
+fn main() {
+    // --- 1. Prune a weight matrix with Algorithm 1. -----------------------
+    let mut rng = MatrixRng::seed_from(42);
+    let weights = rng.block_structured_weights(128, 128, 8);
+    let target = 0.75;
+    let pattern = TbsPattern::sparsify(&weights, target, &TbsConfig::paper_default());
+    pattern.assert_valid();
+    let pruned = pattern.mask().apply(&weights);
+    println!("TBS pruning at {:.0}% target sparsity", target * 100.0);
+    println!("  achieved sparsity : {:.2}%", pattern.mask().sparsity() * 100.0);
+    let dist = classify_blocks(&pattern);
+    let (row, col, other) = dist.fractions();
+    println!(
+        "  block directions  : {:.1}% row / {:.1}% column / {:.1}% other",
+        row * 100.0,
+        col * 100.0,
+        other * 100.0
+    );
+
+    // --- 2. Store it in the dual-dimensional compression format. ----------
+    let ddc = Ddc::encode(&pruned, &pattern);
+    let sdc = Sdc::encode(&pruned);
+    let csr = Csr::encode(&pruned);
+    println!("\nStorage formats for the pruned matrix:");
+    println!("  dense would be    : {} bytes", pruned.len() * 2);
+    println!("  DDC (paper)       : {} bytes", ddc.stored_bytes());
+    println!(
+        "  SDC               : {} bytes ({:.0}% padding)",
+        sdc.stored_bytes(),
+        sdc.redundancy() * 100.0
+    );
+    println!("  CSR               : {} bytes (scattered consumption)", csr.stored_bytes());
+    assert_eq!(ddc.decode(), pruned, "DDC round-trips exactly");
+
+    // --- 3. Simulate a BERT-base layer on three architectures. ------------
+    let cfg = HwConfig::paper_default();
+    let shape = &bert_base(128).layers[0];
+    println!("\nSimulating {} ({}x{} weights, {} tokens):", shape.name, shape.m, shape.k, shape.n);
+    let dense = SparseLayer::build_for_arch(shape, Arch::Tc, 0.0, 7, &cfg);
+    let tc = simulate_layer(Arch::Tc, &dense, &cfg);
+    for arch in [Arch::Stc, Arch::TbStc] {
+        let layer = SparseLayer::build_for_arch(shape, arch, target, 7, &cfg);
+        let res = simulate_layer(arch, &layer, &cfg);
+        println!(
+            "  {:<7} {:>9} cycles  speedup {:.2}x  EDP gain {:.2}x  util {:>5.1}%",
+            arch.to_string(),
+            res.cycles,
+            res.speedup_over(&tc),
+            res.edp_gain_over(&tc),
+            res.compute_utilization * 100.0
+        );
+    }
+    println!("  {:<7} {:>9} cycles  (dense baseline)", "TC", tc.cycles);
+}
