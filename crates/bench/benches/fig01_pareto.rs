@@ -6,7 +6,6 @@
 //! the frontier.
 
 use tbstc::experiments::{pareto_frontier, AccuracyCurve, ParetoPoint};
-use tbstc::models::bert_base;
 use tbstc::prelude::*;
 use tbstc::sparsity::criteria::Criterion;
 use tbstc::sparsity::PatternKind;
@@ -15,10 +14,9 @@ use tbstc_bench::{banner, section};
 
 fn main() {
     banner("Fig. 1", "Accuracy-EDP Pareto frontier (BERT/sst-2 proxy)");
-    let cfg = HwConfig::paper_default();
-    let model = bert_base(128);
+    let model = ModelSpec::BertBase { tokens: 128 };
     let llm = SyntheticLlm::with_contrast(256, 256, 32, 4096, 1401, 1.25, 0.75);
-    let dense = simulate_model(Arch::Tc, &model, 0.0, 14, &cfg);
+    let engine = SweepRunner::new(HwConfig::paper_default());
 
     // Accuracy curves per pattern from the one-shot protocol (smooth and
     // deterministic), shared across the architectures that execute that
@@ -32,18 +30,57 @@ fn main() {
             .collect(),
     };
 
-    let mut points = Vec::new();
-    for arch in [Arch::Stc, Arch::Vegeta, Arch::Highlight, Arch::RmStc, Arch::TbStc] {
-        let c = curve(arch.native_pattern());
-        let arch_sparsities: &[f64] = if arch == Arch::Stc { &[0.5] } else { &sparsities };
+    // The whole grid — dense anchor + every (arch, sparsity) operating
+    // point — goes through the parallel engine as one batch.
+    let mut grid: Vec<SimJob> = vec![SimJob {
+        arch: Arch::Tc,
+        model,
+        sparsity: 0.0,
+        seed: 14,
+    }];
+    for arch in [
+        Arch::Stc,
+        Arch::Vegeta,
+        Arch::Highlight,
+        Arch::RmStc,
+        Arch::TbStc,
+    ] {
+        let arch_sparsities: &[f64] = if arch == Arch::Stc {
+            &[0.5]
+        } else {
+            &sparsities
+        };
         for &s in arch_sparsities {
-            let res = simulate_model(arch, &model, s, 14, &cfg);
-            points.push(ParetoPoint {
+            grid.push(SimJob {
                 arch,
-                edp: res.edp_point().normalized_edp(&dense.edp_point()),
-                accuracy: c.accuracy_at(s),
+                model,
+                sparsity: s,
+                seed: 14,
             });
         }
+    }
+    let report = engine.run_models(&grid);
+    let dense = &report.results[0];
+
+    let mut curves: Vec<(PatternKind, AccuracyCurve)> = Vec::new();
+    let mut points = Vec::new();
+    for (job, res) in grid[1..].iter().zip(&report.results[1..]) {
+        let pattern = job.arch.native_pattern();
+        if !curves.iter().any(|(p, _)| *p == pattern) {
+            curves.push((pattern, curve(pattern)));
+        }
+        let c = &curves
+            .iter()
+            .find(|(p, _)| *p == pattern)
+            .expect("cached")
+            .1;
+        points.push(ParetoPoint {
+            arch: job.arch,
+            edp: res.edp_point().normalized_edp(&dense.edp_point()),
+            accuracy: c
+                .accuracy_at(job.sparsity)
+                .expect("curve has measured points"),
+        });
     }
     // The dense point anchors the top-right.
     points.push(ParetoPoint {

@@ -14,7 +14,10 @@ fn main() {
     let sparsities = [0.5, 0.625, 0.75, 0.875];
     let mut tbs_range: (f64, f64) = (1.0, 0.0);
 
-    println!("  {:<10} {:>8} {:>8} {:>8} {:>8}", "sparsity", "TS", "RS-V", "RS-H", "TBS");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "sparsity", "TS", "RS-V", "RS-H", "TBS"
+    );
     for (i, &s) in sparsities.iter().enumerate() {
         // ResNet-50-like layer shapes.
         let w = MatrixRng::seed_from(500 + i as u64).block_structured_weights(256, 256, 8);

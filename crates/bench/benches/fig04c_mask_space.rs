@@ -5,7 +5,6 @@
 //! TS < RS < TBS < US, and accuracy rises with mask-space — TBS reaches
 //! near-US accuracy at a much smaller mask-space.
 
-use tbstc::prelude::*;
 use tbstc::sparsity::mask_space::mask_space_row;
 use tbstc::sparsity::PatternKind;
 use tbstc::train::sparse::accuracy_table;
@@ -39,10 +38,18 @@ fn main() {
         (PatternKind::Tbs, per_elem(ms.tbs)),
         (PatternKind::Unstructured, per_elem(ms.us)),
     ];
-    println!("  {:<8} {:>18} {:>10}", "pattern", "MS bits/element", "accuracy");
+    println!(
+        "  {:<8} {:>18} {:>10}",
+        "pattern", "MS bits/element", "accuracy"
+    );
     for (kind, bits) in pairs {
         let acc = accs.iter().find(|(k, _)| *k == kind).expect("acc").1;
-        println!("  {:<8} {:>18.4} {:>9.2}%", kind.to_string(), bits, acc * 100.0);
+        println!(
+            "  {:<8} {:>18.4} {:>9.2}%",
+            kind.to_string(),
+            bits,
+            acc * 100.0
+        );
     }
     println!("\n  shape check: accuracy should rise with mask-space, with TBS");
     println!("  approaching US accuracy at a fraction of US's mask-space.");

@@ -22,7 +22,10 @@ fn main() {
             dp.total_power_mw()
         );
         for c in &dp.components {
-            println!("     - {:<22} {:>8.3} mm2 {:>9.2} mW", c.name, c.area_mm2, c.power_mw);
+            println!(
+                "     - {:<22} {:>8.3} mm2 {:>9.2} mW",
+                c.name, c.area_mm2, c.power_mw
+            );
         }
     }
 
@@ -32,5 +35,9 @@ fn main() {
     section("paper-vs-measured");
     // The paper plots the bar chart without numbers; the claim is the
     // direction and the rough factor (RM-STC clearly higher).
-    paper_vs_measured("RM-STC / TB-STC power ratio (paper: >1.5, bar chart)", 1.6, rm / tb);
+    paper_vs_measured(
+        "RM-STC / TB-STC power ratio (paper: >1.5, bar chart)",
+        1.6,
+        rm / tb,
+    );
 }

@@ -10,19 +10,41 @@ use tbstc::prelude::*;
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 12", "Layer-wise speedup and normalized EDP vs sparsity degree");
-    let cfg = HwConfig::paper_default();
-    let archs = [Arch::Tc, Arch::Stc, Arch::Vegeta, Arch::Highlight, Arch::RmStc, Arch::TbStc];
+    banner(
+        "Fig. 12",
+        "Layer-wise speedup and normalized EDP vs sparsity degree",
+    );
+    let engine = SweepRunner::new(HwConfig::paper_default());
+    let archs = [
+        Arch::Tc,
+        Arch::Stc,
+        Arch::Vegeta,
+        Arch::Highlight,
+        Arch::RmStc,
+        Arch::TbStc,
+    ];
     let sparsities = [0.5, 0.625, 0.75, 0.875];
 
     // Typical layers: a mid-network ResNet-50 conv and the BERT FFN GEMMs.
     let r50 = resnet50(64);
     let bert = bert_base(128);
     let layers = [
-        r50.layers.iter().find(|l| l.name == "conv3 3x3").expect("conv3"),
-        r50.layers.iter().find(|l| l.name == "conv4 1x1b").expect("conv4"),
-        bert.layers.iter().find(|l| l.name == "ffn.fc1").expect("fc1"),
-        bert.layers.iter().find(|l| l.name == "attn.q").expect("attn"),
+        r50.layers
+            .iter()
+            .find(|l| l.name == "conv3 3x3")
+            .expect("conv3"),
+        r50.layers
+            .iter()
+            .find(|l| l.name == "conv4 1x1b")
+            .expect("conv4"),
+        bert.layers
+            .iter()
+            .find(|l| l.name == "ffn.fc1")
+            .expect("fc1"),
+        bert.layers
+            .iter()
+            .find(|l| l.name == "attn.q")
+            .expect("attn"),
     ];
 
     // gains[arch] = per-(layer, sparsity) speedup and EDP of TB-STC over it.
@@ -30,7 +52,10 @@ fn main() {
     let mut edps: Vec<(Arch, Vec<f64>)> = archs[..5].iter().map(|&a| (a, vec![])).collect();
 
     for layer in layers {
-        section(&format!("{} (M={}, K={}, N={})", layer.name, layer.m, layer.k, layer.n));
+        section(&format!(
+            "{} (M={}, K={}, N={})",
+            layer.name, layer.m, layer.k, layer.n
+        ));
         println!(
             "  {:<10} {}",
             "arch",
@@ -39,16 +64,28 @@ fn main() {
                 .map(|s| format!("{:>12}", format!("{:.1}% spd/EDP", s * 100.0)))
                 .collect::<String>()
         );
+        // One batch per layer: arch × sparsity, each job owning its seed.
+        // The dense TC row repeats the same point per sparsity column —
+        // the engine's cache computes each unique (seed) point once.
+        let jobs: Vec<LayerSim> = archs
+            .iter()
+            .flat_map(|&arch| {
+                sparsities.iter().enumerate().map(move |(si, &s)| {
+                    let target = if arch == Arch::Tc { 0.0 } else { s };
+                    LayerSim::new(layer)
+                        .arch(arch)
+                        .sparsity(target)
+                        .seed(300 + si as u64)
+                })
+            })
+            .collect();
+        let batch = engine.run_layers(&jobs).results;
         let mut results = Vec::new();
-        for &arch in &archs {
+        for (ai, &arch) in archs.iter().enumerate() {
             print!("  {:<10}", arch.to_string());
-            let mut row = Vec::new();
-            for (si, &s) in sparsities.iter().enumerate() {
-                let target = if arch == Arch::Tc { 0.0 } else { s };
-                let l = SparseLayer::build_for_arch(layer, arch, target, 300 + si as u64, &cfg);
-                let res = simulate_layer(arch, &l, &cfg);
+            let row: Vec<_> = batch[ai * sparsities.len()..(ai + 1) * sparsities.len()].to_vec();
+            for res in &row {
                 print!("{:>12}", format!("{}", res.cycles));
-                row.push(res);
             }
             println!();
             results.push((arch, row));
@@ -68,7 +105,9 @@ fn main() {
     }
 
     section("average TB-STC gains (geomean over layers x sparsities)");
-    let get = |v: &[(Arch, Vec<f64>)], a: Arch| geomean(&v.iter().find(|(x, _)| *x == a).unwrap().1);
+    let get = |v: &[(Arch, Vec<f64>)], a: Arch| {
+        geomean(&v.iter().find(|(x, _)| *x == a).unwrap().1).expect("ratios are positive")
+    };
     println!(
         "  speedup:  vs STC {:.2}x  vs VEGETA {:.2}x  vs HighLight {:.2}x  vs RM-STC {:.2}x",
         get(&speedups, Arch::Stc),
@@ -87,7 +126,11 @@ fn main() {
     section("paper-vs-measured");
     paper_vs_measured("speedup vs STC", 1.55, get(&speedups, Arch::Stc));
     paper_vs_measured("speedup vs VEGETA", 1.29, get(&speedups, Arch::Vegeta));
-    paper_vs_measured("speedup vs HighLight", 1.21, get(&speedups, Arch::Highlight));
+    paper_vs_measured(
+        "speedup vs HighLight",
+        1.21,
+        get(&speedups, Arch::Highlight),
+    );
     paper_vs_measured("speedup vs RM-STC", 1.06, get(&speedups, Arch::RmStc));
     paper_vs_measured("EDP vs HighLight", 1.41, get(&edps, Arch::Highlight));
     paper_vs_measured("EDP vs RM-STC", 1.75, get(&edps, Arch::RmStc));

@@ -13,7 +13,6 @@
 //! select operating points from — see EXPERIMENTS.md).
 
 use tbstc::experiments::AccuracyCurve;
-use tbstc::models::{bert_base, opt_6_7b, resnet50, Model};
 use tbstc::prelude::*;
 use tbstc::sparsity::criteria::Criterion;
 use tbstc::sparsity::PatternKind;
@@ -37,32 +36,61 @@ fn operating_points(llm: &SyntheticLlm) -> Vec<(Arch, f64)> {
     // Accuracy target: what the least flexible pattern (STC's fixed 4:8)
     // achieves — the paper anchors every architecture to one accuracy and
     // lets the flexible patterns convert headroom into sparsity.
-    let target_acc = curve(llm, PatternKind::TileNm, &sparsities).accuracy_at(0.5);
+    let target_acc = curve(llm, PatternKind::TileNm, &sparsities)
+        .accuracy_at(0.5)
+        .expect("curve has measured points");
 
-    [Arch::Stc, Arch::Vegeta, Arch::Highlight, Arch::RmStc, Arch::TbStc]
-        .iter()
-        .map(|&arch| {
-            let s = match arch {
-                // STC's hardware pins 4:8.
-                Arch::Stc => 0.5,
-                _ => curve(llm, arch.native_pattern(), &sparsities)
-                    .max_sparsity_at_accuracy(target_acc),
-            };
-            (arch, s)
-        })
-        .collect()
+    [
+        Arch::Stc,
+        Arch::Vegeta,
+        Arch::Highlight,
+        Arch::RmStc,
+        Arch::TbStc,
+    ]
+    .iter()
+    .map(|&arch| {
+        let s = match arch {
+            // STC's hardware pins 4:8.
+            Arch::Stc => 0.5,
+            _ => curve(llm, arch.native_pattern(), &sparsities)
+                .max_sparsity_at_accuracy(target_acc)
+                .expect("curve has measured points"),
+        };
+        (arch, s)
+    })
+    .collect()
 }
 
-fn run_model(name: &str, model: &Model, llm: &SyntheticLlm, seed: u64) -> Vec<(Arch, f64, f64)> {
-    let cfg = HwConfig::paper_default();
+fn run_model(
+    engine: &SweepRunner,
+    name: &str,
+    model: ModelSpec,
+    llm: &SyntheticLlm,
+    seed: u64,
+) -> Vec<(Arch, f64, f64)> {
     section(&format!("{name} (iso-accuracy operating points)"));
     let points = operating_points(llm);
-    let dense = simulate_model(Arch::Tc, model, 0.0, seed, &cfg);
+    // One batch through the parallel engine: the dense anchor + every
+    // architecture at its operating point.
+    let jobs: Vec<SimJob> = std::iter::once(SimJob {
+        arch: Arch::Tc,
+        model,
+        sparsity: 0.0,
+        seed,
+    })
+    .chain(points.iter().map(|&(arch, sparsity)| SimJob {
+        arch,
+        model,
+        sparsity,
+        seed,
+    }))
+    .collect();
+    let report = engine.run_models(&jobs);
+    let dense = &report.results[0];
     let mut out = Vec::new();
-    for (arch, sparsity) in points {
-        let res = simulate_model(arch, model, sparsity, seed, &cfg);
-        let speedup = res.speedup_over(&dense);
-        let edp = res.edp_gain_over(&dense);
+    for ((arch, sparsity), res) in points.iter().zip(&report.results[1..]) {
+        let speedup = res.speedup_over(dense);
+        let edp = res.edp_gain_over(dense);
         println!(
             "  {:<10} sparsity {:>5.1}%  speedup {:>5.2}x  EDP gain {:>5.2}x",
             arch.to_string(),
@@ -70,28 +98,47 @@ fn run_model(name: &str, model: &Model, llm: &SyntheticLlm, seed: u64) -> Vec<(A
             speedup,
             edp
         );
-        out.push((arch, speedup, edp));
+        out.push((*arch, speedup, edp));
     }
     out
 }
 
 fn main() {
-    banner("Fig. 13", "End-to-end speedup and normalized EDP at iso-accuracy");
+    banner(
+        "Fig. 13",
+        "End-to-end speedup and normalized EDP at iso-accuracy",
+    );
 
     // Mild lane contrast: pre-trained-model weights spread importance
     // more evenly than the default generator (see EXPERIMENTS.md).
     let runs = [
-        ("ResNet-50*", resnet50(64), SyntheticLlm::with_contrast(256, 256, 32, 4096, 401, 1.25, 0.75), 401u64),
-        ("BERT*", bert_base(128), SyntheticLlm::with_contrast(256, 256, 32, 4096, 402, 1.25, 0.75), 402),
-        ("OPT-6.7B*", opt_6_7b(128), SyntheticLlm::with_contrast(384, 256, 64, 4096, 403, 1.25, 0.75), 403),
+        (
+            "ResNet-50*",
+            ModelSpec::ResNet50 { input: 64 },
+            SyntheticLlm::with_contrast(256, 256, 32, 4096, 401, 1.25, 0.75),
+            401u64,
+        ),
+        (
+            "BERT*",
+            ModelSpec::BertBase { tokens: 128 },
+            SyntheticLlm::with_contrast(256, 256, 32, 4096, 402, 1.25, 0.75),
+            402,
+        ),
+        (
+            "OPT-6.7B*",
+            ModelSpec::Opt6_7b { tokens: 128 },
+            SyntheticLlm::with_contrast(384, 256, 64, 4096, 403, 1.25, 0.75),
+            403,
+        ),
     ];
 
+    let engine = SweepRunner::new(HwConfig::paper_default());
     let mut hl_speed = Vec::new();
     let mut hl_edp = Vec::new();
     let mut rm_speed = Vec::new();
     let mut rm_edp = Vec::new();
     for (name, model, llm, seed) in runs {
-        let rows = run_model(name, &model, &llm, seed);
+        let rows = run_model(&engine, name, model, &llm, seed);
         let get = |a: Arch| rows.iter().find(|(x, _, _)| *x == a).expect("arch row");
         let tb = get(Arch::TbStc);
         let hl = get(Arch::Highlight);
@@ -103,8 +150,9 @@ fn main() {
     }
 
     section("paper-vs-measured (geomean over models)");
-    paper_vs_measured("speedup vs HighLight", 1.22, geomean(&hl_speed));
-    paper_vs_measured("speedup vs RM-STC", 1.06, geomean(&rm_speed));
-    paper_vs_measured("EDP vs HighLight", 1.62, geomean(&hl_edp));
-    paper_vs_measured("EDP vs RM-STC", 1.92, geomean(&rm_edp));
+    let gm = |v: &[f64]| geomean(v).expect("ratios are positive");
+    paper_vs_measured("speedup vs HighLight", 1.22, gm(&hl_speed));
+    paper_vs_measured("speedup vs RM-STC", 1.06, gm(&rm_speed));
+    paper_vs_measured("EDP vs HighLight", 1.62, gm(&hl_edp));
+    paper_vs_measured("EDP vs RM-STC", 1.92, gm(&rm_edp));
 }

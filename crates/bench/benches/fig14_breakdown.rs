@@ -9,7 +9,10 @@ use tbstc::prelude::*;
 use tbstc_bench::{banner, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 14", "Execution cycle breakdown (BERT layer-9 GEMMs on TB-STC)");
+    banner(
+        "Fig. 14",
+        "Execution cycle breakdown (BERT layer-9 GEMMs on TB-STC)",
+    );
     let cfg = HwConfig::paper_default();
     let bert = bert_base(128);
     let mut shares = Vec::new();
@@ -19,7 +22,11 @@ fn main() {
         "layer", "compute", "memory", "codec(hid)", "codec(exp)", "codec %"
     );
     for shape in &bert.layers {
-        let layer = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 9, &cfg);
+        let layer = LayerSim::new(shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(9)
+            .build(&cfg);
         let res = simulate_layer(Arch::TbStc, &layer, &cfg);
         let b = &res.breakdown;
         println!(

@@ -23,16 +23,27 @@ fn main() {
     // Speedup: TB-STC at 75% sparsity with the block-size-specific
     // pattern, vs the dense Tensor Core.
     let dense = {
-        let l = SparseLayer::build_for_arch(&shape, Arch::Tc, 0.0, 7, &cfg);
+        let l = LayerSim::new(&shape)
+            .arch(Arch::Tc)
+            .sparsity(0.0)
+            .seed(7)
+            .build(&cfg);
         simulate_layer(Arch::Tc, &l, &cfg)
     };
 
-    println!("  {:<8} {:>10} {:>12} {:>12}", "block", "speedup", "accuracy", "Δcycles vs M=8");
+    println!(
+        "  {:<8} {:>10} {:>12} {:>12}",
+        "block", "speedup", "accuracy", "Δcycles vs M=8"
+    );
     let mut rows = Vec::new();
     for m in [4usize, 8, 16, 32] {
         let tbs_cfg = TbsConfig::with_block_size(m);
-        let layer = SparseLayer::build_tbs_with_config(&shape, 0.75, 7, &cfg, &tbs_cfg);
-        let res = simulate_layer(Arch::TbStc, &layer, &cfg);
+        let res = LayerSim::new(&shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(7)
+            .tbs_config(tbs_cfg.clone())
+            .run(&cfg);
         let speedup = res.speedup_over(&dense);
         let acc = llms
             .iter()

@@ -14,21 +14,25 @@ use tbstc::train::oneshot::SyntheticLlm;
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 15(b)", "Effect of int8 weight quantization on TBS-pruned models");
+    banner(
+        "Fig. 15(b)",
+        "Effect of int8 weight quantization on TBS-pruned models",
+    );
     let cfg = HwConfig::paper_default();
 
     section("speedup: S (fp16 sparse) vs Q+S (int8 sparse)");
     let mut gains = Vec::new();
     let r50 = resnet50(32);
     let bert = bert_base(128);
-    let layer_sets = [
-        ("ResNet-50", &r50.layers[3..8]),
-        ("BERT", &bert.layers[..]),
-    ];
+    let layer_sets = [("ResNet-50", &r50.layers[3..8]), ("BERT", &bert.layers[..])];
     for (name, layers) in layer_sets {
         let mut per_model = Vec::new();
         for shape in layers {
-            let layer = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 11, &cfg);
+            let layer = LayerSim::new(shape)
+                .arch(Arch::TbStc)
+                .sparsity(0.75)
+                .seed(11)
+                .build(&cfg);
             let fp16 = simulate_layer(Arch::TbStc, &layer, &cfg);
             let int8 = simulate_layer_with(
                 Arch::TbStc,
@@ -39,7 +43,7 @@ fn main() {
             );
             per_model.push(fp16.cycles as f64 / int8.cycles as f64);
         }
-        let g = geomean(&per_model);
+        let g = geomean(&per_model).expect("ratios are positive");
         println!("  {name:<10} Q+S speedup over S: {g:.2}x");
         gains.push((name, g));
     }

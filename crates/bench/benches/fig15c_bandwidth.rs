@@ -32,13 +32,22 @@ fn main() {
         let row: Vec<u64> = sparsities
             .iter()
             .map(|&s| {
-                let layer = SparseLayer::build_for_arch(&shape, Arch::TbStc, s, 13, &hw);
+                let layer = LayerSim::new(&shape)
+                    .arch(Arch::TbStc)
+                    .sparsity(s)
+                    .seed(13)
+                    .build(&hw);
                 simulate_layer(Arch::TbStc, &layer, &hw).cycles
             })
             .collect();
         table.push((gbps, row));
     }
-    let base: Vec<u64> = table.iter().find(|(g, _)| *g == 64.0).expect("64GB/s").1.clone();
+    let base: Vec<u64> = table
+        .iter()
+        .find(|(g, _)| *g == 64.0)
+        .expect("64GB/s")
+        .1
+        .clone();
     for (gbps, row) in &table {
         print!("  {gbps:<12}");
         for (i, c) in row.iter().enumerate() {
@@ -52,6 +61,14 @@ fn main() {
     // High sparsity (87.5%): clear gain up to 256, then flat.
     let gain_64_to_256 = at(64.0, 2) as f64 / at(256.0, 2) as f64;
     let gain_256_to_512 = at(256.0, 2) as f64 / at(512.0, 2) as f64;
-    paper_vs_measured("64→256 GB/s speedup at 87.5% sparsity (paper: >1)", 1.5, gain_64_to_256);
-    paper_vs_measured("256→512 GB/s speedup (paper: ≈1, compute-bound)", 1.0, gain_256_to_512);
+    paper_vs_measured(
+        "64→256 GB/s speedup at 87.5% sparsity (paper: >1)",
+        1.5,
+        gain_64_to_256,
+    );
+    paper_vs_measured(
+        "256→512 GB/s speedup (paper: ≈1, compute-bound)",
+        1.0,
+        gain_256_to_512,
+    );
 }

@@ -13,7 +13,10 @@ use tbstc::sim::pipeline::simulate_layer_with;
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 16(a)", "Adaptive codec ablation (TBS-pruned ResNet-50)");
+    banner(
+        "Fig. 16(a)",
+        "Adaptive codec ablation (TBS-pruned ResNet-50)",
+    );
     let cfg = HwConfig::paper_default();
     let r50 = resnet50(64);
     let layers: Vec<_> = r50.layers.iter().filter(|l| l.prunable).take(8).collect();
@@ -27,9 +30,19 @@ fn main() {
         "layer", "DDC cyc", "SDC cyc", "CSR cyc", "DDC BW", "SDC BW", "CSR BW"
     );
     for (i, shape) in layers.iter().enumerate() {
-        let layer = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 1000 + i as u64, &cfg);
+        let layer = LayerSim::new(shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(1000 + i as u64)
+            .build(&cfg);
         let run = |fmt| {
-            simulate_layer_with(Arch::TbStc, &layer, &cfg, SchedulePolicy::native(Arch::TbStc), fmt)
+            simulate_layer_with(
+                Arch::TbStc,
+                &layer,
+                &cfg,
+                SchedulePolicy::native(Arch::TbStc),
+                fmt,
+            )
         };
         let native = run(FormatOverride::Native);
         let sdc = run(FormatOverride::Sdc);
@@ -56,16 +69,22 @@ fn main() {
     }
 
     section("paper-vs-measured");
-    let worst_alt = geomean(&slowdowns_sdc).max(geomean(&slowdowns_csr));
+    let worst_alt = geomean(&slowdowns_sdc)
+        .expect("ratios are positive")
+        .max(geomean(&slowdowns_csr).expect("ratios are positive"));
     paper_vs_measured(
         "performance gap of codec-less pipelines (paper >1.44x)",
         1.44,
         worst_alt,
     );
-    paper_vs_measured("bandwidth utilization gain (paper 1.47x)", 1.47, geomean(&bw_gains));
+    paper_vs_measured(
+        "bandwidth utilization gain (paper 1.47x)",
+        1.47,
+        geomean(&bw_gains).expect("ratios are positive"),
+    );
     println!(
         "  (SDC slowdown {:.2}x, CSR slowdown {:.2}x)",
-        geomean(&slowdowns_sdc),
-        geomean(&slowdowns_csr)
+        geomean(&slowdowns_sdc).expect("ratios are positive"),
+        geomean(&slowdowns_csr).expect("ratios are positive")
     );
 }

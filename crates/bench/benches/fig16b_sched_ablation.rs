@@ -11,7 +11,10 @@ use tbstc::sim::compute::{simulate_compute, SchedulePolicy};
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 16(b)", "Hierarchical scheduling + reduction-network ablation");
+    banner(
+        "Fig. 16(b)",
+        "Hierarchical scheduling + reduction-network ablation",
+    );
     let cfg = HwConfig::paper_default();
     let r50 = resnet50(64);
     let bert = bert_base(128);
@@ -30,8 +33,17 @@ fn main() {
     );
     let mut util_gains = Vec::new();
     for (i, shape) in layers.iter().enumerate() {
-        let layer = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 1100 + i as u64, &cfg);
-        let smart = simulate_compute(Arch::TbStc, &layer, &cfg, SchedulePolicy::native(Arch::TbStc));
+        let layer = LayerSim::new(shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(1100 + i as u64)
+            .build(&cfg);
+        let smart = simulate_compute(
+            Arch::TbStc,
+            &layer,
+            &cfg,
+            SchedulePolicy::native(Arch::TbStc),
+        );
         let naive = simulate_compute(Arch::TbStc, &layer, &cfg, SchedulePolicy::naive());
         let gain = smart.utilization / naive.utilization;
         println!(
@@ -47,20 +59,36 @@ fn main() {
     section("reduction network: DVPE vs SIGMA FAN (normalized EDP)");
     let mut edp_ratios = Vec::new();
     for (i, shape) in layers.iter().enumerate() {
-        let tb_layer = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 1100 + i as u64, &cfg);
-        let fan_layer = SparseLayer::build_for_arch(shape, Arch::DvpeFan, 0.75, 1100 + i as u64, &cfg);
+        let tb_layer = LayerSim::new(shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(1100 + i as u64)
+            .build(&cfg);
+        let fan_layer = LayerSim::new(shape)
+            .arch(Arch::DvpeFan)
+            .sparsity(0.75)
+            .seed(1100 + i as u64)
+            .build(&cfg);
         let tb = simulate_layer(Arch::TbStc, &tb_layer, &cfg);
         let fan = simulate_layer(Arch::DvpeFan, &fan_layer, &cfg);
         edp_ratios.push(fan.edp_point().edp() / tb.edp_point().edp());
     }
     println!(
         "  DVPE+FAN normalized EDP vs DVPE: {:.2}x (per-layer range {:.2}..{:.2})",
-        geomean(&edp_ratios),
+        geomean(&edp_ratios).expect("ratios are positive"),
         edp_ratios.iter().copied().fold(f64::MAX, f64::min),
         edp_ratios.iter().copied().fold(0.0, f64::max)
     );
 
     section("paper-vs-measured");
-    paper_vs_measured("compute utilization gain (paper 1.57x)", 1.57, geomean(&util_gains));
-    paper_vs_measured("FAN normalized EDP (paper 1.61x)", 1.61, geomean(&edp_ratios));
+    paper_vs_measured(
+        "compute utilization gain (paper 1.57x)",
+        1.57,
+        geomean(&util_gains).expect("ratios are positive"),
+    );
+    paper_vs_measured(
+        "FAN normalized EDP (paper 1.61x)",
+        1.61,
+        geomean(&edp_ratios).expect("ratios are positive"),
+    );
 }

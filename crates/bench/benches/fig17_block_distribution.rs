@@ -11,7 +11,10 @@ use tbstc::sparsity::stats::{classify_blocks, BlockDistribution};
 use tbstc_bench::{banner, paper_vs_measured, section};
 
 fn main() {
-    banner("Fig. 17", "Block-level sparsity-direction distribution (TBS ResNet-50)");
+    banner(
+        "Fig. 17",
+        "Block-level sparsity-direction distribution (TBS ResNet-50)",
+    );
 
     // Three typical layers with low / medium / high sparsity plus the
     // whole-model aggregate, as in the paper.
@@ -43,7 +46,10 @@ fn main() {
     let (r, c, o) = total.fractions();
     println!(
         "  {:<22} {:>9.1}% {:>9.1}% {:>9.1}%",
-        "Total", r * 100.0, c * 100.0, o * 100.0
+        "Total",
+        r * 100.0,
+        c * 100.0,
+        o * 100.0
     );
 
     section("paper-vs-measured (whole-model average)");

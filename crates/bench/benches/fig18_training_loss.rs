@@ -54,15 +54,27 @@ fn main() {
     let hw = HwConfig::paper_default();
     let shape = tbstc::models::bert_base(128).layers[0].clone();
     let t_dense = {
-        let l = SparseLayer::build_for_arch(&shape, Arch::Tc, 0.0, 1, &hw);
+        let l = LayerSim::new(&shape)
+            .arch(Arch::Tc)
+            .sparsity(0.0)
+            .seed(1)
+            .build(&hw);
         simulate_layer(Arch::Tc, &l, &hw).cycles as f64
     };
     let t_tbs = {
-        let l = SparseLayer::build_for_arch(&shape, Arch::TbStc, 0.75, 1, &hw);
+        let l = LayerSim::new(&shape)
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(1)
+            .build(&hw);
         simulate_layer(Arch::TbStc, &l, &hw).cycles as f64
     };
     let t_us = {
-        let l = SparseLayer::build_for_arch(&shape, Arch::RmStc, 0.75, 1, &hw);
+        let l = LayerSim::new(&shape)
+            .arch(Arch::RmStc)
+            .sparsity(0.75)
+            .seed(1)
+            .build(&hw);
         simulate_layer(Arch::RmStc, &l, &hw).cycles as f64
     };
     println!(

@@ -25,9 +25,15 @@ fn bench_formats(c: &mut Criterion) {
         b.iter(|| Ddc::encode(black_box(&pruned), black_box(&p)))
     });
     let ddc = Ddc::encode(&pruned, &p);
-    c.bench_function("ddc_decode_128x128", |b| b.iter(|| black_box(&ddc).decode()));
-    c.bench_function("sdc_encode_128x128", |b| b.iter(|| Sdc::encode(black_box(&pruned))));
-    c.bench_function("csr_encode_128x128", |b| b.iter(|| Csr::encode(black_box(&pruned))));
+    c.bench_function("ddc_decode_128x128", |b| {
+        b.iter(|| black_box(&ddc).decode())
+    });
+    c.bench_function("sdc_encode_128x128", |b| {
+        b.iter(|| Sdc::encode(black_box(&pruned)))
+    });
+    c.bench_function("csr_encode_128x128", |b| {
+        b.iter(|| Csr::encode(black_box(&pruned)))
+    });
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -68,7 +74,11 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_simulate(c: &mut Criterion) {
     let cfg = HwConfig::paper_default();
     let shape = tbstc::models::bert_base(128).layers[0].clone();
-    let layer = SparseLayer::build_for_arch(&shape, Arch::TbStc, 0.75, 5, &cfg);
+    let layer = LayerSim::new(&shape)
+        .arch(Arch::TbStc)
+        .sparsity(0.75)
+        .seed(5)
+        .build(&cfg);
     c.bench_function("simulate_layer_tbstc", |b| {
         b.iter(|| simulate_layer(Arch::TbStc, black_box(&layer), &cfg))
     });

@@ -23,10 +23,30 @@ struct Task {
 
 fn tasks() -> Vec<Task> {
     vec![
-        Task { name: "resnet50/cifar10*", classes: 12, sparsity: 0.75, seed: 101 },
-        Task { name: "resnet18/imagenet*", classes: 16, sparsity: 0.75, seed: 102 },
-        Task { name: "bert/sst-2*", classes: 8, sparsity: 0.5, seed: 103 },
-        Task { name: "bert/mrpc*", classes: 12, sparsity: 0.5, seed: 104 },
+        Task {
+            name: "resnet50/cifar10*",
+            classes: 12,
+            sparsity: 0.75,
+            seed: 101,
+        },
+        Task {
+            name: "resnet18/imagenet*",
+            classes: 16,
+            sparsity: 0.75,
+            seed: 102,
+        },
+        Task {
+            name: "bert/sst-2*",
+            classes: 8,
+            sparsity: 0.5,
+            seed: 103,
+        },
+        Task {
+            name: "bert/mrpc*",
+            classes: 12,
+            sparsity: 0.5,
+            seed: 104,
+        },
     ]
 }
 
@@ -47,17 +67,40 @@ fn main() {
     }
     println!();
 
-    for task in tasks() {
-        print!("{:<24}", format!("{} ({:.0}%)", task.name, task.sparsity * 100.0));
+    // Every (task, pattern, seed) training run is one independent job:
+    // fan the whole table out over the parallel runner, then fold the
+    // seed axis back down. Each job owns its seed, so the table is
+    // bit-identical to the serial loop it replaced.
+    let all_tasks = tasks();
+    let jobs: Vec<(usize, PatternKind, u64)> = all_tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, _)| {
+            order
+                .iter()
+                .flat_map(move |&kind| (0..SEEDS).map(move |s| (ti, kind, s)))
+        })
+        .collect();
+    let report = Runner::new().run(&jobs, |&(ti, kind, s)| {
+        let task = &all_tasks[ti];
+        let data = proxy_task(task.classes, task.seed + s);
+        let sp = if kind == PatternKind::Dense {
+            0.0
+        } else {
+            task.sparsity
+        };
+        let cfg = student_config(&data, kind, sp, s);
+        SparseTrainer::new(cfg).train(&data).test_accuracy
+    });
+
+    let mut cell = report.results.iter();
+    for task in &all_tasks {
+        print!(
+            "{:<24}",
+            format!("{} ({:.0}%)", task.name, task.sparsity * 100.0)
+        );
         for &kind in &order {
-            let mut acc = 0.0;
-            for s in 0..SEEDS {
-                let data = proxy_task(task.classes, task.seed + s);
-                let sp = if kind == PatternKind::Dense { 0.0 } else { task.sparsity };
-                let cfg = student_config(&data, kind, sp, s);
-                acc += SparseTrainer::new(cfg).train(&data).test_accuracy;
-            }
-            acc /= SEEDS as f64;
+            let acc = cell.by_ref().take(SEEDS as usize).sum::<f64>() / SEEDS as f64;
             print!("{:>9.2}", acc * 100.0);
             per_pattern
                 .iter_mut()
@@ -71,16 +114,40 @@ fn main() {
 
     section("averages (paper Table I last column)");
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
-    let us_avg = avg(&per_pattern.iter().find(|(k, _)| *k == PatternKind::Unstructured).unwrap().1);
+    let us_avg = avg(&per_pattern
+        .iter()
+        .find(|(k, _)| *k == PatternKind::Unstructured)
+        .unwrap()
+        .1);
     for (kind, accs) in &per_pattern {
         let a = avg(accs);
-        println!("  {:<8} {a:>7.2}  (Δ vs US {:+.2})", kind.to_string(), a - us_avg);
+        println!(
+            "  {:<8} {a:>7.2}  (Δ vs US {:+.2})",
+            kind.to_string(),
+            a - us_avg
+        );
     }
 
-    let tbs_avg = avg(&per_pattern.iter().find(|(k, _)| *k == PatternKind::Tbs).unwrap().1);
-    let ts_avg = avg(&per_pattern.iter().find(|(k, _)| *k == PatternKind::TileNm).unwrap().1);
-    let rsv_avg = avg(&per_pattern.iter().find(|(k, _)| *k == PatternKind::RowWiseVegeta).unwrap().1);
-    let rsh_avg = avg(&per_pattern.iter().find(|(k, _)| *k == PatternKind::RowWiseHighlight).unwrap().1);
+    let tbs_avg = avg(&per_pattern
+        .iter()
+        .find(|(k, _)| *k == PatternKind::Tbs)
+        .unwrap()
+        .1);
+    let ts_avg = avg(&per_pattern
+        .iter()
+        .find(|(k, _)| *k == PatternKind::TileNm)
+        .unwrap()
+        .1);
+    let rsv_avg = avg(&per_pattern
+        .iter()
+        .find(|(k, _)| *k == PatternKind::RowWiseVegeta)
+        .unwrap()
+        .1);
+    let rsh_avg = avg(&per_pattern
+        .iter()
+        .find(|(k, _)| *k == PatternKind::RowWiseHighlight)
+        .unwrap()
+        .1);
 
     section("paper-vs-measured");
     paper_vs_measured("US − TBS gap (pts, paper 0.17)", 0.17, us_avg - tbs_avg);

@@ -25,17 +25,20 @@ fn main() {
         ("llama2-7b*", SyntheticLlm::new(384, 256, 64, 2048, 202)),
     ];
 
-    let mut sums: Vec<(PatternKind, f64, usize)> = PatternKind::SPARSE
-        .iter()
-        .map(|&k| (k, 0.0, 0))
-        .collect();
+    let mut sums: Vec<(PatternKind, f64, usize)> =
+        PatternKind::SPARSE.iter().map(|&k| (k, 0.0, 0)).collect();
     let mut dense_sum = 0.0;
 
     for (name, llm) in &tasks {
         section(name);
         let dense = llm.dense_accuracy();
         dense_sum += dense;
-        println!("  {:<8} Wanda {:>6.2}  SparseGPT {:>6.2}", "Dense", dense * 100.0, dense * 100.0);
+        println!(
+            "  {:<8} Wanda {:>6.2}  SparseGPT {:>6.2}",
+            "Dense",
+            dense * 100.0,
+            dense * 100.0
+        );
         for row in llm.one_shot_table(0.5) {
             println!(
                 "  {:<8} Wanda {:>6.2}  SparseGPT {:>6.2}",
@@ -55,13 +58,34 @@ fn main() {
         e.1 / e.2 as f64 * 100.0
     };
     let us = avg(PatternKind::Unstructured);
-    println!("  {:<8} {:>7.2}", "Dense", dense_sum / tasks.len() as f64 * 100.0);
+    println!(
+        "  {:<8} {:>7.2}",
+        "Dense",
+        dense_sum / tasks.len() as f64 * 100.0
+    );
     for &k in &PatternKind::SPARSE {
-        println!("  {:<8} {:>7.2}  (Δ vs US {:+.2})", k.to_string(), avg(k), avg(k) - us);
+        println!(
+            "  {:<8} {:>7.2}  (Δ vs US {:+.2})",
+            k.to_string(),
+            avg(k),
+            avg(k) - us
+        );
     }
 
     section("paper-vs-measured");
-    paper_vs_measured("TBS − TS gain (pts, paper 2.58)", 2.58, avg(PatternKind::Tbs) - avg(PatternKind::TileNm));
-    paper_vs_measured("US − TBS gap (pts, paper 0.66)", 0.66, us - avg(PatternKind::Tbs));
-    paper_vs_measured("US − TS gap (pts, paper 3.24)", 3.24, us - avg(PatternKind::TileNm));
+    paper_vs_measured(
+        "TBS − TS gain (pts, paper 2.58)",
+        2.58,
+        avg(PatternKind::Tbs) - avg(PatternKind::TileNm),
+    );
+    paper_vs_measured(
+        "US − TBS gap (pts, paper 0.66)",
+        0.66,
+        us - avg(PatternKind::Tbs),
+    );
+    paper_vs_measured(
+        "US − TS gap (pts, paper 3.24)",
+        3.24,
+        us - avg(PatternKind::TileNm),
+    );
 }

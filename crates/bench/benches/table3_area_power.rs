@@ -27,7 +27,10 @@ fn main() {
     }
 
     let total = rows.last().expect("total row");
-    let dvpe = rows.iter().find(|r| r.component == "DVPE Array").expect("dvpe");
+    let dvpe = rows
+        .iter()
+        .find(|r| r.component == "DVPE Array")
+        .expect("dvpe");
 
     section("integration on an A100 (paper §VII-C4)");
     let (added, frac) = a100_integration_overhead();

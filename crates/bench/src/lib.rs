@@ -23,7 +23,11 @@ pub fn section(title: &str) {
 /// Prints a paper-vs-measured comparison line. `within` is a free-text
 /// note on whether the shape holds.
 pub fn paper_vs_measured(claim: &str, paper: f64, measured: f64) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!(
         "  [paper-vs-measured] {claim}: paper {paper:.3}, measured {measured:.3} (x{ratio:.2} of paper)"
     );
@@ -53,7 +57,12 @@ pub fn proxy_task(classes: usize, seed: u64) -> Dataset {
 }
 
 /// The student training configuration matched to [`proxy_task`].
-pub fn student_config(data: &Dataset, pattern: PatternKind, sparsity: f64, seed: u64) -> TrainConfig {
+pub fn student_config(
+    data: &Dataset,
+    pattern: PatternKind,
+    sparsity: f64,
+    seed: u64,
+) -> TrainConfig {
     let mut cfg = TrainConfig::new(data, pattern, sparsity, seed);
     cfg.net.hidden = vec![96];
     cfg.epochs = 25;
@@ -64,6 +73,6 @@ pub fn student_config(data: &Dataset, pattern: PatternKind, sparsity: f64, seed:
 mod tests {
     #[test]
     fn geomean_is_reexported() {
-        assert!((super::geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((super::geomean(&[4.0, 1.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 }

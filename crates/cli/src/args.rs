@@ -37,9 +37,13 @@ impl ParsedArgs {
         S: Into<String>,
     {
         let mut it = args.into_iter().map(Into::into).peekable();
-        let command = it.next().ok_or_else(|| ArgError("missing subcommand".into()))?;
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?;
         if command.starts_with("--") {
-            return Err(ArgError(format!("expected a subcommand, got option {command}")));
+            return Err(ArgError(format!(
+                "expected a subcommand, got option {command}"
+            )));
         }
         let mut options = BTreeMap::new();
         while let Some(arg) = it.next() {
@@ -63,7 +67,10 @@ impl ParsedArgs {
 
     /// A string option with a default.
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A parsed numeric option with a default.

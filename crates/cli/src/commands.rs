@@ -22,12 +22,21 @@ USAGE:
   tbstc-cli formats  [--rows 128] [--cols 128] [--sparsity 0.75] [--seed 0]
   tbstc-cli simulate [--model bert] [--arch tb-stc] [--sparsity 0.75]
                      [--bandwidth 64] [--seed 0]
+  tbstc-cli sweep    [--models bert,resnet50] [--archs tb-stc,rm-stc,highlight]
+                     [--sparsities 0.5,0.75] [--seed 0] [--bandwidth 64]
+                     [--jobs N] [--verify]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
 
-Models: resnet50, resnet18, bert, opt, llama
-Archs:  tc, stc, vegeta, highlight, rm-stc, tb-stc
+Models: resnet50, resnet18, bert, opt, llama (sweep also: gcn)
+Archs:  tc, stc, vegeta, highlight, rm-stc, tb-stc (sweep also: sgcn)
+
+`sweep` runs the cross product models x archs x sparsities in parallel
+(worker count from --jobs, the TBSTC_JOBS env var, or the machine),
+adds a dense TC baseline per model, and reports speedup/EDP against it.
+--verify reruns the grid serially and checks the results are
+bit-identical to the parallel run.
 ";
 
 /// Dispatches a parsed command line.
@@ -40,9 +49,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "prune" => prune(args),
         "formats" => formats(args),
         "simulate" => simulate(args),
+        "sweep" => sweep(args),
         "table3" => Ok(table3()),
         "models" => Ok(models()),
-        other => Err(ArgError(format!("unknown subcommand `{other}`; try `help`"))),
+        other => Err(ArgError(format!(
+            "unknown subcommand `{other}`; try `help`"
+        ))),
     }
 }
 
@@ -54,8 +66,40 @@ fn parse_arch(name: &str) -> Result<Arch, ArgError> {
         "highlight" => Arch::Highlight,
         "rm-stc" | "rmstc" => Arch::RmStc,
         "tb-stc" | "tbstc" => Arch::TbStc,
+        "sgcn" => Arch::Sgcn,
         other => return Err(ArgError(format!("unknown arch `{other}`"))),
     })
+}
+
+fn parse_model_spec(name: &str) -> Result<ModelSpec, ArgError> {
+    Ok(match name {
+        "resnet50" => ModelSpec::ResNet50 { input: 64 },
+        "resnet18" => ModelSpec::ResNet18 { input: 64 },
+        "bert" => ModelSpec::BertBase { tokens: 128 },
+        "opt" => ModelSpec::Opt6_7b { tokens: 128 },
+        "llama" => ModelSpec::Llama2_7b { tokens: 128 },
+        "gcn" => ModelSpec::Gcn {
+            nodes: 1024,
+            features: 128,
+        },
+        other => return Err(ArgError(format!("unknown model `{other}`"))),
+    })
+}
+
+fn parse_list<T>(
+    raw: &str,
+    parse: impl Fn(&str) -> Result<T, ArgError>,
+) -> Result<Vec<T>, ArgError> {
+    let items: Vec<T> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(ArgError("expected a non-empty comma-separated list".into()));
+    }
+    Ok(items)
 }
 
 fn parse_model(name: &str) -> Result<Model, ArgError> {
@@ -90,12 +134,27 @@ fn prune(args: &ParsedArgs) -> Result<String, ArgError> {
     let (r, c, o) = dist.fractions();
 
     let mut out = String::new();
-    writeln!(out, "TBS pruning {rows}x{cols}, target {:.1}%, block {block}", sparsity * 100.0).ok();
-    writeln!(out, "  achieved sparsity : {:.2}%", p.mask().sparsity() * 100.0).ok();
-    writeln!(out, "  blocks            : {} ({} grid)", p.blocks().len(), {
-        let (gr, gc) = p.grid();
-        format!("{gr}x{gc}")
-    })
+    writeln!(
+        out,
+        "TBS pruning {rows}x{cols}, target {:.1}%, block {block}",
+        sparsity * 100.0
+    )
+    .ok();
+    writeln!(
+        out,
+        "  achieved sparsity : {:.2}%",
+        p.mask().sparsity() * 100.0
+    )
+    .ok();
+    writeln!(
+        out,
+        "  blocks            : {} ({} grid)",
+        p.blocks().len(),
+        {
+            let (gr, gc) = p.grid();
+            format!("{gr}x{gc}")
+        }
+    )
     .ok();
     writeln!(
         out,
@@ -107,12 +166,22 @@ fn prune(args: &ParsedArgs) -> Result<String, ArgError> {
     .ok();
     if block == 8 {
         for row in similarity_sweep(&w, sparsity) {
-            writeln!(out, "  similarity vs US  : {:<5} {:.2}%", row.kind.to_string(), row.similarity * 100.0).ok();
+            writeln!(
+                out,
+                "  similarity vs US  : {:<5} {:.2}%",
+                row.kind.to_string(),
+                row.similarity * 100.0
+            )
+            .ok();
         }
     }
     let t = p.transpose();
     t.assert_valid();
-    writeln!(out, "  transposed pattern: valid (backward pass accelerates too)").ok();
+    writeln!(
+        out,
+        "  transposed pattern: valid (backward pass accelerates too)"
+    )
+    .ok();
     Ok(out)
 }
 
@@ -131,11 +200,35 @@ fn formats(args: &ParsedArgs) -> Result<String, ArgError> {
     debug_assert_eq!(ddc.decode(), pruned);
 
     let mut out = String::new();
-    writeln!(out, "Storage formats for {rows}x{cols} at {:.1}% sparsity:", sparsity * 100.0).ok();
+    writeln!(
+        out,
+        "Storage formats for {rows}x{cols} at {:.1}% sparsity:",
+        sparsity * 100.0
+    )
+    .ok();
     writeln!(out, "  dense : {:>8} bytes", pruned.len() * 2).ok();
-    writeln!(out, "  DDC   : {:>8} bytes (info {} + data {})", ddc.stored_bytes(), ddc.info_bytes(), ddc.data_bytes()).ok();
-    writeln!(out, "  SDC   : {:>8} bytes ({:.1}% padding)", sdc.stored_bytes(), sdc.redundancy() * 100.0).ok();
-    writeln!(out, "  CSR   : {:>8} bytes (block consumption contiguity {:.2})", csr.stored_bytes(), csr.block_access_trace(8, 8).contiguity()).ok();
+    writeln!(
+        out,
+        "  DDC   : {:>8} bytes (info {} + data {})",
+        ddc.stored_bytes(),
+        ddc.info_bytes(),
+        ddc.data_bytes()
+    )
+    .ok();
+    writeln!(
+        out,
+        "  SDC   : {:>8} bytes ({:.1}% padding)",
+        sdc.stored_bytes(),
+        sdc.redundancy() * 100.0
+    )
+    .ok();
+    writeln!(
+        out,
+        "  CSR   : {:>8} bytes (block consumption contiguity {:.2})",
+        csr.stored_bytes(),
+        csr.block_access_trace(8, 8).contiguity()
+    )
+    .ok();
     Ok(out)
 }
 
@@ -162,7 +255,12 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
         sparsity * 100.0
     )
     .ok();
-    writeln!(out, "  {:<12} {:>14} {:>12} {:>10} {:>10}", "layer", "cycles", "energy(uJ)", "comp.util", "bw.util").ok();
+    writeln!(
+        out,
+        "  {:<12} {:>14} {:>12} {:>10} {:>10}",
+        "layer", "cycles", "energy(uJ)", "comp.util", "bw.util"
+    )
+    .ok();
     for l in &res.layers {
         writeln!(
             out,
@@ -175,7 +273,13 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
         )
         .ok();
     }
-    writeln!(out, "  total: {} cycles, {:.3} mJ", res.total_cycles, res.total_energy_pj * 1e-9).ok();
+    writeln!(
+        out,
+        "  total: {} cycles, {:.3} mJ",
+        res.total_cycles,
+        res.total_energy_pj * 1e-9
+    )
+    .ok();
     writeln!(
         out,
         "  vs dense TC: speedup {:.2}x, EDP gain {:.2}x",
@@ -186,9 +290,114 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
+    let models = parse_list(&args.str_or("models", "bert"), parse_model_spec)?;
+    let archs = parse_list(&args.str_or("archs", "tb-stc,rm-stc,highlight"), parse_arch)?;
+    let sparsities = parse_list(&args.str_or("sparsities", "0.5,0.75"), |s| {
+        s.parse::<f64>()
+            .map_err(|_| ArgError(format!("--sparsities expects numbers, got {s}")))
+    })?;
+    if sparsities.iter().any(|s| !(0.0..=1.0).contains(s)) {
+        return Err(ArgError("--sparsities must be in [0, 1]".into()));
+    }
+    let seed: u64 = args.num_or("seed", 0)?;
+    let bandwidth: f64 = args.num_or("bandwidth", 64.0)?;
+    let jobs_flag: usize = args.num_or("jobs", 0)?; // 0 = auto
+    let verify = args.str_or("verify", "false") == "true";
+
+    let runner = if jobs_flag > 0 {
+        Runner::new().with_workers(jobs_flag)
+    } else {
+        Runner::new()
+    };
+    let engine = SweepRunner::with_runner(HwConfig::with_bandwidth_gbps(bandwidth), runner);
+
+    // Dense TC baselines lead the batch: they anchor the speedup/EDP
+    // columns and are served from the cache if the grid revisits them.
+    let grid = Sweep::new()
+        .models(models.iter().copied())
+        .archs(archs.iter().copied())
+        .sparsities(sparsities.iter().copied())
+        .seeds([seed]);
+    let jobs: Vec<SimJob> = models
+        .iter()
+        .map(|&model| SimJob {
+            arch: Arch::Tc,
+            model,
+            sparsity: 0.0,
+            seed,
+        })
+        .chain(grid.jobs())
+        .collect();
+    let report = engine.run_models(&jobs);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Sweep: {} jobs ({} computed, {} cached) on {} workers, {bandwidth} GB/s, seed {seed}",
+        report.stats.jobs, report.stats.unique_jobs, report.stats.cache_hits, report.stats.workers
+    )
+    .ok();
+    writeln!(
+        out,
+        "  {:<16} {:<10} {:>9} {:>14} {:>9} {:>9}",
+        "model", "arch", "sparsity", "cycles", "speedup", "EDP gain"
+    )
+    .ok();
+    for (job, res) in jobs.iter().zip(&report.results).skip(models.len()) {
+        let mi = models
+            .iter()
+            .position(|m| *m == job.model)
+            .expect("model in list");
+        let dense = &report.results[mi];
+        writeln!(
+            out,
+            "  {:<16} {:<10} {:>8.1}% {:>14} {:>8.2}x {:>8.2}x",
+            job.model.to_string(),
+            job.arch.to_string(),
+            job.sparsity * 100.0,
+            res.total_cycles,
+            res.speedup_over(dense),
+            res.edp_gain_over(dense)
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "  wall {:.2?}, busy {:.2?} across {} workers",
+        report.stats.wall,
+        report.stats.busy(),
+        report.stats.workers
+    )
+    .ok();
+
+    if verify {
+        let reference =
+            SweepRunner::with_runner(HwConfig::with_bandwidth_gbps(bandwidth), Runner::serial());
+        let serial = reference.run_models(&jobs);
+        if serial.results != report.results {
+            return Err(ArgError(
+                "verify FAILED: parallel results differ from serial".into(),
+            ));
+        }
+        writeln!(
+            out,
+            "  verify: serial rerun bit-identical ({} jobs; serial wall {:.2?}, parallel wall {:.2?})",
+            serial.stats.jobs, serial.stats.wall, report.stats.wall
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
 fn table3() -> String {
     let mut out = String::new();
-    writeln!(out, "{:<12} {:>10} {:>9} {:>10} {:>9}", "Component", "Area(mm2)", "Area%", "Power(mW)", "Power%").ok();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>9} {:>10} {:>9}",
+        "Component", "Area(mm2)", "Area%", "Power(mW)", "Power%"
+    )
+    .ok();
     for r in table3_rows() {
         writeln!(
             out,
@@ -202,14 +411,30 @@ fn table3() -> String {
         .ok();
     }
     let (added, frac) = a100_integration_overhead();
-    writeln!(out, "A100 integration: +{added:.2} mm2 = {:.2}% of the die", frac * 100.0).ok();
+    writeln!(
+        out,
+        "A100 integration: +{added:.2} mm2 = {:.2}% of the die",
+        frac * 100.0
+    )
+    .ok();
     out
 }
 
 fn models() -> String {
     let mut out = String::new();
-    writeln!(out, "{:<12} {:>10} {:>12} {:>8}", "model", "layers", "weights(M)", "GMACs").ok();
-    for m in [resnet50(224), resnet18(224), bert_base(128), opt_6_7b(128), llama2_7b(128)] {
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>8}",
+        "model", "layers", "weights(M)", "GMACs"
+    )
+    .ok();
+    for m in [
+        resnet50(224),
+        resnet18(224),
+        bert_base(128),
+        opt_6_7b(128),
+        llama2_7b(128),
+    ] {
         writeln!(
             out,
             "{:<12} {:>10} {:>12.1} {:>8.1}",
@@ -233,7 +458,8 @@ mod tests {
 
     #[test]
     fn prune_reports_sparsity_and_directions() {
-        let out = run_line(&["prune", "--rows", "64", "--cols", "64", "--sparsity", "0.5"]).unwrap();
+        let out =
+            run_line(&["prune", "--rows", "64", "--cols", "64", "--sparsity", "0.5"]).unwrap();
         assert!(out.contains("achieved sparsity"));
         assert!(out.contains("block directions"));
         assert!(out.contains("transposed pattern: valid"));
@@ -264,6 +490,35 @@ mod tests {
     fn simulate_rejects_unknowns() {
         assert!(run_line(&["simulate", "--model", "alexnet"]).is_err());
         assert!(run_line(&["simulate", "--arch", "tpu"]).is_err());
+    }
+
+    #[test]
+    fn sweep_reports_grid_and_verifies() {
+        let out = run_line(&[
+            "sweep",
+            "--models",
+            "gcn",
+            "--archs",
+            "tb-stc,stc",
+            "--sparsities",
+            "0.5,0.75",
+            "--verify",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("Sweep: 5 jobs"),
+            "dense baseline + 2x2 grid: {out}"
+        );
+        assert!(out.contains("verify: serial rerun bit-identical"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_lists() {
+        assert!(run_line(&["sweep", "--models", "alexnet"]).is_err());
+        assert!(run_line(&["sweep", "--archs", "tpu"]).is_err());
+        assert!(run_line(&["sweep", "--sparsities", "1.5"]).is_err());
+        assert!(run_line(&["sweep", "--sparsities", ","]).is_err());
     }
 
     #[test]

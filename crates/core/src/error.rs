@@ -1,0 +1,40 @@
+//! The shared error type of the experiment helpers.
+
+/// Errors the experiment helpers can report instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An accuracy curve holds no measured points.
+    EmptyCurve,
+    /// A geometric mean was requested over a non-positive value.
+    NonPositive {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyCurve => write!(f, "accuracy curve has no measured points"),
+            Error::NonPositive { value } => {
+                write!(f, "geometric mean requires positive values, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        assert!(Error::EmptyCurve.to_string().contains("no measured points"));
+        assert!(Error::NonPositive { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+}

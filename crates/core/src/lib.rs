@@ -28,11 +28,19 @@
 //! // Simulate one BERT layer on TB-STC vs. the dense Tensor Core.
 //! let cfg = HwConfig::paper_default();
 //! let shape = &tbstc::models::bert_base(128).layers[0];
-//! let sparse = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 0, &cfg);
-//! let dense = SparseLayer::build_for_arch(shape, Arch::Tc, 0.0, 0, &cfg);
-//! let tb = simulate_layer(Arch::TbStc, &sparse, &cfg);
-//! let tc = simulate_layer(Arch::Tc, &dense, &cfg);
+//! let tb = LayerSim::new(shape).arch(Arch::TbStc).sparsity(0.75).run(&cfg);
+//! let tc = LayerSim::new(shape).arch(Arch::Tc).run(&cfg);
 //! assert!(tb.speedup_over(&tc) > 1.5);
+//!
+//! // Sweep a grid of (arch, sparsity) points on the parallel runner —
+//! // results are bit-identical to a serial run, repeated points are
+//! // served from the cache.
+//! let report = Sweep::new()
+//!     .archs([Arch::TbStc, Arch::Tc])
+//!     .models([ModelSpec::BertBase { tokens: 32 }])
+//!     .sparsities([0.0, 0.75])
+//!     .run(&SweepRunner::new(cfg));
+//! assert_eq!(report.results.len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,11 +51,15 @@ pub use tbstc_energy as energy;
 pub use tbstc_formats as formats;
 pub use tbstc_matrix as matrix;
 pub use tbstc_models as models;
+pub use tbstc_runner as runner;
 pub use tbstc_sim as sim;
 pub use tbstc_sparsity as sparsity;
 pub use tbstc_train as train;
 
+pub mod error;
 pub mod experiments;
+
+pub use error::Error;
 
 /// The most commonly used items, for `use tbstc::prelude::*`.
 pub mod prelude {
@@ -56,9 +68,13 @@ pub mod prelude {
     pub use tbstc_matrix::rng::MatrixRng;
     pub use tbstc_matrix::{Matrix, F16};
     pub use tbstc_models::{bert_base, opt_6_7b, resnet18, resnet50};
-    pub use tbstc_sim::{simulate_layer, simulate_model, Arch, HwConfig, SparseLayer};
+    pub use tbstc_runner::{
+        Memo, ModelSpec, RunReport, RunStats, Runner, SimJob, Sweep, SweepRunner,
+    };
+    pub use tbstc_sim::{simulate_layer, simulate_model, Arch, HwConfig, LayerSim, SparseLayer};
     pub use tbstc_sparsity::{Mask, Pattern, PatternKind, TbsConfig, TbsPattern};
     pub use tbstc_train::{Dataset, Mlp, MlpConfig, SparseTrainer, TrainConfig};
 
+    pub use crate::error::Error;
     pub use crate::experiments::{AccuracyCurve, ParetoPoint};
 }

@@ -77,7 +77,10 @@ impl DramConfig {
     pub fn validate(&self) {
         assert!(self.bytes_per_cycle > 0.0, "bandwidth must be positive");
         assert!(self.burst_bytes > 0, "burst size must be positive");
-        assert!(self.row_bytes >= self.burst_bytes, "row must hold >= 1 burst");
+        assert!(
+            self.row_bytes >= self.burst_bytes,
+            "row must hold >= 1 burst"
+        );
         assert!(self.banks > 0, "need at least one bank");
     }
 }
@@ -192,10 +195,10 @@ impl DramModel {
         let cfg = self.config;
         let burst_cycles = cfg.burst_cycles();
         let mut time = 0.0f64; // channel time in cycles
-        // The controller's read-combine buffer: a burst already fetched by
-        // the immediately preceding request is served for free, so
-        // back-to-back sub-burst requests (e.g. DDC's per-block reads)
-        // coalesce into a stream instead of re-fetching bursts.
+                               // The controller's read-combine buffer: a burst already fetched by
+                               // the immediately preceding request is served for free, so
+                               // back-to-back sub-burst requests (e.g. DDC's per-block reads)
+                               // coalesce into a stream instead of re-fetching bursts.
         let mut last_burst: Option<u64> = None;
         let mut result = DramResult {
             peak_bytes_per_cycle: cfg.bytes_per_cycle,
@@ -265,7 +268,11 @@ mod tests {
     fn sequential_stream_near_peak() {
         let mut dram = DramModel::new(DramConfig::paper_default());
         let res = dram.replay(sequential(1 << 20, 64));
-        assert!(res.bandwidth_utilization() > 0.9, "{}", res.bandwidth_utilization());
+        assert!(
+            res.bandwidth_utilization() > 0.9,
+            "{}",
+            res.bandwidth_utilization()
+        );
         assert!(res.row_hit_rate() > 0.9, "{}", res.row_hit_rate());
         assert_eq!(res.transfer_efficiency(), 1.0);
     }
@@ -333,7 +340,12 @@ mod tests {
         let mut fast = DramModel::new(DramConfig::with_bandwidth_gbps(256.0));
         let s = slow.replay(trace.iter().copied());
         let f = fast.replay(trace.iter().copied());
-        assert!(f.cycles * 4 < s.cycles, "fast {} slow {}", f.cycles, s.cycles);
+        assert!(
+            f.cycles * 4 < s.cycles,
+            "fast {} slow {}",
+            f.cycles,
+            s.cycles
+        );
     }
 
     #[test]

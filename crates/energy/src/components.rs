@@ -101,8 +101,9 @@ pub fn dvpe_array(shape: PeArrayShape) -> ComponentCost {
 pub fn codec_unit() -> ComponentCost {
     let queue_bytes = 8.0 * 16.0 * 2.5;
     let muxes = 16.0;
-    let area =
-        queue_bytes * units::QUEUE_BYTE_AREA_UM2 + units::MERGER_AREA_UM2 + muxes * units::MUX8_AREA_UM2;
+    let area = queue_bytes * units::QUEUE_BYTE_AREA_UM2
+        + units::MERGER_AREA_UM2
+        + muxes * units::MUX8_AREA_UM2;
     let power = queue_bytes * units::QUEUE_BYTE_POWER_UW
         + units::MERGER_POWER_UW
         + muxes * units::MUX8_POWER_UW;
@@ -131,8 +132,10 @@ pub fn tensor_core(shape: PeArrayShape) -> DatapathCosts {
     let dvpes = shape.dvpes() as f64;
     let nodes = (shape.mults_per_dvpe - 1) as f64;
     // Fixed adder tree: same adders, no configurable bypass or alternate.
-    let area = mults * units::FP16_MULT_AREA_UM2 + dvpes * nodes * units::REDUCTION_NODE_AREA_UM2 * 0.8;
-    let power = mults * units::FP16_MULT_POWER_UW + dvpes * nodes * units::REDUCTION_NODE_POWER_UW * 0.8;
+    let area =
+        mults * units::FP16_MULT_AREA_UM2 + dvpes * nodes * units::REDUCTION_NODE_AREA_UM2 * 0.8;
+    let power =
+        mults * units::FP16_MULT_POWER_UW + dvpes * nodes * units::REDUCTION_NODE_POWER_UW * 0.8;
     DatapathCosts {
         name: "TC",
         components: vec![ComponentCost {

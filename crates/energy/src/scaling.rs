@@ -24,7 +24,14 @@ pub enum Node {
 
 impl Node {
     /// All nodes, oldest first.
-    pub const ALL: [Node; 6] = [Node::N45, Node::N32, Node::N22, Node::N16, Node::N10, Node::N7];
+    pub const ALL: [Node; 6] = [
+        Node::N45,
+        Node::N32,
+        Node::N22,
+        Node::N16,
+        Node::N10,
+        Node::N7,
+    ];
 
     /// Nominal feature size in nm.
     pub fn nm(self) -> f64 {

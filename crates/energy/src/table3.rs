@@ -89,16 +89,32 @@ mod tests {
     #[test]
     fn totals_match_paper() {
         let t = tb_stc_breakdown();
-        assert!((t.total_area_mm2() - 1.47).abs() < 0.03, "{}", t.total_area_mm2());
-        assert!((t.total_power_mw() - 200.59).abs() < 4.0, "{}", t.total_power_mw());
+        assert!(
+            (t.total_area_mm2() - 1.47).abs() < 0.03,
+            "{}",
+            t.total_area_mm2()
+        );
+        assert!(
+            (t.total_power_mw() - 200.59).abs() < 4.0,
+            "{}",
+            t.total_power_mw()
+        );
     }
 
     #[test]
     fn shares_match_paper_structure() {
         let rows = table3_rows();
         let dvpe = rows.iter().find(|r| r.component == "DVPE Array").unwrap();
-        assert!((dvpe.area_share - 0.9728).abs() < 0.01, "{}", dvpe.area_share);
-        assert!((dvpe.power_share - 0.9857).abs() < 0.01, "{}", dvpe.power_share);
+        assert!(
+            (dvpe.area_share - 0.9728).abs() < 0.01,
+            "{}",
+            dvpe.area_share
+        );
+        assert!(
+            (dvpe.power_share - 0.9857).abs() < 0.01,
+            "{}",
+            dvpe.power_share
+        );
         let codec = rows.iter().find(|r| r.component == "Codec Unit").unwrap();
         assert!((codec.area_share - 0.0204).abs() < 0.01);
     }

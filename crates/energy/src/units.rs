@@ -112,6 +112,6 @@ mod tests {
     fn gather_union_exceed_plain_reduction() {
         // The reason RM-STC's unstructured support burdens the hardware
         // (paper Fig. 6(d)).
-        assert!(GATHER_LANE_POWER_UW + UNION_LANE_POWER_UW > 10.0 * REDUCTION_NODE_POWER_UW);
+        const { assert!(GATHER_LANE_POWER_UW + UNION_LANE_POWER_UW > 10.0 * REDUCTION_NODE_POWER_UW) }
     }
 }

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn extend_trait_appends() {
         let mut a = AccessTrace::new();
-        a.extend([MemRequest { addr: 0, bytes: 4 }, MemRequest { addr: 4, bytes: 4 }]);
+        a.extend([
+            MemRequest { addr: 0, bytes: 4 },
+            MemRequest { addr: 4, bytes: 4 },
+        ]);
         assert_eq!(a.len(), 2);
     }
 }

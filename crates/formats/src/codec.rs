@@ -88,7 +88,10 @@ impl CodecUnit {
     ///
     /// Panics when any parameter is zero.
     pub fn new(input_width: usize, threshold: usize, queues: usize) -> Self {
-        assert!(input_width > 0 && threshold > 0 && queues > 0, "codec params positive");
+        assert!(
+            input_width > 0 && threshold > 0 && queues > 0,
+            "codec params positive"
+        );
         CodecUnit {
             input_width,
             threshold,
@@ -141,14 +144,18 @@ impl CodecUnit {
             for _ in 0..self.input_width {
                 let Some(e) = stream.next() else { break };
                 let rid = e.idx;
-                assert!(rid < self.queues, "Rid {rid} exceeds queue count {}", self.queues);
+                assert!(
+                    rid < self.queues,
+                    "Rid {rid} exceeds queue count {}",
+                    self.queues
+                );
                 queues[rid].push(e);
             }
             let occupancy: usize = queues.iter().map(Vec::len).sum();
             stats.peak_occupancy = stats.peak_occupancy.max(occupancy);
             // One output group per cycle when some queue is full enough.
             if let Some(q) = queues.iter_mut().find(|q| q.len() >= self.threshold) {
-                out.extend(q.drain(..));
+                out.append(q);
                 stats.groups += 1;
             }
         }
@@ -199,8 +206,16 @@ mod tests {
             n: 2,
             offset: 0,
             elements: vec![
-                DdcElement { lane: 0, idx: 1, value: 1.0 },
-                DdcElement { lane: 0, idx: 3, value: 2.0 },
+                DdcElement {
+                    lane: 0,
+                    idx: 1,
+                    value: 1.0,
+                },
+                DdcElement {
+                    lane: 0,
+                    idx: 3,
+                    value: 2.0,
+                },
             ],
         };
         let codec = CodecUnit::paper_default();

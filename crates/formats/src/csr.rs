@@ -111,7 +111,10 @@ impl Csr {
     ///
     /// Panics when either block dimension is zero.
     pub fn block_access_trace(&self, block_rows: usize, block_cols: usize) -> AccessTrace {
-        assert!(block_rows > 0 && block_cols > 0, "block dims must be positive");
+        assert!(
+            block_rows > 0 && block_cols > 0,
+            "block dims must be positive"
+        );
         let elem = VALUE_BYTES + CSR_INDEX_BYTES;
         let mut trace = AccessTrace::new();
         for br in (0..self.rows).step_by(block_rows) {
@@ -119,9 +122,8 @@ impl Csr {
                 for r in br..(br + block_rows).min(self.rows) {
                     // Locate the sub-segment of row r within [bc, bc+block_cols).
                     let (start, end) = (self.row_ptr[r], self.row_ptr[r + 1]);
-                    let lo = self.col_idx[start..end]
-                        .partition_point(|&c| (c as usize) < bc)
-                        + start;
+                    let lo =
+                        self.col_idx[start..end].partition_point(|&c| (c as usize) < bc) + start;
                     let hi = self.col_idx[start..end]
                         .partition_point(|&c| (c as usize) < bc + block_cols)
                         + start;

@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn stride_is_max_row_population() {
-        let w = Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![5.0, 0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 0.0, 0.0, 0.0]]).unwrap();
         let sdc = Sdc::encode(&w);
         assert_eq!(sdc.row_stride(), 4);
         assert_eq!(sdc.nnz(), 5);

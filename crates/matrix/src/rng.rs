@@ -255,7 +255,9 @@ mod tests {
         let mut rng = MatrixRng::seed_from(7);
         let wide = rng.weights(10, 1000);
         let narrow = rng.weights(10, 10);
-        assert!(wide.frobenius_norm() / (wide.len() as f64).sqrt()
-            < narrow.frobenius_norm() / (narrow.len() as f64).sqrt());
+        assert!(
+            wide.frobenius_norm() / (wide.len() as f64).sqrt()
+                < narrow.frobenius_norm() / (narrow.len() as f64).sqrt()
+        );
     }
 }

@@ -147,10 +147,22 @@ mod tests {
         assert_eq!(
             coords,
             vec![
-                BlockCoord { block_row: 0, block_col: 0 },
-                BlockCoord { block_row: 0, block_col: 1 },
-                BlockCoord { block_row: 1, block_col: 0 },
-                BlockCoord { block_row: 1, block_col: 1 },
+                BlockCoord {
+                    block_row: 0,
+                    block_col: 0
+                },
+                BlockCoord {
+                    block_row: 0,
+                    block_col: 1
+                },
+                BlockCoord {
+                    block_row: 1,
+                    block_col: 0
+                },
+                BlockCoord {
+                    block_row: 1,
+                    block_col: 1
+                },
             ]
         );
     }

@@ -37,7 +37,7 @@ impl std::fmt::Display for ModelKind {
 /// reduction dimension (paper Fig. 3 terminology), `N` the batch/spatial
 /// token count. `repeats` collapses identical layers (e.g. the 12 BERT
 /// encoder layers).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LayerShape {
     /// Layer name, e.g. `"conv2_x 3x3"` or `"ffn.fc1"`.
     pub name: String,
@@ -89,7 +89,10 @@ pub struct Model {
 impl Model {
     /// Total MACs over all layers and repeats.
     pub fn total_macs(&self) -> u64 {
-        self.layers.iter().map(|l| l.macs() * l.repeats as u64).sum()
+        self.layers
+            .iter()
+            .map(|l| l.macs() * l.repeats as u64)
+            .sum()
     }
 
     /// Total weight elements over all layers and repeats.
@@ -231,7 +234,14 @@ pub fn llama2_7b(seq: usize) -> Model {
 pub fn gcn_layer(nodes: usize, features: usize) -> Model {
     Model {
         kind: ModelKind::Gcn,
-        layers: vec![LayerShape::new("aggregate", nodes, nodes, features, 1, true)],
+        layers: vec![LayerShape::new(
+            "aggregate",
+            nodes,
+            nodes,
+            features,
+            1,
+            true,
+        )],
     }
 }
 

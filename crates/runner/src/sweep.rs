@@ -1,0 +1,366 @@
+//! Simulation sweeps: hashable job descriptions + the grid builder.
+
+use std::hash::{Hash, Hasher};
+
+use tbstc_models::Model;
+use tbstc_sim::{simulate_model, Arch, HwConfig, LayerResult, LayerSim, ModelResult};
+
+use crate::memo::Memo;
+use crate::runner::{RunReport, Runner};
+
+/// A hashable, buildable model identity (the workload axis of a sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelSpec {
+    /// ResNet-50 at the given input resolution.
+    ResNet50 {
+        /// Input image height/width in pixels.
+        input: usize,
+    },
+    /// ResNet-18 at the given input resolution.
+    ResNet18 {
+        /// Input image height/width in pixels.
+        input: usize,
+    },
+    /// BERT-base encoder at the given sequence length.
+    BertBase {
+        /// Sequence length in tokens.
+        tokens: usize,
+    },
+    /// OPT-6.7B decoder at the given sequence length.
+    Opt6_7b {
+        /// Sequence length in tokens.
+        tokens: usize,
+    },
+    /// Llama2-7B decoder at the given sequence length.
+    Llama2_7b {
+        /// Sequence length in tokens.
+        tokens: usize,
+    },
+    /// A single GCN aggregation layer.
+    Gcn {
+        /// Graph node count.
+        nodes: usize,
+        /// Feature width.
+        features: usize,
+    },
+}
+
+impl ModelSpec {
+    /// The paper's evaluation set at its default shapes.
+    pub fn paper_set() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::ResNet50 { input: 32 },
+            ModelSpec::ResNet18 { input: 32 },
+            ModelSpec::BertBase { tokens: 128 },
+            ModelSpec::Opt6_7b { tokens: 128 },
+            ModelSpec::Llama2_7b { tokens: 128 },
+        ]
+    }
+
+    /// Materializes the layer shapes.
+    pub fn build(&self) -> Model {
+        match *self {
+            ModelSpec::ResNet50 { input } => tbstc_models::resnet50(input),
+            ModelSpec::ResNet18 { input } => tbstc_models::resnet18(input),
+            ModelSpec::BertBase { tokens } => tbstc_models::bert_base(tokens),
+            ModelSpec::Opt6_7b { tokens } => tbstc_models::opt_6_7b(tokens),
+            ModelSpec::Llama2_7b { tokens } => tbstc_models::llama2_7b(tokens),
+            ModelSpec::Gcn { nodes, features } => tbstc_models::gcn_layer(nodes, features),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ModelSpec::ResNet50 { input } => write!(f, "ResNet-50/{input}"),
+            ModelSpec::ResNet18 { input } => write!(f, "ResNet-18/{input}"),
+            ModelSpec::BertBase { tokens } => write!(f, "BERT-base/{tokens}"),
+            ModelSpec::Opt6_7b { tokens } => write!(f, "OPT-6.7B/{tokens}"),
+            ModelSpec::Llama2_7b { tokens } => write!(f, "Llama2-7B/{tokens}"),
+            ModelSpec::Gcn { nodes, features } => write!(f, "GCN/{nodes}x{features}"),
+        }
+    }
+}
+
+/// One whole-model simulation point: the memo key of model sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimJob {
+    /// Architecture to simulate.
+    pub arch: Arch,
+    /// Workload.
+    pub model: ModelSpec,
+    /// Target sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Weight-sampling seed (owned by the job — the determinism anchor).
+    pub seed: u64,
+}
+
+impl Eq for SimJob {}
+
+impl Hash for SimJob {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.arch.hash(state);
+        self.model.hash(state);
+        self.sparsity.to_bits().hash(state);
+        self.seed.hash(state);
+    }
+}
+
+impl std::fmt::Display for SimJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {} @ {:.1}% (seed {})",
+            self.model,
+            self.arch,
+            self.sparsity * 100.0,
+            self.seed
+        )
+    }
+}
+
+/// A [`Runner`] bound to one [`HwConfig`], with persistent caches for
+/// model- and layer-level simulation points.
+///
+/// Binding the hardware config into the engine keeps the memo keys small
+/// (jobs describe *what* to simulate; the engine owns *how*); use one
+/// `SweepRunner` per hardware configuration.
+#[derive(Debug)]
+pub struct SweepRunner {
+    cfg: HwConfig,
+    runner: Runner,
+    models: Memo<SimJob, ModelResult>,
+    layers: Memo<LayerSim, LayerResult>,
+}
+
+impl SweepRunner {
+    /// An engine over `cfg` with the default (parallel) [`Runner`].
+    pub fn new(cfg: HwConfig) -> Self {
+        Self::with_runner(cfg, Runner::new())
+    }
+
+    /// An engine over `cfg` with an explicit runner (e.g.
+    /// [`Runner::serial`] for determinism checks).
+    pub fn with_runner(cfg: HwConfig, runner: Runner) -> Self {
+        SweepRunner {
+            cfg,
+            runner,
+            models: Memo::new(),
+            layers: Memo::new(),
+        }
+    }
+
+    /// The bound hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// The underlying job runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Simulates every model-level job, memoized and in input order.
+    pub fn run_models(&self, jobs: &[SimJob]) -> RunReport<ModelResult> {
+        self.runner.run_memo(jobs, &self.models, |job| {
+            simulate_model(
+                job.arch,
+                &job.model.build(),
+                job.sparsity,
+                job.seed,
+                &self.cfg,
+            )
+        })
+    }
+
+    /// Simulates one model-level job (through the same cache).
+    pub fn model(&self, job: SimJob) -> ModelResult {
+        self.run_models(std::slice::from_ref(&job))
+            .results
+            .into_iter()
+            .next()
+            .expect("one job in, one result out")
+    }
+
+    /// Simulates every single-layer job ([`LayerSim`] doubles as the
+    /// memo key), memoized and in input order.
+    pub fn run_layers(&self, jobs: &[LayerSim]) -> RunReport<LayerResult> {
+        self.runner
+            .run_memo(jobs, &self.layers, |sim| sim.run(&self.cfg))
+    }
+
+    /// Simulates one single-layer job (through the same cache).
+    pub fn layer(&self, job: LayerSim) -> LayerResult {
+        self.run_layers(std::slice::from_ref(&job))
+            .results
+            .into_iter()
+            .next()
+            .expect("one job in, one result out")
+    }
+
+    /// `(hits, misses)` across both caches since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.models.hits() + self.layers.hits(),
+            self.models.misses() + self.layers.misses(),
+        )
+    }
+}
+
+/// The grid builder: cross product of architectures × models ×
+/// sparsities × seeds, in a fixed deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    archs: Vec<Arch>,
+    models: Vec<ModelSpec>,
+    sparsities: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+impl Sweep {
+    /// An empty grid (defaults to seed 0 until [`Sweep::seeds`] is set).
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Sets the architecture axis.
+    pub fn archs(mut self, archs: impl IntoIterator<Item = Arch>) -> Self {
+        self.archs = archs.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload axis.
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelSpec>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Sets the sparsity axis.
+    pub fn sparsities(mut self, sparsities: impl IntoIterator<Item = f64>) -> Self {
+        self.sparsities = sparsities.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis (defaults to the single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The job grid, ordered model → sparsity → arch → seed.
+    pub fn jobs(&self) -> Vec<SimJob> {
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            &[0]
+        } else {
+            &self.seeds
+        };
+        let mut jobs = Vec::with_capacity(self.len());
+        for model in &self.models {
+            for &sparsity in &self.sparsities {
+                for &arch in &self.archs {
+                    for &seed in seeds {
+                        jobs.push(SimJob {
+                            arch,
+                            model: *model,
+                            sparsity,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Grid size.
+    pub fn len(&self) -> usize {
+        self.models.len() * self.sparsities.len() * self.archs.len() * self.seeds.len().max(1)
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the grid on `engine`.
+    pub fn run(&self, engine: &SweepRunner) -> RunReport<ModelResult> {
+        engine.run_models(&self.jobs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_the_full_cross_product() {
+        let sweep = Sweep::new()
+            .archs([Arch::Tc, Arch::TbStc])
+            .models([ModelSpec::BertBase { tokens: 32 }])
+            .sparsities([0.5, 0.75])
+            .seeds([1, 2, 3]);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 12);
+        assert_eq!(jobs.len(), sweep.len());
+        let unique: std::collections::HashSet<_> = jobs.iter().cloned().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn default_seed_is_zero() {
+        let sweep = Sweep::new()
+            .archs([Arch::Tc])
+            .models([ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            }])
+            .sparsities([0.5]);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].seed, 0);
+    }
+
+    #[test]
+    fn model_spec_builds_expected_kind() {
+        let m = ModelSpec::BertBase { tokens: 32 }.build();
+        assert_eq!(m.kind.to_string(), "BERT-base");
+        assert!(!m.layers.is_empty());
+    }
+
+    #[test]
+    fn sim_job_hash_distinguishes_sparsity_bits() {
+        use std::collections::HashSet;
+        let base = SimJob {
+            arch: Arch::TbStc,
+            model: ModelSpec::BertBase { tokens: 32 },
+            sparsity: 0.5,
+            seed: 0,
+        };
+        let mut other = base;
+        other.sparsity = 0.75;
+        let mut set = HashSet::new();
+        set.insert(base);
+        assert!(set.contains(&base));
+        assert!(!set.contains(&other));
+    }
+
+    #[test]
+    fn engine_caches_repeated_jobs() {
+        let engine = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+        let job = SimJob {
+            arch: Arch::Tc,
+            model: ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            },
+            sparsity: 0.0,
+            seed: 0,
+        };
+        let a = engine.model(job);
+        let b = engine.model(job);
+        assert_eq!(a, b);
+        let (hits, _) = engine.cache_stats();
+        assert!(hits >= 1, "second run must be served from cache");
+    }
+}

@@ -130,7 +130,9 @@ pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
                 .tbs()
                 .and_then(|t| {
                     let gc = t.mask().cols().div_ceil(t.config().m);
-                    t.blocks().get(br * gc + bc).map(|b| b.dim == SparsityDim::Independent)
+                    t.blocks()
+                        .get(br * gc + bc)
+                        .map(|b| b.dim == SparsityDim::Independent)
                 })
                 .unwrap_or(false);
 
@@ -162,8 +164,7 @@ pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
                 // homogeneous (small grouping penalty) but pays two-level
                 // metadata intersection on every cluster.
                 Arch::Highlight => BlockWork {
-                    slots: (ratio_grouped_slots(&row_nnz, m) as f64
-                        * HIGHLIGHT_INTERSECT_OVERHEAD)
+                    slots: (ratio_grouped_slots(&row_nnz, m) as f64 * HIGHLIGHT_INTERSECT_OVERHEAD)
                         .ceil() as usize,
                     nonempty_rows: nonempty,
                     independent_dim,
@@ -257,8 +258,7 @@ pub fn simulate_compute(
     let cycles = (sampled_cycles as f64 * scale).ceil() as u64;
 
     let useful_sampled: u64 = layer.sampled().count_nonzeros() as u64 * layer.sn as u64;
-    let issued_sampled: u64 =
-        works.iter().map(|w| w.slots as u64).sum::<u64>() * layer.sn as u64;
+    let issued_sampled: u64 = works.iter().map(|w| w.slots as u64).sum::<u64>() * layer.sn as u64;
     let useful_macs = (useful_sampled as f64 * scale) as u64;
     let issued_macs = (issued_sampled as f64 * scale) as u64;
 
@@ -297,7 +297,11 @@ mod tests {
     }
 
     fn run(arch: Arch, target: f64) -> ComputeResult {
-        let layer = SparseLayer::build_for_arch(&shape(128, 128, 64), arch, target, 11, &cfg());
+        let layer = crate::LayerSim::new(&shape(128, 128, 64))
+            .arch(arch)
+            .sparsity(target)
+            .seed(11)
+            .build(&cfg());
         simulate_compute(arch, &layer, &cfg(), SchedulePolicy::native(arch))
     }
 
@@ -357,9 +361,17 @@ mod tests {
 
     #[test]
     fn naive_scheduling_hurts_tb_stc() {
-        let layer =
-            SparseLayer::build_for_arch(&shape(128, 128, 64), Arch::TbStc, 0.75, 12, &cfg());
-        let smart = simulate_compute(Arch::TbStc, &layer, &cfg(), SchedulePolicy::native(Arch::TbStc));
+        let layer = crate::LayerSim::new(&shape(128, 128, 64))
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(12)
+            .build(&cfg());
+        let smart = simulate_compute(
+            Arch::TbStc,
+            &layer,
+            &cfg(),
+            SchedulePolicy::native(Arch::TbStc),
+        );
         let naive = simulate_compute(Arch::TbStc, &layer, &cfg(), SchedulePolicy::naive());
         let gain = naive.cycles as f64 / smart.cycles as f64;
         assert!(
@@ -380,10 +392,28 @@ mod tests {
     #[test]
     fn scaling_preserves_per_element_cost() {
         // A 4x larger layer (sampled identically) costs ~4x the cycles.
-        let small = SparseLayer::build_for_arch(&shape(128, 128, 64), Arch::TbStc, 0.5, 13, &cfg());
-        let big = SparseLayer::build_for_arch(&shape(256, 256, 64), Arch::TbStc, 0.5, 13, &cfg());
-        let a = simulate_compute(Arch::TbStc, &small, &cfg(), SchedulePolicy::native(Arch::TbStc));
-        let b = simulate_compute(Arch::TbStc, &big, &cfg(), SchedulePolicy::native(Arch::TbStc));
+        let small = crate::LayerSim::new(&shape(128, 128, 64))
+            .arch(Arch::TbStc)
+            .sparsity(0.5)
+            .seed(13)
+            .build(&cfg());
+        let big = crate::LayerSim::new(&shape(256, 256, 64))
+            .arch(Arch::TbStc)
+            .sparsity(0.5)
+            .seed(13)
+            .build(&cfg());
+        let a = simulate_compute(
+            Arch::TbStc,
+            &small,
+            &cfg(),
+            SchedulePolicy::native(Arch::TbStc),
+        );
+        let b = simulate_compute(
+            Arch::TbStc,
+            &big,
+            &cfg(),
+            SchedulePolicy::native(Arch::TbStc),
+        );
         let ratio = b.cycles as f64 / a.cycles as f64;
         assert!((3.0..5.0).contains(&ratio), "{ratio}");
     }
@@ -422,6 +452,11 @@ mod tests {
     fn sgcn_wasteful_at_dnn_sparsity() {
         let tb = run(Arch::TbStc, 0.6);
         let sg = run(Arch::Sgcn, 0.6);
-        assert!(sg.cycles as f64 > tb.cycles as f64 * 1.2, "SGCN {} TB {}", sg.cycles, tb.cycles);
+        assert!(
+            sg.cycles as f64 > tb.cycles as f64 * 1.2,
+            "SGCN {} TB {}",
+            sg.cycles,
+            tb.cycles
+        );
     }
 }

@@ -122,7 +122,11 @@ impl Dvpe {
             // same-row lanes accumulate; boundaries transmit.
             let mut segment_row: Option<usize> = None;
             let mut segment_sum = 0.0f32;
-            let mut emit = |row: usize, sum: f32, pending: &mut BTreeMap<usize, f32>, trace: &mut DvpeTrace, rounder: &dyn Fn(f32) -> f32| {
+            let emit = |row: usize,
+                        sum: f32,
+                        pending: &mut BTreeMap<usize, f32>,
+                        trace: &mut DvpeTrace,
+                        rounder: &dyn Fn(f32) -> f32| {
                 // The alternate unit merges with any buffered partial.
                 if let Some(prev) = pending.remove(&row) {
                     trace.alternate_merges += 1;
@@ -302,10 +306,26 @@ mod tests {
         // the merged mapping — one concatenated issue computes both
         // D(0,0) and D(1,0) partial results in the same pass.
         let ops = vec![
-            LaneOp { a: 1.0, b: 2.0, row: 0 },
-            LaneOp { a: 3.0, b: 1.0, row: 0 },
-            LaneOp { a: 2.0, b: 2.0, row: 0 },
-            LaneOp { a: 1.0, b: 1.0, row: 1 },
+            LaneOp {
+                a: 1.0,
+                b: 2.0,
+                row: 0,
+            },
+            LaneOp {
+                a: 3.0,
+                b: 1.0,
+                row: 0,
+            },
+            LaneOp {
+                a: 2.0,
+                b: 2.0,
+                row: 0,
+            },
+            LaneOp {
+                a: 1.0,
+                b: 1.0,
+                row: 1,
+            },
         ];
         let dvpe = Dvpe::exact(8);
         let (out, trace) = dvpe.execute(&pack_issues(ops, 8));
@@ -321,8 +341,16 @@ mod tests {
     fn ungrouped_lanes_rejected() {
         let issue = DvpeIssue {
             lanes: vec![
-                LaneOp { a: 1.0, b: 1.0, row: 1 },
-                LaneOp { a: 1.0, b: 1.0, row: 0 },
+                LaneOp {
+                    a: 1.0,
+                    b: 1.0,
+                    row: 1,
+                },
+                LaneOp {
+                    a: 1.0,
+                    b: 1.0,
+                    row: 0,
+                },
             ],
         };
         let _ = Dvpe::exact(8).execute(&[issue]);
@@ -333,7 +361,11 @@ mod tests {
     fn overwide_issue_rejected() {
         let issue = DvpeIssue {
             lanes: (0..9)
-                .map(|_| LaneOp { a: 1.0, b: 1.0, row: 0 })
+                .map(|_| LaneOp {
+                    a: 1.0,
+                    b: 1.0,
+                    row: 0,
+                })
                 .collect(),
         };
         let _ = Dvpe::exact(8).execute(&[issue]);

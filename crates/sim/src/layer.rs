@@ -44,47 +44,51 @@ pub struct SparseLayer {
 }
 
 impl SparseLayer {
-    /// Builds a sparse layer for `shape` pruned with `pattern` at `target`
-    /// sparsity, deterministically from `seed`.
-    ///
-    /// Sampling uses the defaults of [`HwConfig::paper_default`]; use
-    /// [`SparseLayer::build_with`] to control the sample size.
-    pub fn build(shape: &LayerShape, pattern: PatternKind, target: f64, seed: u64) -> Self {
-        Self::build_with(shape, pattern, target, seed, &HwConfig::paper_default())
-    }
-
-    /// Builds with explicit sampling limits from `cfg`.
+    /// The single construction path behind [`crate::LayerSim`] (and the
+    /// deprecated `build*` shims): prunes `shape` with `pattern` at
+    /// `target` sparsity, deterministically from `seed`, sampling under
+    /// the limits in `cfg`. A custom `tbs_cfg` switches block sizing to
+    /// the Fig. 15(a) sensitivity path.
     ///
     /// # Panics
     ///
-    /// Panics when `target` is outside `[0, 1]`.
-    pub fn build_with(
+    /// Panics when `target` is outside `[0, 1]` or `tbs_cfg` is invalid.
+    pub(crate) fn assemble(
         shape: &LayerShape,
         pattern: PatternKind,
         target: f64,
         seed: u64,
         cfg: &HwConfig,
+        tbs_cfg: Option<&TbsConfig>,
     ) -> Self {
         assert!((0.0..=1.0).contains(&target), "target sparsity in [0, 1]");
-        let sm = shape.m.min(cfg.sample_dim).max(8);
-        let sk = shape.k.min(cfg.sample_dim).max(8);
+        // A custom TBS config sizes the sample (and the weight generator's
+        // block granularity) by its own block dimension.
+        let block = tbs_cfg.map_or(8, |t| t.m);
+        let sm = shape.m.min(cfg.sample_dim).max(block);
+        let sk = shape.k.min(cfg.sample_dim).max(block);
         let sn = shape.n.min(cfg.sample_cols).max(1);
         let mut rng = MatrixRng::seed_from(seed ^ fxhash(&shape.name));
-        let weights = rng.block_structured_weights(sm, sk, 8);
+        let weights = rng.block_structured_weights(sm, sk, block);
 
-        let (mask, tbs): (Mask, Option<TbsPattern>) = match pattern {
-            PatternKind::Tbs => {
-                let p = TbsPattern::sparsify(&weights, target, &TbsConfig::paper_default());
-                (p.mask().clone(), Some(p))
+        let (pattern, mask, tbs): (PatternKind, Mask, Option<TbsPattern>) = match (pattern, tbs_cfg)
+        {
+            (_, Some(t)) => {
+                let p = TbsPattern::sparsify(&weights, target, t);
+                (PatternKind::Tbs, p.mask().clone(), Some(p))
             }
-            PatternKind::TileNm => {
+            (PatternKind::Tbs, None) => {
+                let p = TbsPattern::sparsify(&weights, target, &TbsConfig::paper_default());
+                (pattern, p.mask().clone(), Some(p))
+            }
+            (PatternKind::TileNm, None) => {
                 // NVIDIA STC hardware supports exactly 2:4/4:8 — its
                 // metadata format cannot express other ratios, so the
                 // pattern is projected at 50 % regardless of the target
                 // (paper Table I footnote and Fig. 12 caption).
-                (TileNm::new(4, 8).project(&weights, 0.5), None)
+                (pattern, TileNm::new(4, 8).project(&weights, 0.5), None)
             }
-            other => (paper_pattern(other).project(&weights, target), None),
+            (other, None) => (other, paper_pattern(other).project(&weights, target), None),
         };
 
         SparseLayer {
@@ -100,9 +104,55 @@ impl SparseLayer {
         }
     }
 
+    /// Builds a sparse layer for `shape` pruned with `pattern` at `target`
+    /// sparsity, deterministically from `seed`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LayerSim::new(shape).pattern(p).sparsity(s).seed(n).build(&HwConfig::paper_default())`"
+    )]
+    pub fn build(shape: &LayerShape, pattern: PatternKind, target: f64, seed: u64) -> Self {
+        Self::assemble(
+            shape,
+            pattern,
+            target,
+            seed,
+            &HwConfig::paper_default(),
+            None,
+        )
+    }
+
+    /// Builds with explicit sampling limits from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is outside `[0, 1]`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LayerSim::new(shape).pattern(p).sparsity(s).seed(n).build(cfg)`"
+    )]
+    pub fn build_with(
+        shape: &LayerShape,
+        pattern: PatternKind,
+        target: f64,
+        seed: u64,
+        cfg: &HwConfig,
+    ) -> Self {
+        Self::assemble(shape, pattern, target, seed, cfg, None)
+    }
+
     /// Builds the layer for an architecture's native pattern.
-    pub fn build_for_arch(shape: &LayerShape, arch: Arch, target: f64, seed: u64, cfg: &HwConfig) -> Self {
-        Self::build_with(shape, arch.native_pattern(), target, seed, cfg)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LayerSim::new(shape).arch(a).sparsity(s).seed(n).build(cfg)`"
+    )]
+    pub fn build_for_arch(
+        shape: &LayerShape,
+        arch: Arch,
+        target: f64,
+        seed: u64,
+        cfg: &HwConfig,
+    ) -> Self {
+        Self::assemble(shape, arch.native_pattern(), target, seed, cfg, None)
     }
 
     /// Builds a TBS layer with a custom block-size configuration
@@ -111,6 +161,10 @@ impl SparseLayer {
     /// # Panics
     ///
     /// Panics when `target` is outside `[0, 1]` or `tbs_cfg` is invalid.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LayerSim::new(shape).sparsity(s).seed(n).tbs_config(c).build(cfg)`"
+    )]
     pub fn build_tbs_with_config(
         shape: &LayerShape,
         target: f64,
@@ -118,24 +172,7 @@ impl SparseLayer {
         cfg: &HwConfig,
         tbs_cfg: &TbsConfig,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&target), "target sparsity in [0, 1]");
-        let sm = shape.m.min(cfg.sample_dim).max(tbs_cfg.m);
-        let sk = shape.k.min(cfg.sample_dim).max(tbs_cfg.m);
-        let sn = shape.n.min(cfg.sample_cols).max(1);
-        let mut rng = MatrixRng::seed_from(seed ^ fxhash(&shape.name));
-        let weights = rng.block_structured_weights(sm, sk, tbs_cfg.m);
-        let p = TbsPattern::sparsify(&weights, target, tbs_cfg);
-        SparseLayer {
-            name: shape.name.clone(),
-            m: shape.m,
-            k: shape.k,
-            n: shape.n,
-            target,
-            pattern: PatternKind::Tbs,
-            sampled: p.mask().apply(&weights),
-            tbs: Some(p),
-            sn,
-        }
+        Self::assemble(shape, PatternKind::Tbs, target, seed, cfg, Some(tbs_cfg))
     }
 
     /// The sampled pruned weight matrix.
@@ -200,15 +237,24 @@ fn fxhash(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::LayerSim;
     use tbstc_models::bert_base;
 
     fn shape() -> LayerShape {
         bert_base(128).layers[0].clone()
     }
 
+    fn build(shape: &LayerShape, pattern: PatternKind, target: f64, seed: u64) -> SparseLayer {
+        LayerSim::new(shape)
+            .pattern(pattern)
+            .sparsity(target)
+            .seed(seed)
+            .build(&HwConfig::paper_default())
+    }
+
     #[test]
     fn sampling_caps_dimensions() {
-        let l = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 1);
+        let l = build(&shape(), PatternKind::Tbs, 0.5, 1);
         assert_eq!(l.sm(), 128);
         assert_eq!(l.sk(), 128);
         assert_eq!(l.m, 768);
@@ -225,15 +271,19 @@ mod tests {
             repeats: 1,
             prunable: true,
         };
-        let l = SparseLayer::build(&small, PatternKind::Unstructured, 0.5, 2);
+        let l = build(&small, PatternKind::Unstructured, 0.5, 2);
         assert_eq!(l.weight_scale(), 1.0);
         assert_eq!(l.col_scale(), 1.0);
     }
 
     #[test]
     fn target_sparsity_achieved() {
-        for kind in [PatternKind::Unstructured, PatternKind::Tbs, PatternKind::RowWiseVegeta] {
-            let l = SparseLayer::build(&shape(), kind, 0.75, 3);
+        for kind in [
+            PatternKind::Unstructured,
+            PatternKind::Tbs,
+            PatternKind::RowWiseVegeta,
+        ] {
+            let l = build(&shape(), kind, 0.75, 3);
             assert!(
                 (l.actual_sparsity() - 0.75).abs() < 0.06,
                 "{kind}: {}",
@@ -245,22 +295,22 @@ mod tests {
     #[test]
     fn stc_pinned_to_half_density() {
         // Target 0.875 but STC executes 4:8.
-        let l = SparseLayer::build(&shape(), PatternKind::TileNm, 0.875, 4);
+        let l = build(&shape(), PatternKind::TileNm, 0.875, 4);
         assert!((l.actual_sparsity() - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn tbs_layers_carry_metadata() {
-        let l = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 5);
+        let l = build(&shape(), PatternKind::Tbs, 0.5, 5);
         assert!(l.tbs().is_some());
-        let l2 = SparseLayer::build(&shape(), PatternKind::Unstructured, 0.5, 5);
+        let l2 = build(&shape(), PatternKind::Unstructured, 0.5, 5);
         assert!(l2.tbs().is_none());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
-        let b = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
+        let a = build(&shape(), PatternKind::Tbs, 0.5, 7);
+        let b = build(&shape(), PatternKind::Tbs, 0.5, 7);
         assert_eq!(a.sampled(), b.sampled());
     }
 
@@ -268,14 +318,14 @@ mod tests {
     fn different_layer_names_differ() {
         let mut s2 = shape();
         s2.name = "other".into();
-        let a = SparseLayer::build(&shape(), PatternKind::Tbs, 0.5, 7);
-        let b = SparseLayer::build(&s2, PatternKind::Tbs, 0.5, 7);
+        let a = build(&shape(), PatternKind::Tbs, 0.5, 7);
+        let b = build(&s2, PatternKind::Tbs, 0.5, 7);
         assert_ne!(a.sampled(), b.sampled());
     }
 
     #[test]
     fn useful_macs_scale() {
-        let l = SparseLayer::build(&shape(), PatternKind::Unstructured, 0.5, 8);
+        let l = build(&shape(), PatternKind::Unstructured, 0.5, 8);
         let expect = 768.0 * 768.0 * 0.5 * 128.0;
         let got = l.real_useful_macs();
         assert!((got / expect - 1.0).abs() < 0.05, "{got} vs {expect}");

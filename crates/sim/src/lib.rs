@@ -18,22 +18,22 @@
 //! | `DvpeFan` | TBS | SIGMA's element-level FAN instead (ablation) |
 //! | `Sgcn` | unstructured | few lanes, 256 GB/s, per-row overhead |
 //!
-//! The flow: build a [`layer::SparseLayer`] from a workload shape, a
-//! pattern and a target sparsity (large layers are sampled and results
-//! scaled — see `SparseLayer::scale`), then [`pipeline::simulate_layer`]
-//! produces a [`result::LayerResult`] with cycles, a phase breakdown,
-//! utilizations and energy.
+//! The flow: describe a single-layer simulation with [`builder::LayerSim`]
+//! (shape + architecture + sparsity + seed; large layers are sampled and
+//! results scaled — see `SparseLayer::scale`), then
+//! [`builder::LayerSim::run`] (or [`pipeline::simulate_layer`] on a
+//! pre-built [`layer::SparseLayer`]) produces a [`result::LayerResult`]
+//! with cycles, a phase breakdown, utilizations and energy.
 //!
 //! # Examples
 //!
 //! ```
 //! use tbstc_models::bert_base;
-//! use tbstc_sim::{simulate_layer, Arch, HwConfig, SparseLayer};
+//! use tbstc_sim::{Arch, HwConfig, LayerSim};
 //!
 //! let cfg = HwConfig::paper_default();
 //! let layer = &bert_base(128).layers[0];
-//! let sparse = SparseLayer::build(layer, Arch::TbStc.native_pattern(), 0.75, 42);
-//! let res = simulate_layer(Arch::TbStc, &sparse, &cfg);
+//! let res = LayerSim::new(layer).arch(Arch::TbStc).sparsity(0.75).seed(42).run(&cfg);
 //! assert!(res.cycles > 0);
 //! ```
 
@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod builder;
 pub mod compute;
 pub mod config;
 pub mod dvpe;
@@ -53,6 +54,7 @@ pub mod sched;
 pub mod schedunit;
 
 pub use arch::Arch;
+pub use builder::LayerSim;
 pub use config::HwConfig;
 pub use layer::SparseLayer;
 pub use pipeline::{simulate_layer, simulate_model};

@@ -132,7 +132,11 @@ pub fn simulate_memory(
 /// matrix for dense).
 fn info_bytes(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> f64 {
     let w = layer.sampled();
-    if arch == Arch::Tc || (layer.tbs().is_none() && fmt == FormatOverride::Native && matches!(arch, Arch::TbStc | Arch::DvpeFan)) {
+    if arch == Arch::Tc
+        || (layer.tbs().is_none()
+            && fmt == FormatOverride::Native
+            && matches!(arch, Arch::TbStc | Arch::DvpeFan))
+    {
         return w.len() as f64 * 2.0;
     }
     if fmt == FormatOverride::Int8 {
@@ -147,7 +151,10 @@ fn a_trace(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> (Vec<(u64, u
     let w = layer.sampled();
     let to_pairs = |t: tbstc_formats::AccessTrace| -> (Vec<(u64, u64)>, u64) {
         let useful = t.total_bytes();
-        (t.requests().iter().map(|r| (r.addr, r.bytes)).collect(), useful)
+        (
+            t.requests().iter().map(|r| (r.addr, r.bytes)).collect(),
+            useful,
+        )
     };
 
     match fmt {
@@ -262,7 +269,11 @@ mod tests {
     }
 
     fn run(arch: Arch, target: f64, fmt: FormatOverride) -> MemoryResult {
-        let layer = SparseLayer::build_for_arch(&shape(), arch, target, 21, &cfg());
+        let layer = crate::LayerSim::new(&shape())
+            .arch(arch)
+            .sparsity(target)
+            .seed(21)
+            .build(&cfg());
         simulate_memory(arch, &layer, &cfg(), fmt)
     }
 
@@ -287,7 +298,8 @@ mod tests {
         let sdc = run(Arch::TbStc, 0.75, FormatOverride::Sdc);
         let csr = run(Arch::TbStc, 0.75, FormatOverride::Csr);
         assert!(
-            native.a_bandwidth_utilization > 1.2 * sdc.a_bandwidth_utilization.min(csr.a_bandwidth_utilization),
+            native.a_bandwidth_utilization
+                > 1.2 * sdc.a_bandwidth_utilization.min(csr.a_bandwidth_utilization),
             "DDC {} vs SDC {} / CSR {}",
             native.a_bandwidth_utilization,
             sdc.a_bandwidth_utilization,
@@ -311,7 +323,12 @@ mod tests {
     fn sdc_pads_on_heterogeneous_rows() {
         let sdc = run(Arch::TbStc, 0.75, FormatOverride::Sdc);
         let native = run(Arch::TbStc, 0.75, FormatOverride::Native);
-        assert!(sdc.a_bytes > native.a_bytes * 1.2, "SDC {} vs DDC {}", sdc.a_bytes, native.a_bytes);
+        assert!(
+            sdc.a_bytes > native.a_bytes * 1.2,
+            "SDC {} vs DDC {}",
+            sdc.a_bytes,
+            native.a_bytes
+        );
     }
 
     #[test]
@@ -337,8 +354,16 @@ mod tests {
         big.m = 256;
         big.k = 256;
         let cfg = cfg();
-        let ls = SparseLayer::build_for_arch(&small, Arch::TbStc, 0.5, 5, &cfg);
-        let lb = SparseLayer::build_for_arch(&big, Arch::TbStc, 0.5, 5, &cfg);
+        let ls = crate::LayerSim::new(&small)
+            .arch(Arch::TbStc)
+            .sparsity(0.5)
+            .seed(5)
+            .build(&cfg);
+        let lb = crate::LayerSim::new(&big)
+            .arch(Arch::TbStc)
+            .sparsity(0.5)
+            .seed(5)
+            .build(&cfg);
         let rs = simulate_memory(Arch::TbStc, &ls, &cfg, FormatOverride::Native);
         let rb = simulate_memory(Arch::TbStc, &lb, &cfg, FormatOverride::Native);
         let ratio = rb.a_bytes / rs.a_bytes;
@@ -378,7 +403,11 @@ mod buffer_tests {
             buffer_kib: 16384,
             ..HwConfig::paper_default()
         };
-        let layer = crate::layer::SparseLayer::build_for_arch(&shape, crate::Arch::TbStc, 0.75, 1, &small);
+        let layer = crate::LayerSim::new(&shape)
+            .arch(crate::Arch::TbStc)
+            .sparsity(0.75)
+            .seed(1)
+            .build(&small);
         let r_small = simulate_memory(crate::Arch::TbStc, &layer, &small, FormatOverride::Native);
         let r_big = simulate_memory(crate::Arch::TbStc, &layer, &big, FormatOverride::Native);
         assert!(
@@ -401,7 +430,11 @@ mod buffer_tests {
             prunable: true,
         };
         let cfg = HwConfig::paper_default();
-        let layer = crate::layer::SparseLayer::build_for_arch(&shape, crate::Arch::TbStc, 0.5, 2, &cfg);
+        let layer = crate::LayerSim::new(&shape)
+            .arch(crate::Arch::TbStc)
+            .sparsity(0.5)
+            .seed(2)
+            .build(&cfg);
         let r = simulate_memory(crate::Arch::TbStc, &layer, &cfg, FormatOverride::Native);
         assert!((r.b_bytes - 128.0 * 64.0 * 2.0).abs() < 1.0);
     }

@@ -97,7 +97,13 @@ pub fn simulate_layer(arch: Arch, layer: &SparseLayer, cfg: &HwConfig) -> LayerR
 
 /// Simulates a whole model at one target sparsity (non-prunable layers run
 /// dense). Layer repeats multiply into the totals.
-pub fn simulate_model(arch: Arch, model: &Model, target: f64, seed: u64, cfg: &HwConfig) -> ModelResult {
+pub fn simulate_model(
+    arch: Arch,
+    model: &Model,
+    target: f64,
+    seed: u64,
+    cfg: &HwConfig,
+) -> ModelResult {
     let mut layers = Vec::with_capacity(model.layers.len());
     let mut total_cycles = 0u64;
     let mut total_energy = 0.0f64;
@@ -130,7 +136,7 @@ pub fn simulate_model_layer(
     } else {
         tbstc_sparsity::PatternKind::Dense
     };
-    let layer = SparseLayer::build_with(shape, pattern, effective, seed, cfg);
+    let layer = SparseLayer::assemble(shape, pattern, effective, seed, cfg, None);
     simulate_layer(arch, &layer, cfg)
 }
 
@@ -189,8 +195,11 @@ mod tests {
     }
 
     fn run(arch: Arch, target: f64) -> LayerResult {
-        let layer = SparseLayer::build_for_arch(&bert_layer(), arch, target, 31, &cfg());
-        simulate_layer(arch, &layer, &cfg())
+        crate::LayerSim::new(&bert_layer())
+            .arch(arch)
+            .sparsity(target)
+            .seed(31)
+            .run(&cfg())
     }
 
     #[test]
@@ -203,13 +212,38 @@ mod tests {
         let veg = run(Arch::Vegeta, 0.75);
         let stc = run(Arch::Stc, 0.75);
         let tc = run(Arch::Tc, 0.75);
-        assert!(tb.cycles <= (rm.cycles as f64 * 1.1) as u64, "TB {} RM {}", tb.cycles, rm.cycles);
+        assert!(
+            tb.cycles <= (rm.cycles as f64 * 1.1) as u64,
+            "TB {} RM {}",
+            tb.cycles,
+            rm.cycles
+        );
         // RM-STC and HighLight are close (paper: 1.06 vs 1.21); allow a
         // tie margin on this single layer/seed.
-        assert!(rm.cycles <= (hl.cycles as f64 * 1.1) as u64, "RM {} HL {}", rm.cycles, hl.cycles);
-        assert!(hl.cycles <= veg.cycles, "HL {} VEG {}", hl.cycles, veg.cycles);
-        assert!(veg.cycles <= stc.cycles, "VEG {} STC {}", veg.cycles, stc.cycles);
-        assert!(stc.cycles < tc.cycles, "STC {} TC {}", stc.cycles, tc.cycles);
+        assert!(
+            rm.cycles <= (hl.cycles as f64 * 1.1) as u64,
+            "RM {} HL {}",
+            rm.cycles,
+            hl.cycles
+        );
+        assert!(
+            hl.cycles <= veg.cycles,
+            "HL {} VEG {}",
+            hl.cycles,
+            veg.cycles
+        );
+        assert!(
+            veg.cycles <= stc.cycles,
+            "VEG {} STC {}",
+            veg.cycles,
+            stc.cycles
+        );
+        assert!(
+            stc.cycles < tc.cycles,
+            "STC {} TC {}",
+            stc.cycles,
+            tc.cycles
+        );
     }
 
     #[test]
@@ -228,8 +262,11 @@ mod tests {
     fn codec_mostly_hidden() {
         // Paper Fig. 14: conversion ≈3.57% of execution, hidden in the
         // pipeline.
-        let layer = SparseLayer::build_for_arch(&bert_layer(), Arch::TbStc, 0.75, 32, &cfg());
-        let res = simulate_layer(Arch::TbStc, &layer, &cfg());
+        let sim = crate::LayerSim::new(&bert_layer())
+            .arch(Arch::TbStc)
+            .sparsity(0.75)
+            .seed(32);
+        let res = sim.run(&cfg());
         let share = res.breakdown.codec_share();
         assert!(share < 0.15, "codec share {share}");
         assert!(
@@ -296,20 +333,34 @@ mod tests {
         // loses across 30–90%.
         let gcn = tbstc_models::gcn_layer(1024, 128).layers[0].clone();
         let at = |arch: Arch, s: f64| {
-            let l = SparseLayer::build_for_arch(&gcn, arch, s, 36, &cfg());
-            simulate_layer(arch, &l, &cfg()).cycles
+            crate::LayerSim::new(&gcn)
+                .arch(arch)
+                .sparsity(s)
+                .seed(36)
+                .run(&cfg())
+                .cycles
         };
         let mid_tb = at(Arch::TbStc, 0.6);
         let mid_sg = at(Arch::Sgcn, 0.6);
-        assert!(mid_tb < mid_sg, "TB-STC wins mid-sparsity: {mid_tb} vs {mid_sg}");
+        assert!(
+            mid_tb < mid_sg,
+            "TB-STC wins mid-sparsity: {mid_tb} vs {mid_sg}"
+        );
         let hi_tb = at(Arch::TbStc, 0.97);
         let hi_sg = at(Arch::Sgcn, 0.97);
-        assert!(hi_sg < hi_tb, "SGCN wins extreme sparsity: {hi_sg} vs {hi_tb}");
+        assert!(
+            hi_sg < hi_tb,
+            "SGCN wins extreme sparsity: {hi_sg} vs {hi_tb}"
+        );
     }
 
     #[test]
     fn codec_stats_accumulate() {
-        let layer = SparseLayer::build_for_arch(&bert_layer(), Arch::TbStc, 0.5, 37, &cfg());
+        let layer = crate::LayerSim::new(&bert_layer())
+            .arch(Arch::TbStc)
+            .sparsity(0.5)
+            .seed(37)
+            .build(&cfg());
         let stats = codec_stats(&layer);
         assert!(stats.groups > 0);
         assert!(stats.total_cycles() > 0);

@@ -190,9 +190,18 @@ mod tests {
 
     #[test]
     fn balanced_intra_is_ceil_of_nnz() {
-        assert_eq!(intra_block_cycles(&work(9, 5), IntraBlockPolicy::Balanced, 8), 2);
-        assert_eq!(intra_block_cycles(&work(8, 8), IntraBlockPolicy::Balanced, 8), 1);
-        assert_eq!(intra_block_cycles(&work(0, 0), IntraBlockPolicy::Balanced, 8), 0);
+        assert_eq!(
+            intra_block_cycles(&work(9, 5), IntraBlockPolicy::Balanced, 8),
+            2
+        );
+        assert_eq!(
+            intra_block_cycles(&work(8, 8), IntraBlockPolicy::Balanced, 8),
+            1
+        );
+        assert_eq!(
+            intra_block_cycles(&work(0, 0), IntraBlockPolicy::Balanced, 8),
+            0
+        );
     }
 
     #[test]
@@ -207,11 +216,25 @@ mod tests {
     #[test]
     fn empty_stream_is_free() {
         assert_eq!(
-            schedule_stream(&[], 4, 4, 8, InterBlockPolicy::SparsityAware, IntraBlockPolicy::Balanced),
+            schedule_stream(
+                &[],
+                4,
+                4,
+                8,
+                InterBlockPolicy::SparsityAware,
+                IntraBlockPolicy::Balanced
+            ),
             0
         );
         assert_eq!(
-            schedule_stream(&[work(8, 8)], 0, 4, 8, InterBlockPolicy::Direct, IntraBlockPolicy::Balanced),
+            schedule_stream(
+                &[work(8, 8)],
+                0,
+                4,
+                8,
+                InterBlockPolicy::Direct,
+                IntraBlockPolicy::Balanced
+            ),
             0
         );
     }
@@ -234,7 +257,10 @@ mod tests {
         );
         let bound = (total * 64).div_ceil(128 * 8);
         assert!(cycles >= bound);
-        assert!(cycles as f64 <= bound as f64 * 1.2, "{cycles} vs bound {bound}");
+        assert!(
+            cycles as f64 <= bound as f64 * 1.2,
+            "{cycles} vs bound {bound}"
+        );
     }
 
     #[test]
@@ -266,7 +292,10 @@ mod tests {
         // blocks: check direct wastes at least the ceiling slack.
         let total: u64 = blocks.iter().map(|b| b.slots as u64).sum();
         let bound = (total * 64).div_ceil(128 * 8);
-        assert!(smart <= bound + bound / 10, "smart {smart} vs bound {bound}");
+        assert!(
+            smart <= bound + bound / 10,
+            "smart {smart} vs bound {bound}"
+        );
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl SchedulingUnit {
                 let take: Vec<Pending> = if let Some(i) = full {
                     vec![buffer.remove(i)]
                 } else if buffer.len() >= self.capacity || stream.is_empty() {
-                    buffer.drain(..).collect()
+                    std::mem::take(&mut buffer)
                 } else {
                     Vec::new() // wait for a merge partner
                 };
@@ -203,7 +203,11 @@ mod tests {
     fn every_block_dispatched_exactly_once() {
         let slots = vec![5usize, 3, 9, 0, 12, 7, 2];
         let run = SchedulingUnit::paper_default().run(&slots);
-        let mut seen: Vec<usize> = run.dispatches.iter().flat_map(|d| d.blocks.clone()).collect();
+        let mut seen: Vec<usize> = run
+            .dispatches
+            .iter()
+            .flat_map(|d| d.blocks.clone())
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..slots.len()).collect::<Vec<_>>());
     }

@@ -236,7 +236,9 @@ impl Mask {
 
     /// Converts the mask to a 0/1 matrix.
     pub fn to_matrix(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |r, c| f32::from(u8::from(self.get(r, c))))
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f32::from(u8::from(self.get(r, c)))
+        })
     }
 
     /// Iterates over the kept coordinates in row-major order.

@@ -14,6 +14,8 @@
 /// Accurate to ~1e-13 relative error for positive arguments, which is far
 /// beyond what the MS plots need.
 pub fn ln_gamma(x: f64) -> f64 {
+    // The published Lanczos(g = 7) coefficients, digits kept verbatim.
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
     const G: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -313,10 +315,7 @@ mod md_tests {
     fn md_tbs_exceeds_md_tile_at_same_ratio() {
         // The dimension bit and per-lane placement freedom dominate.
         for n in [1u64, 2, 4] {
-            assert!(
-                md_tbs(64, 64, 8, n) > md_tile(64, 64, 8, n),
-                "n = {n}"
-            );
+            assert!(md_tbs(64, 64, 8, n) > md_tile(64, 64, 8, n), "n = {n}");
         }
     }
 

@@ -219,7 +219,10 @@ impl RowWiseVegeta {
     /// Panics when candidates are not strictly increasing or exceed `m`.
     pub fn new(m: usize, candidates: Vec<usize>) -> Self {
         assert!(m > 0, "tile size must be positive");
-        assert!(candidates.windows(2).all(|w| w[0] < w[1]), "sorted candidates");
+        assert!(
+            candidates.windows(2).all(|w| w[0] < w[1]),
+            "sorted candidates"
+        );
         assert!(*candidates.last().expect("non-empty") <= m, "N <= M");
         RowWiseVegeta { m, candidates }
     }
@@ -246,7 +249,14 @@ impl Pattern for RowWiseVegeta {
         let row_mass: Vec<f64> = (0..scores.rows())
             .map(|r| abs.row(r).iter().map(|&x| f64::from(x)).sum())
             .collect();
-        adjust_rows(&mut row_n, &self.candidates, &row_mass, scores.cols(), self.m, keep_total);
+        adjust_rows(
+            &mut row_n,
+            &self.candidates,
+            &row_mass,
+            scores.cols(),
+            self.m,
+            keep_total,
+        );
 
         let mut mask = Mask::none(scores.rows(), scores.cols());
         for (r, &n) in row_n.iter().enumerate() {
@@ -451,7 +461,9 @@ fn adjust_rows(
                 best = Some((r, new_n, delta, row_mass[r]));
             }
         }
-        let Some((r, new_n, delta, _)) = best else { break };
+        let Some((r, new_n, delta, _)) = best else {
+            break;
+        };
         row_n[r] = new_n;
         total += delta;
     }
@@ -531,7 +543,10 @@ mod tests {
         let mask = RowWiseVegeta::paper_default().project(&w, 0.5);
         let first = mask.row_kept(0);
         let last = mask.row_kept(15);
-        assert!(first > last, "dense row kept {first}, sparse row kept {last}");
+        assert!(
+            first > last,
+            "dense row kept {first}, sparse row kept {last}"
+        );
     }
 
     #[test]
@@ -559,7 +574,11 @@ mod tests {
     fn highlight_achieves_degrees_ts_cannot() {
         // 1/16 density (93.75% sparsity) is achievable hierarchically.
         let mask = RowWiseHighlight::paper_default().project(&weights(7), 0.9375);
-        assert!((mask.sparsity() - 0.9375).abs() < 0.05, "{}", mask.sparsity());
+        assert!(
+            (mask.sparsity() - 0.9375).abs() < 0.05,
+            "{}",
+            mask.sparsity()
+        );
     }
 
     #[test]
@@ -574,7 +593,9 @@ mod tests {
         let target = 0.75;
         let mass = |kind: PatternKind| -> f64 {
             let mask = paper_pattern(kind).project(&w, target);
-            mask.iter_kept().map(|(r, c)| f64::from(w[(r, c)].abs())).sum()
+            mask.iter_kept()
+                .map(|(r, c)| f64::from(w[(r, c)].abs()))
+                .sum()
         };
         let us = mass(PatternKind::Unstructured);
         let tbs = mass(PatternKind::Tbs);
@@ -582,7 +603,11 @@ mod tests {
         let rsh = mass(PatternKind::RowWiseHighlight);
         let ts = mass(PatternKind::TileNm);
         assert!(us >= tbs, "US {us} >= TBS {tbs}");
-        assert!(tbs >= rsv.max(rsh) * 0.999, "TBS {tbs} vs RS {}", rsv.max(rsh));
+        assert!(
+            tbs >= rsv.max(rsh) * 0.999,
+            "TBS {tbs} vs RS {}",
+            rsv.max(rsh)
+        );
         assert!(rsv >= ts * 0.999, "RS-V {rsv} vs TS {ts}");
     }
 

@@ -92,9 +92,7 @@ mod tests {
         let w = rng.block_structured_weights(128, 128, 8);
         for &target in &[0.5, 0.75] {
             let rows = similarity_sweep(&w, target);
-            let get = |k: PatternKind| {
-                rows.iter().find(|r| r.kind == k).unwrap().similarity
-            };
+            let get = |k: PatternKind| rows.iter().find(|r| r.kind == k).unwrap().similarity;
             let tbs = get(PatternKind::Tbs);
             let ts = get(PatternKind::TileNm);
             let rsv = get(PatternKind::RowWiseVegeta);

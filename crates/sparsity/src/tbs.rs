@@ -74,7 +74,10 @@ impl TbsConfig {
     ///
     /// Panics if `m` is not a power of two or is zero.
     pub fn with_block_size(m: usize) -> Self {
-        assert!(m > 0 && m.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            m > 0 && m.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let mut n_candidates = vec![0];
         let mut n = 1;
         while n <= m {
@@ -91,7 +94,10 @@ impl TbsConfig {
     /// Panics with a description of the violated invariant.
     pub fn validate(&self) {
         assert!(self.m > 0, "block size must be positive");
-        assert!(!self.n_candidates.is_empty(), "need at least one N candidate");
+        assert!(
+            !self.n_candidates.is_empty(),
+            "need at least one N candidate"
+        );
         assert!(
             self.n_candidates.windows(2).all(|w| w[0] < w[1]),
             "N candidates must be strictly increasing"
@@ -430,7 +436,9 @@ fn adjust_to_target(
                 best = Some((i, new_n, delta, mass));
             }
         }
-        let Some((i, new_n, delta, _)) = best else { break };
+        let Some((i, new_n, delta, _)) = best else {
+            break;
+        };
         chosen[i].1 = new_n;
         total_kept += delta;
     }
@@ -439,9 +447,9 @@ fn adjust_to_target(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pattern::Pattern;
     use proptest::prelude::*;
     use tbstc_matrix::rng::MatrixRng;
-    use crate::pattern::Pattern;
 
     fn cfg() -> TbsConfig {
         TbsConfig::paper_default()
@@ -617,7 +625,7 @@ mod tests {
 #[cfg(test)]
 mod transpose_tests {
     use super::*;
-    use crate::pattern::{paper_pattern, Pattern};
+    use crate::pattern::paper_pattern;
     use proptest::prelude::*;
     use tbstc_matrix::rng::MatrixRng;
 
@@ -641,8 +649,7 @@ mod transpose_tests {
                 .blocks()
                 .iter()
                 .find(|x| {
-                    x.coord.block_row == b.coord.block_col
-                        && x.coord.block_col == b.coord.block_row
+                    x.coord.block_row == b.coord.block_col && x.coord.block_col == b.coord.block_row
                 })
                 .expect("transposed block exists");
             assert_eq!(tb.n, b.n);

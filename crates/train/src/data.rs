@@ -72,7 +72,7 @@ impl Dataset {
             .collect();
         let noise = (difficulty as f32).clamp(0.05, 1.0) * 1.2;
 
-        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+        let sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
             let mut x = Matrix::zeros(n, features);
             let mut y = Vec::with_capacity(n);
             for i in 0..n {
@@ -126,7 +126,7 @@ impl Dataset {
             .collect();
         let noise_tokens = ((signature_len as f64) * difficulty * 2.0).ceil() as usize;
 
-        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+        let sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
             let mut x = Matrix::zeros(n, features);
             let mut y = Vec::with_capacity(n);
             for i in 0..n {
@@ -182,7 +182,7 @@ impl Dataset {
         let w1 = rng.block_structured_weights(hidden, features, 8);
         let w2 = rng.block_structured_weights(classes, hidden, 8);
 
-        let mut sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
+        let sample = |n: usize, rng: &mut MatrixRng| -> (Matrix, Vec<usize>) {
             let x = rng.gaussian(n, features, 0.0, 1.0);
             let mut y = Vec::with_capacity(n);
             for i in 0..n {

@@ -38,7 +38,9 @@ impl Teacher {
                 net.train_batch(&x, &y);
             }
         }
-        let calib_x = data.train_x.block(0, 0, data.train_len().min(64), data.features());
+        let calib_x = data
+            .train_x
+            .block(0, 0, data.train_len().min(64), data.features());
         let (_, calibration) = net.forward_cached(&calib_x);
         Teacher { net, calibration }
     }
@@ -243,7 +245,11 @@ impl SyntheticLlm {
 
     /// One-shot prunes with a custom TBS block-size configuration and
     /// returns agreement with the dense outputs (Fig. 15(a)).
-    pub fn prune_and_eval_with_tbs(&self, tbs_config: &tbstc_sparsity::TbsConfig, sparsity: f64) -> f64 {
+    pub fn prune_and_eval_with_tbs(
+        &self,
+        tbs_config: &tbstc_sparsity::TbsConfig,
+        sparsity: f64,
+    ) -> f64 {
         use tbstc_sparsity::Pattern as _;
         let projector = tbstc_sparsity::pattern::Tbs(tbs_config.clone());
         let mut pruned = self.net.clone();

@@ -192,7 +192,11 @@ mod tests {
     #[test]
     fn sparse_training_beats_chance() {
         let d = dataset();
-        for kind in [PatternKind::Unstructured, PatternKind::Tbs, PatternKind::TileNm] {
+        for kind in [
+            PatternKind::Unstructured,
+            PatternKind::Tbs,
+            PatternKind::TileNm,
+        ] {
             let rec = SparseTrainer::new(quick_cfg(kind, 0.5)).train(&d);
             assert!(rec.test_accuracy > 0.5, "{kind}: {}", rec.test_accuracy);
         }

@@ -14,7 +14,11 @@ fn main() {
     let models = [resnet50(64), bert_base(128), opt_6_7b(128)];
 
     for model in &models {
-        println!("== {} at {:.0}% weight sparsity ==", model.kind, sparsity * 100.0);
+        println!(
+            "== {} at {:.0}% weight sparsity ==",
+            model.kind,
+            sparsity * 100.0
+        );
         let dense = simulate_model(Arch::Tc, model, 0.0, 5, &cfg);
         println!(
             "  {:<10} {:>14} cycles {:>10} mJ   (dense baseline)",
@@ -23,7 +27,13 @@ fn main() {
             format!("{:.2}", dense.total_energy_pj * 1e-9)
         );
         let mut results = Vec::new();
-        for arch in [Arch::Stc, Arch::Vegeta, Arch::Highlight, Arch::RmStc, Arch::TbStc] {
+        for arch in [
+            Arch::Stc,
+            Arch::Vegeta,
+            Arch::Highlight,
+            Arch::RmStc,
+            Arch::TbStc,
+        ] {
             let res = simulate_model(arch, model, sparsity, 5, &cfg);
             println!(
                 "  {:<10} {:>14} cycles {:>10} mJ   speedup {:>5.2}x  EDP gain {:>5.2}x",

@@ -25,7 +25,13 @@ fn main() {
     println!("Format comparison on 128x128 TBS-pruned weights (paper Fig. 7 / §V)\n");
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
-        "sparsity", "DDC bytes", "SDC bytes", "CSR bytes", "DDC BW util", "SDC BW util", "CSR BW util"
+        "sparsity",
+        "DDC bytes",
+        "SDC bytes",
+        "CSR bytes",
+        "DDC BW util",
+        "SDC BW util",
+        "CSR BW util"
     );
 
     for &sparsity in &[0.3, 0.5, 0.625, 0.75, 0.875, 0.9375] {

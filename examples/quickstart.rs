@@ -16,7 +16,10 @@ fn main() {
     pattern.assert_valid();
     let pruned = pattern.mask().apply(&weights);
     println!("TBS pruning at {:.0}% target sparsity", target * 100.0);
-    println!("  achieved sparsity : {:.2}%", pattern.mask().sparsity() * 100.0);
+    println!(
+        "  achieved sparsity : {:.2}%",
+        pattern.mask().sparsity() * 100.0
+    );
     let dist = classify_blocks(&pattern);
     let (row, col, other) = dist.fractions();
     println!(
@@ -38,17 +41,31 @@ fn main() {
         sdc.stored_bytes(),
         sdc.redundancy() * 100.0
     );
-    println!("  CSR               : {} bytes (scattered consumption)", csr.stored_bytes());
+    println!(
+        "  CSR               : {} bytes (scattered consumption)",
+        csr.stored_bytes()
+    );
     assert_eq!(ddc.decode(), pruned, "DDC round-trips exactly");
 
     // --- 3. Simulate a BERT-base layer on three architectures. ------------
     let cfg = HwConfig::paper_default();
     let shape = &bert_base(128).layers[0];
-    println!("\nSimulating {} ({}x{} weights, {} tokens):", shape.name, shape.m, shape.k, shape.n);
-    let dense = SparseLayer::build_for_arch(shape, Arch::Tc, 0.0, 7, &cfg);
+    println!(
+        "\nSimulating {} ({}x{} weights, {} tokens):",
+        shape.name, shape.m, shape.k, shape.n
+    );
+    let dense = LayerSim::new(shape)
+        .arch(Arch::Tc)
+        .sparsity(0.0)
+        .seed(7)
+        .build(&cfg);
     let tc = simulate_layer(Arch::Tc, &dense, &cfg);
     for arch in [Arch::Stc, Arch::TbStc] {
-        let layer = SparseLayer::build_for_arch(shape, arch, target, 7, &cfg);
+        let layer = LayerSim::new(shape)
+            .arch(arch)
+            .sparsity(target)
+            .seed(7)
+            .build(&cfg);
         let res = simulate_layer(arch, &layer, &cfg);
         println!(
             "  {:<7} {:>9} cycles  speedup {:.2}x  EDP gain {:.2}x  util {:>5.1}%",

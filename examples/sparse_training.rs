@@ -21,7 +21,10 @@ fn main() {
     );
 
     let sparsity = 0.75;
-    println!("Training the same MLP under three regimes (target sparsity {:.0}%):", sparsity * 100.0);
+    println!(
+        "Training the same MLP under three regimes (target sparsity {:.0}%):",
+        sparsity * 100.0
+    );
     let mut rows = Vec::new();
     for (kind, s) in [
         (PatternKind::Dense, 0.0),

@@ -41,7 +41,7 @@ proptest! {
         };
         let mut prev = u64::MAX;
         for target in [0.25, 0.5, 0.75, 0.9] {
-            let layer = SparseLayer::build_for_arch(&shape, Arch::TbStc, target, seed, &cfg);
+            let layer = LayerSim::new(&shape).arch(Arch::TbStc).sparsity(target).seed(seed).build(&cfg);
             let res = simulate_layer(Arch::TbStc, &layer, &cfg);
             let slack = prev.saturating_add(prev / 10);
             prop_assert!(res.cycles <= slack, "sparsity {target}: {} > {}", res.cycles, prev);
@@ -57,8 +57,8 @@ proptest! {
         let shape = tbstc::models::LayerShape {
             name: "vsdense".into(), m: 96, k: 96, n: 32, repeats: 1, prunable: true,
         };
-        let sparse = SparseLayer::build_for_arch(&shape, Arch::TbStc, target, seed, &cfg);
-        let dense = SparseLayer::build_for_arch(&shape, Arch::Tc, 0.0, seed, &cfg);
+        let sparse = LayerSim::new(&shape).arch(Arch::TbStc).sparsity(target).seed(seed).build(&cfg);
+        let dense = LayerSim::new(&shape).arch(Arch::Tc).sparsity(0.0).seed(seed).build(&cfg);
         let tb = simulate_layer(Arch::TbStc, &sparse, &cfg);
         let tc = simulate_layer(Arch::Tc, &dense, &cfg);
         prop_assert!(tb.cycles <= tc.cycles, "TB {} vs TC {}", tb.cycles, tc.cycles);
@@ -73,7 +73,7 @@ proptest! {
         let shape = tbstc::models::LayerShape {
             name: "ratio".into(), m: 64, k: 64, n: 16, repeats: 1, prunable: true,
         };
-        let layer = SparseLayer::build_for_arch(&shape, arch, 0.6, seed, &cfg);
+        let layer = LayerSim::new(&shape).arch(arch).sparsity(0.6).seed(seed).build(&cfg);
         let comp = simulate_compute(arch, &layer, &cfg, SchedulePolicy::native(arch));
         prop_assert!(comp.utilization > 0.0 && comp.utilization <= 1.0 + 1e-9);
         prop_assert!(comp.issued_macs >= comp.useful_macs);
@@ -85,7 +85,7 @@ proptest! {
     /// so individual seeds may trail by a sliver — never by much.
     #[test]
     fn tbs_retains_at_least_tile_mass(seed in 0u64..200) {
-        use tbstc::sparsity::pattern::{paper_pattern, Pattern};
+        use tbstc::sparsity::pattern::paper_pattern;
         let w = MatrixRng::seed_from(seed).block_structured_weights(48, 48, 8);
         let mass = |mask: &Mask| -> f64 {
             mask.iter_kept().map(|(r, c)| f64::from(w[(r, c)].abs())).sum()

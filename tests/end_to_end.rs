@@ -86,7 +86,11 @@ fn simulator_mac_conservation() {
         prunable: true,
     };
     for arch in Arch::MAIN_BASELINES {
-        let layer = SparseLayer::build_for_arch(&shape, arch, 0.75, 6, &cfg);
+        let layer = LayerSim::new(&shape)
+            .arch(arch)
+            .sparsity(0.75)
+            .seed(6)
+            .build(&cfg);
         let comp = simulate_compute(arch, &layer, &cfg, SchedulePolicy::native(arch));
         let expect = layer.sampled().count_nonzeros() as u64 * 64;
         assert_eq!(comp.useful_macs, expect, "{arch}");
@@ -107,11 +111,20 @@ fn memory_traffic_conservation() {
         prunable: true,
     };
     for arch in Arch::MAIN_BASELINES {
-        let layer = SparseLayer::build_for_arch(&shape, arch, 0.75, 7, &cfg);
+        let layer = LayerSim::new(&shape)
+            .arch(arch)
+            .sparsity(0.75)
+            .seed(7)
+            .build(&cfg);
         let mem = simulate_memory(arch, &layer, &cfg, FormatOverride::Native);
         let nnz_bytes = layer.sampled().count_nonzeros() as f64 * 2.0;
         let dense_bytes = (128 * 128) as f64 * 2.0;
-        assert!(mem.a_bytes >= nnz_bytes * 0.99, "{arch}: {} < {}", mem.a_bytes, nnz_bytes);
+        assert!(
+            mem.a_bytes >= nnz_bytes * 0.99,
+            "{arch}: {} < {}",
+            mem.a_bytes,
+            nnz_bytes
+        );
         assert!(
             mem.a_bytes <= dense_bytes * 1.5,
             "{arch}: {} vs dense {}",
@@ -142,15 +155,31 @@ fn sparse_training_then_hardware_speedup() {
     let mut cfg_t = TrainConfig::new(&data, PatternKind::Tbs, 0.75, 2);
     cfg_t.epochs = 12;
     let rec = SparseTrainer::new(cfg_t).train(&data);
-    assert!(rec.test_accuracy > 0.5, "trained accuracy {}", rec.test_accuracy);
+    assert!(
+        rec.test_accuracy > 0.5,
+        "trained accuracy {}",
+        rec.test_accuracy
+    );
 
     let hw = HwConfig::paper_default();
     let shape = &tbstc::models::bert_base(64).layers[0];
-    let sparse = SparseLayer::build_for_arch(shape, Arch::TbStc, 0.75, 2, &hw);
-    let dense = SparseLayer::build_for_arch(shape, Arch::Tc, 0.0, 2, &hw);
+    let sparse = LayerSim::new(shape)
+        .arch(Arch::TbStc)
+        .sparsity(0.75)
+        .seed(2)
+        .build(&hw);
+    let dense = LayerSim::new(shape)
+        .arch(Arch::Tc)
+        .sparsity(0.0)
+        .seed(2)
+        .build(&hw);
     let tb = simulate_layer(Arch::TbStc, &sparse, &hw);
     let tc = simulate_layer(Arch::Tc, &dense, &hw);
-    assert!(tb.speedup_over(&tc) > 1.5, "speedup {}", tb.speedup_over(&tc));
+    assert!(
+        tb.speedup_over(&tc) > 1.5,
+        "speedup {}",
+        tb.speedup_over(&tc)
+    );
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! The parallel experiment engine's contract: parallel execution is
+//! bit-identical to serial, repeated jobs are served from the cache, and
+//! wide grids actually speed up on multi-core machines.
+
+use std::time::Instant;
+
+use tbstc::prelude::*;
+
+/// A small but non-trivial grid: every main-comparison architecture at
+/// several sparsity points on a model that is cheap enough to simulate
+/// many times.
+fn grid(seeds: impl IntoIterator<Item = u64>) -> Vec<SimJob> {
+    Sweep::new()
+        .archs(Arch::MAIN_BASELINES)
+        .models([ModelSpec::Gcn {
+            nodes: 256,
+            features: 32,
+        }])
+        .sparsities([0.5, 0.75])
+        .seeds(seeds)
+        .jobs()
+}
+
+#[test]
+fn parallel_results_are_bit_identical_to_serial_for_every_arch() {
+    let jobs = grid([11]);
+    assert_eq!(jobs.len(), Arch::MAIN_BASELINES.len() * 2);
+
+    let serial = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+    let parallel =
+        SweepRunner::with_runner(HwConfig::paper_default(), Runner::new().with_workers(4));
+    let s = serial.run_models(&jobs);
+    let p = parallel.run_models(&jobs);
+
+    assert_eq!(s.results.len(), p.results.len());
+    for ((job, sr), pr) in jobs.iter().zip(&s.results).zip(&p.results) {
+        assert_eq!(sr, pr, "parallel result diverged from serial for {job}");
+    }
+}
+
+#[test]
+fn layer_jobs_are_deterministic_across_worker_counts() {
+    let shape = tbstc::models::gcn_layer(256, 32).layers[0].clone();
+    let jobs: Vec<LayerSim> = Arch::MAIN_BASELINES
+        .iter()
+        .map(|&arch| LayerSim::new(&shape).arch(arch).sparsity(0.75).seed(5))
+        .collect();
+
+    let serial = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+    let parallel =
+        SweepRunner::with_runner(HwConfig::paper_default(), Runner::new().with_workers(4));
+    assert_eq!(
+        serial.run_layers(&jobs).results,
+        parallel.run_layers(&jobs).results,
+        "layer-level results must not depend on the worker count"
+    );
+}
+
+#[test]
+fn dense_baseline_is_computed_once_and_served_from_cache() {
+    let engine = SweepRunner::new(HwConfig::paper_default());
+    let model = ModelSpec::Gcn {
+        nodes: 256,
+        features: 32,
+    };
+    let dense = SimJob {
+        arch: Arch::Tc,
+        model,
+        sparsity: 0.0,
+        seed: 0,
+    };
+
+    // Every sweep row pairs with the same dense anchor, as the bench
+    // harnesses do: the anchor must only ever be simulated once.
+    let jobs: Vec<SimJob> = [0.5, 0.625, 0.75, 0.875]
+        .iter()
+        .flat_map(|&s| {
+            [
+                dense,
+                SimJob {
+                    arch: Arch::TbStc,
+                    model,
+                    sparsity: s,
+                    seed: 0,
+                },
+            ]
+        })
+        .collect();
+    let report = engine.run_models(&jobs);
+
+    assert_eq!(report.stats.jobs, 8);
+    assert_eq!(
+        report.stats.unique_jobs, 5,
+        "one dense anchor + four sparse points"
+    );
+    assert_eq!(report.stats.cache_hits, 3);
+
+    // A repeated batch is served entirely from the cache.
+    let again = engine.run_models(&jobs);
+    assert_eq!(again.stats.unique_jobs, 0);
+    assert_eq!(again.stats.cache_hits, 8);
+    assert_eq!(again.results, report.results);
+    let (hits, misses) = engine.cache_stats();
+    assert!(hits >= 11, "expected >= 11 cache hits, saw {hits}");
+    assert_eq!(misses, 5);
+}
+
+/// The ISSUE acceptance bar: a >= 32-job sweep on >= 4 cores runs at
+/// least 2x faster than serial with identical results. The speedup half
+/// only asserts on machines that actually have the cores.
+#[test]
+fn wide_sweep_speeds_up_on_multicore_and_stays_identical() {
+    let jobs = grid([1, 2, 3]);
+    assert!(jobs.len() >= 32, "grid has {} jobs", jobs.len());
+
+    let t0 = Instant::now();
+    let serial = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+    let s = serial.run_models(&jobs);
+    let serial_wall = t0.elapsed();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t1 = Instant::now();
+    let parallel =
+        SweepRunner::with_runner(HwConfig::paper_default(), Runner::new().with_workers(cores));
+    let p = parallel.run_models(&jobs);
+    let parallel_wall = t1.elapsed();
+
+    assert_eq!(
+        s.results, p.results,
+        "speedup must not change any result bit"
+    );
+
+    if cores >= 4 {
+        let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup on {cores} cores, measured {speedup:.2}x \
+             (serial {serial_wall:?}, parallel {parallel_wall:?})"
+        );
+    }
+}

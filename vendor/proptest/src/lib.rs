@@ -1,0 +1,117 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, numeric range
+//! strategies, tuple strategies and `collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways: case generation
+//! is *deterministic* (seeded from the test name, so failures reproduce
+//! without a regressions file), and there is no shrinking — a failing case
+//! reports its inputs via the panic message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by every test module: strategies, config and the
+/// assertion macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///     #[test]
+///     fn my_property(x in 0u64..100, y in 0.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(concat!("case {}", $(concat!(", ", stringify!($arg), " = {:?}")),*), __case $(, &$arg)*);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = __outcome {
+                    eprintln!("proptest {} failed on {}", stringify!($name), __inputs);
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.0f64..1.0, k in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0u32..10, 0i32..5), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 10 && b < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        let s = 0u64..1000;
+        for _ in 0..64 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Distribution types (the `Uniform` subset the workspace uses).
+
+use crate::{RngCore, SampleRange};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A uniform distribution over the half-open range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// A uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+macro_rules! uniform_distribution {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                (self.lo..self.hi).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+uniform_distribution!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Uniform::new(-2.0f32, 3.0);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}
