@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks of the PR 2 hot paths: optimized vs seed
+//! training step, sparsification and the layer pipeline. The JSON report
+//! (`BENCH_PR2.json`) is produced by `tbstc-cli perf`, which shares the
+//! measurement code in `tbstc_bench::perf`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tbstc::prelude::*;
+use tbstc_bench::perf::{perf_net_config, reference, run, PerfConfig};
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = perf_net_config();
+    let x = MatrixRng::seed_from(7).weights(64, cfg.inputs);
+    let labels: Vec<usize> = (0..64).map(|i| i % cfg.classes).collect();
+
+    let mut net = Mlp::new(&cfg, 7);
+    c.bench_function("train_step_optimized_256", |b| {
+        b.iter(|| net.train_batch(black_box(&x), black_box(&labels)))
+    });
+
+    let mut old = reference::RefMlp::new(&cfg, 7);
+    c.bench_function("train_step_seed_path_256", |b| {
+        b.iter(|| old.train_batch(black_box(&x), black_box(&labels)))
+    });
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let w = MatrixRng::seed_from(8).block_structured_weights(128, 128, 8);
+    c.bench_function("tbs_sparsify_128x128_block_view", |b| {
+        b.iter(|| TbsPattern::sparsify(black_box(&w), 0.75, &TbsConfig::paper_default()))
+    });
+}
+
+fn bench_report(c: &mut Criterion) {
+    c.bench_function("perf_report_smoke", |b| {
+        b.iter(|| run(black_box(&PerfConfig { iters: 1, seed: 1 })))
+    });
+}
+
+criterion_group!(benches, bench_train_step, bench_sparsify, bench_report);
+criterion_main!(benches);

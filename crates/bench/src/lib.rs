@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 /// Prints a banner naming the experiment being regenerated.
 pub fn banner(id: &str, title: &str) {
     println!("\n{}", "=".repeat(74));

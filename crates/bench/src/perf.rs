@@ -1,0 +1,392 @@
+//! Wall-clock performance harness for the PR 2 hot-path work.
+//!
+//! Times the three numeric hot paths — the training step, Algorithm-1
+//! sparsification and the layer simulation — and compares the optimized
+//! training step against [`reference`], a faithful re-implementation of
+//! the pre-optimization ("seed") trainer: effective weights cloned and
+//! transposed per call, gradients through owned `transpose` + `matmul`,
+//! index-loop SGD updates, fresh allocations everywhere. The report is
+//! written as JSON (hand-rolled; the workspace is offline and carries no
+//! serde) to `BENCH_PR2.json`.
+
+use std::time::Instant;
+
+use tbstc::matrix::gemm;
+use tbstc::matrix::pool;
+use tbstc::matrix::rng::MatrixRng;
+use tbstc::matrix::Matrix;
+use tbstc::models::LayerShape;
+use tbstc::prelude::*;
+
+/// Knobs for the perf harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfConfig {
+    /// Timed iterations per measurement (the minimum is reported).
+    pub iters: usize,
+    /// RNG seed for weights and data.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            iters: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// One timed quantity: best (minimum) time over the iterations, in
+/// microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Minimum observed time, µs.
+    pub best_us: f64,
+    /// Mean time, µs.
+    pub mean_us: f64,
+}
+
+/// The harness output, serialized to `BENCH_PR2.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Iterations per measurement.
+    pub iters: usize,
+    /// Worker threads the parallel GEMM would use (`TBSTC_JOBS` / cores).
+    pub workers: usize,
+    /// Seed-path training step (pre-PR kernels).
+    pub train_step_old: Timing,
+    /// Optimized training step (cached masked weights, transpose-free
+    /// kernels, reused scratch).
+    pub train_step_new: Timing,
+    /// `train_step_old.best_us / train_step_new.best_us`.
+    pub train_speedup: f64,
+    /// Algorithm-1 TBS sparsification of a 128×128 matrix at 75 %.
+    pub sparsify: Timing,
+    /// Full per-layer simulation (sparsify + encode + compute + memory).
+    pub simulate_layer: Timing,
+    /// Whether the parallel GEMM reproduced the serial result bit for bit.
+    pub parallel_gemm_bit_identical: bool,
+}
+
+impl PerfReport {
+    /// Hand-rolled JSON encoding of the report.
+    pub fn to_json(&self) -> String {
+        fn timing(t: &Timing) -> String {
+            format!(
+                "{{ \"best_us\": {:.2}, \"mean_us\": {:.2} }}",
+                t.best_us, t.mean_us
+            )
+        }
+        format!(
+            "{{\n  \"bench\": \"PR2 hot-path perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"parallel_gemm_bit_identical\": {}\n}}\n",
+            self.iters,
+            self.workers,
+            timing(&self.train_step_old),
+            timing(&self.train_step_new),
+            self.train_speedup,
+            timing(&self.sparsify),
+            timing(&self.simulate_layer),
+            self.parallel_gemm_bit_identical,
+        )
+    }
+}
+
+/// Times `f` over `iters` iterations (after one warm-up call) and returns
+/// best/mean in microseconds.
+pub fn time_us<F: FnMut()>(iters: usize, mut f: F) -> Timing {
+    f(); // warm-up: grows scratch buffers, fills caches
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        best = best.min(dt);
+        total += dt;
+    }
+    Timing {
+        best_us: best,
+        mean_us: total / iters.max(1) as f64,
+    }
+}
+
+/// The pre-optimization training path, kept verbatim as the perf baseline.
+pub mod reference {
+    use super::*;
+
+    /// Seed-path linear layer: owned matrices, no caching, no scratch.
+    pub struct RefLinear {
+        w: Matrix,
+        b: Vec<f32>,
+        vw: Matrix,
+        vb: Vec<f32>,
+        mask: Option<Mask>,
+    }
+
+    impl RefLinear {
+        fn effective_w(&self) -> Matrix {
+            match &self.mask {
+                Some(m) => m.apply(&self.w),
+                None => self.w.clone(),
+            }
+        }
+
+        fn forward(&self, x: &Matrix) -> Matrix {
+            let mut h = gemm::matmul(x, &self.effective_w().transpose());
+            for r in 0..h.rows() {
+                for c in 0..h.cols() {
+                    h[(r, c)] += self.b[c];
+                }
+            }
+            h
+        }
+
+        fn backward_update(&mut self, x: &Matrix, dh: &Matrix, lr: f32, momentum: f32) -> Matrix {
+            let n = x.rows().max(1) as f32;
+            let dw = gemm::matmul(&dh.transpose(), x).map(|g| g / n);
+            let dx = gemm::matmul(dh, &self.effective_w());
+            for c in 0..self.b.len() {
+                let db: f32 = (0..dh.rows()).map(|r| dh[(r, c)]).sum::<f32>() / n;
+                self.vb[c] = momentum * self.vb[c] - lr * db;
+                self.b[c] += self.vb[c];
+            }
+            for r in 0..self.w.rows() {
+                for c in 0..self.w.cols() {
+                    self.vw[(r, c)] = momentum * self.vw[(r, c)] - lr * dw[(r, c)];
+                    self.w[(r, c)] += self.vw[(r, c)];
+                }
+            }
+            dx
+        }
+    }
+
+    /// Seed-path MLP mirroring `tbstc_train::Mlp` before this PR.
+    pub struct RefMlp {
+        layers: Vec<RefLinear>,
+        lr: f32,
+        momentum: f32,
+    }
+
+    impl RefMlp {
+        /// Same initialization order as `Mlp::new`, so both nets start from
+        /// identical weights.
+        pub fn new(cfg: &MlpConfig, seed: u64) -> Self {
+            let mut rng = MatrixRng::seed_from(seed);
+            let mut dims = vec![cfg.inputs];
+            dims.extend(&cfg.hidden);
+            dims.push(cfg.classes);
+            let layers = dims
+                .windows(2)
+                .map(|w| RefLinear {
+                    w: rng.weights(w[1], w[0]),
+                    b: vec![0.0; w[1]],
+                    vw: Matrix::zeros(w[1], w[0]),
+                    vb: vec![0.0; w[1]],
+                    mask: None,
+                })
+                .collect();
+            RefMlp {
+                layers,
+                lr: cfg.lr,
+                momentum: cfg.momentum,
+            }
+        }
+
+        /// Sets a layer's mask (seed-path semantics: applied per call).
+        pub fn set_mask(&mut self, i: usize, mask: Option<Mask>) {
+            self.layers[i].mask = mask;
+        }
+
+        /// One SGD step, seed arithmetic and allocation behaviour.
+        pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+            let mut acts = Vec::with_capacity(self.layers.len());
+            let mut h = x.clone();
+            for (i, layer) in self.layers.iter().enumerate() {
+                acts.push(h.clone());
+                h = layer.forward(&h);
+                if i + 1 < self.layers.len() {
+                    h.map_inplace(|v| v.max(0.0));
+                }
+            }
+            let probs = softmax_rows(&h);
+
+            let n = x.rows();
+            let mut loss = 0.0f64;
+            let mut grad = probs.clone();
+            for (i, &y) in labels.iter().enumerate() {
+                loss -= f64::from(probs[(i, y)].max(1e-12).ln());
+                grad[(i, y)] -= 1.0;
+            }
+            loss /= n as f64;
+
+            for li in (0..self.layers.len()).rev() {
+                let (lr, mom) = (self.lr, self.momentum);
+                let mut dx = self.layers[li].backward_update(&acts[li], &grad, lr, mom);
+                if li > 0 {
+                    for r in 0..dx.rows() {
+                        for c in 0..dx.cols() {
+                            if acts[li][(r, c)] <= 0.0 {
+                                dx[(r, c)] = 0.0;
+                            }
+                        }
+                    }
+                }
+                grad = dx;
+            }
+            loss
+        }
+    }
+
+    fn softmax_rows(logits: &Matrix) -> Matrix {
+        let mut out = logits.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum.max(1e-12);
+            }
+        }
+        out
+    }
+}
+
+/// The MLP shape the train-step measurements use: hidden widths in the
+/// range of the paper's transformer workloads (BERT-base/OPT FFN slices),
+/// large enough that the GEMMs dominate, small enough to keep the harness
+/// under a few seconds.
+pub fn perf_net_config() -> MlpConfig {
+    MlpConfig {
+        inputs: 512,
+        hidden: vec![512, 256],
+        classes: 16,
+        lr: 0.05,
+        momentum: 0.9,
+    }
+}
+
+/// Builds batch data for the train-step measurements.
+fn perf_batch(cfg: &MlpConfig, batch: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let x = MatrixRng::seed_from(seed).weights(batch, cfg.inputs);
+    let labels = (0..batch).map(|i| i % cfg.classes).collect();
+    (x, labels)
+}
+
+/// Runs every measurement and assembles the report.
+pub fn run(cfg: &PerfConfig) -> PerfReport {
+    let net_cfg = perf_net_config();
+    // Batch 32 matches the repo's own training configuration (every
+    // Dataset-driven test and SparseTrainer run batches of 16–32).
+    let (x, labels) = perf_batch(&net_cfg, 32, cfg.seed);
+
+    // Masks on every prunable (non-classifier) layer, as SparseTrainer
+    // maintains them during sparse training.
+    let mut net = Mlp::new(&net_cfg, cfg.seed);
+    let mut old = reference::RefMlp::new(&net_cfg, cfg.seed);
+    for li in 0..net.layer_count() - 1 {
+        let p = TbsPattern::sparsify(net.weights(li), 0.75, &TbsConfig::paper_default());
+        net.set_mask(li, Some(p.mask().clone()));
+        old.set_mask(li, Some(p.mask().clone()));
+    }
+
+    // Optimized trainer (cached masked weights, transpose-free kernels,
+    // reused scratch).
+    let train_step_new = time_us(cfg.iters, || {
+        net.train_batch(&x, &labels);
+    });
+
+    // Seed-path trainer over identical work.
+    let train_step_old = time_us(cfg.iters, || {
+        old.train_batch(&x, &labels);
+    });
+
+    // Algorithm-1 sparsification, the paper's 128×128 block-structured case.
+    let w = MatrixRng::seed_from(cfg.seed).block_structured_weights(128, 128, 8);
+    let sparsify = time_us(cfg.iters, || {
+        std::hint::black_box(TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default()));
+    });
+
+    // Full layer pipeline on a BERT-sized FFN slice.
+    let shape = LayerShape {
+        name: "perf-ffn".into(),
+        m: 256,
+        k: 256,
+        n: 64,
+        repeats: 1,
+        prunable: true,
+    };
+    let hw = HwConfig::paper_default();
+    let sim = LayerSim::new(&shape)
+        .arch(Arch::TbStc)
+        .sparsity(0.75)
+        .seed(cfg.seed);
+    let simulate_layer = time_us(cfg.iters, || {
+        std::hint::black_box(sim.run(&hw));
+    });
+
+    // Record that the parallel GEMM is bit-identical to serial.
+    let a = MatrixRng::seed_from(cfg.seed).weights(192, 96);
+    let b = MatrixRng::seed_from(cfg.seed + 1).weights(160, 96);
+    let mut scratch = gemm::GemmScratch::new();
+    let mut serial = Matrix::zeros(0, 0);
+    let mut parallel = Matrix::zeros(0, 0);
+    gemm::matmul_transb_with_workers(&a, &b, &mut serial, 1, &mut scratch);
+    gemm::matmul_transb_with_workers(
+        &a,
+        &b,
+        &mut parallel,
+        pool::available_workers().max(2),
+        &mut scratch,
+    );
+    let parallel_gemm_bit_identical = serial == parallel;
+
+    PerfReport {
+        iters: cfg.iters,
+        workers: pool::available_workers(),
+        train_speedup: train_step_old.best_us / train_step_new.best_us.max(1e-9),
+        train_step_old,
+        train_step_new,
+        sparsify,
+        simulate_layer,
+        parallel_gemm_bit_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let t = Timing {
+            best_us: 1.5,
+            mean_us: 2.0,
+        };
+        let r = PerfReport {
+            iters: 3,
+            workers: 2,
+            train_step_old: t,
+            train_step_new: t,
+            train_speedup: 1.0,
+            sparsify: t,
+            simulate_layer: t,
+            parallel_gemm_bit_identical: true,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"train_speedup\": 1.000"));
+        assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn harness_runs_and_reports_speedup() {
+        let r = run(&PerfConfig { iters: 2, seed: 1 });
+        assert!(r.train_step_new.best_us > 0.0);
+        assert!(r.train_speedup > 1.0, "speedup {}", r.train_speedup);
+        assert!(r.parallel_gemm_bit_identical);
+    }
+}

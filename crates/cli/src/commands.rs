@@ -25,6 +25,7 @@ USAGE:
   tbstc-cli sweep    [--models bert,resnet50] [--archs tb-stc,rm-stc,highlight]
                      [--sparsities 0.5,0.75] [--seed 0] [--bandwidth 64]
                      [--jobs N] [--verify]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR2.json]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
@@ -37,6 +38,10 @@ Archs:  tc, stc, vegeta, highlight, rm-stc, tb-stc (sweep also: sgcn)
 adds a dense TC baseline per model, and reports speedup/EDP against it.
 --verify reruns the grid serially and checks the results are
 bit-identical to the parallel run.
+
+`perf` times the numeric hot paths (train step old vs new kernels,
+Algorithm-1 sparsify, layer simulation) and writes a JSON report to
+--out. --jobs caps the GEMM worker pool (sets TBSTC_JOBS).
 ";
 
 /// Dispatches a parsed command line.
@@ -50,6 +55,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "formats" => formats(args),
         "simulate" => simulate(args),
         "sweep" => sweep(args),
+        "perf" => perf(args),
         "table3" => Ok(table3()),
         "models" => Ok(models()),
         other => Err(ArgError(format!(
@@ -390,6 +396,59 @@ fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
+    let iters: usize = args.num_or("iters", 20)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
+    let out_path = args.str_or("out", "BENCH_PR2.json");
+    if iters == 0 {
+        return Err(ArgError("--iters must be at least 1".into()));
+    }
+    if jobs > 0 {
+        // The GEMM worker pool reads TBSTC_JOBS on each dispatch.
+        std::env::set_var(tbstc::runner::JOBS_ENV, jobs.to_string());
+    }
+
+    let report = tbstc_bench::perf::run(&tbstc_bench::perf::PerfConfig { iters, seed });
+    let json = report.to_json();
+    std::fs::write(&out_path, &json)
+        .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Perf harness: {iters} iters, {} workers (best-of timings)",
+        report.workers
+    )
+    .ok();
+    writeln!(
+        out,
+        "  train step      : old {:>9.1} us, new {:>9.1} us  ({:.2}x speedup)",
+        report.train_step_old.best_us, report.train_step_new.best_us, report.train_speedup
+    )
+    .ok();
+    writeln!(
+        out,
+        "  sparsify 128x128: {:>9.1} us",
+        report.sparsify.best_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "  simulate layer  : {:>9.1} us",
+        report.simulate_layer.best_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "  parallel GEMM bit-identical to serial: {}",
+        report.parallel_gemm_bit_identical
+    )
+    .ok();
+    writeln!(out, "  report written to {out_path}").ok();
+    Ok(out)
+}
+
 fn table3() -> String {
     let mut out = String::new();
     writeln!(
@@ -530,5 +589,22 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run_line(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn perf_writes_report_and_summary() {
+        let path = std::env::temp_dir().join("tbstc_cli_perf_test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run_line(&["perf", "--iters", "1", "--seed", "1", "--out", &path_str]).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("parallel GEMM bit-identical to serial: true"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"train_speedup\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_rejects_zero_iters() {
+        assert!(run_line(&["perf", "--iters", "0"]).is_err());
     }
 }

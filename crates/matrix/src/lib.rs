@@ -10,6 +10,8 @@
 //!   storage-format round-trips are checked against,
 //! * [`tile`] — iterators over `M × M` blocks (the granularity of the TBS
 //!   sparsity pattern),
+//! * [`pool`] — the scoped thread pool used by the blocked kernels and
+//!   re-exported by `tbstc-runner` for experiment fan-out,
 //! * [`quant`] — 8-bit weight quantization (paper Fig. 15(b)),
 //! * [`rng`] — deterministic matrix generators for workloads and tests.
 //!
@@ -32,10 +34,11 @@ mod f16;
 mod matrix;
 
 pub mod gemm;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod tile;
 
 pub use error::{DimError, Result};
 pub use f16::F16;
-pub use matrix::Matrix;
+pub use matrix::{BlockView, Matrix};

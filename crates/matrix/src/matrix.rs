@@ -176,19 +176,89 @@ impl Matrix {
     }
 
     /// Returns the transposed matrix.
+    ///
+    /// Walks `self` in cache-friendly square tiles so both the source rows
+    /// and the destination rows stay resident while a tile is copied; the
+    /// strided writes are confined to one tile-sized working set instead of
+    /// sweeping the whole destination per source row.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a caller-owned buffer, reusing its
+    /// allocation when the capacity suffices (the zero-realloc variant for
+    /// workspaces refreshed every call).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TILE: usize = 32;
+        out.reset(self.cols, self.rows);
+        for r0 in (0..self.rows).step_by(TILE) {
+            let rend = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let cend = (c0 + TILE).min(self.cols);
+                for r in r0..rend {
+                    let src = &self.data[r * self.cols + c0..r * self.cols + cend];
+                    for (c, &v) in (c0..cend).zip(src) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reshapes `self` to `rows × cols` filled with zeros, reusing the
+    /// existing allocation when its capacity suffices.
+    ///
+    /// This is the zero-realloc counterpart of [`Matrix::zeros`] for
+    /// workspace buffers that are resized every call with (eventually)
+    /// stable dimensions.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `src`, reusing the existing
+    /// allocation when its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Copies the sub-matrix starting at `(row0, col0)` of size
     /// `height × width`, zero-padding parts that fall outside `self`.
     ///
     /// Zero-padding (rather than erroring) matches how the hardware tiles a
-    /// matrix whose dimensions are not multiples of the block size.
+    /// matrix whose dimensions are not multiples of the block size. For
+    /// hot loops that only *read* a block, prefer [`Matrix::block_view`],
+    /// which borrows instead of allocating.
     pub fn block(&self, row0: usize, col0: usize, height: usize, width: usize) -> Matrix {
         Matrix::from_fn(height, width, |r, c| {
             self.get(row0 + r, col0 + c).unwrap_or(0.0)
         })
+    }
+
+    /// Borrows the sub-matrix starting at `(row0, col0)` of size
+    /// `height × width` without copying; reads outside `self` yield `0.0`,
+    /// exactly like the padding in [`Matrix::block`].
+    pub fn block_view(
+        &self,
+        row0: usize,
+        col0: usize,
+        height: usize,
+        width: usize,
+    ) -> BlockView<'_> {
+        BlockView {
+            source: self,
+            row0,
+            col0,
+            height,
+            width,
+        }
     }
 
     /// Writes `block` into `self` at `(row0, col0)`, ignoring parts that
@@ -297,6 +367,72 @@ impl Matrix {
             cols: self.cols,
             data,
         })
+    }
+}
+
+/// A borrowed, zero-padded window into a [`Matrix`].
+///
+/// Created by [`Matrix::block_view`]. Reads at coordinates whose source
+/// position falls outside the underlying matrix return `0.0`, mirroring
+/// the padding semantics of [`Matrix::block`] — but without allocating a
+/// sub-matrix, which is what makes per-block loops (the TBS sparsifier
+/// visits every `M × M` block of every layer) allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    source: &'a Matrix,
+    row0: usize,
+    col0: usize,
+    height: usize,
+    width: usize,
+}
+
+impl BlockView<'_> {
+    /// Number of rows in the window (including padding).
+    pub fn rows(&self) -> usize {
+        self.height
+    }
+
+    /// Number of columns in the window (including padding).
+    pub fn cols(&self) -> usize {
+        self.width
+    }
+
+    /// Element `(r, c)` of the window; `0.0` where the window hangs off
+    /// the underlying matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(r, c)` is outside the window itself.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(
+            r < self.height && c < self.width,
+            "view index ({r}, {c}) out of bounds for {}x{} view",
+            self.height,
+            self.width
+        );
+        self.source.get(self.row0 + r, self.col0 + c).unwrap_or(0.0)
+    }
+
+    /// Sum of `|x|` over the window (the `L1` mass used by Algorithm 1).
+    ///
+    /// Padding contributes zero, so this equals
+    /// `self.to_matrix().l1_norm()` without the copy.
+    pub fn l1_norm(&self) -> f64 {
+        let rmax = (self.row0 + self.height).min(self.source.rows);
+        let cmax = (self.col0 + self.width).min(self.source.cols);
+        let mut sum = 0.0f64;
+        for r in self.row0..rmax {
+            let row = &self.source.row(r)[self.col0..cmax];
+            sum += row.iter().map(|&x| f64::from(x.abs())).sum::<f64>();
+        }
+        sum
+    }
+
+    /// Materializes the window as an owned [`Matrix`] (equivalent to
+    /// [`Matrix::block`]).
+    pub fn to_matrix(&self) -> Matrix {
+        self.source
+            .block(self.row0, self.col0, self.height, self.width)
     }
 }
 
@@ -459,6 +595,62 @@ mod tests {
     fn debug_is_nonempty() {
         let dbg = format!("{:?}", Matrix::zeros(1, 1));
         assert!(dbg.contains("Matrix 1x1"));
+    }
+
+    #[test]
+    fn transpose_matches_naive_on_odd_shapes() {
+        // Exercise the tiled path with dimensions straddling tile edges.
+        for (rows, cols) in [(1, 1), (7, 3), (33, 65), (64, 64), (100, 37)] {
+            let m = Matrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (cols, rows));
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(t[(c, r)], m[(r, c)], "({rows}x{cols}) at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_view_matches_block() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f32 - 10.0);
+        let v = m.block_view(3, 5, 4, 4);
+        let b = m.block(3, 5, 4, 4);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(v.get(r, c), b[(r, c)]);
+            }
+        }
+        assert_eq!(v.to_matrix(), b);
+        assert!((v.l1_norm() - b.l1_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_view_checks_window_bounds() {
+        let m = Matrix::zeros(4, 4);
+        let _ = m.block_view(0, 0, 2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut m = Matrix::filled(8, 8, 3.0);
+        let cap = m.data.capacity();
+        m.reset(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap, "shrinking reset must not realloc");
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let mut dst = Matrix::filled(9, 9, 1.0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
     let grid_rows = rows.div_ceil(m);
     let grid_cols = cols.div_ceil(m);
     let mut works = Vec::with_capacity(grid_rows * grid_cols);
+    // The TBS block list and its grid width are loop-invariant; resolve
+    // them once instead of per block.
+    let tbs_blocks = layer
+        .tbs()
+        .map(|t| (t.blocks(), t.mask().cols().div_ceil(t.config().m)));
 
     for br in 0..grid_rows {
         for bc in 0..grid_cols {
@@ -126,11 +131,9 @@ pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
             let nonempty = row_nnz.iter().filter(|&&c| c > 0).count();
             // TBS blocks carry their sparsity dimension; everything else
             // is reduction-dimension by construction.
-            let independent_dim = layer
-                .tbs()
-                .and_then(|t| {
-                    let gc = t.mask().cols().div_ceil(t.config().m);
-                    t.blocks()
+            let independent_dim = tbs_blocks
+                .and_then(|(blocks, gc)| {
+                    blocks
                         .get(br * gc + bc)
                         .map(|b| b.dim == SparsityDim::Independent)
                 })

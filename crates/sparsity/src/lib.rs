@@ -44,6 +44,6 @@ pub mod similarity;
 pub mod stats;
 pub mod tbs;
 
-pub use mask::Mask;
+pub use mask::{Mask, MaskBlockView};
 pub use pattern::{Pattern, PatternKind};
 pub use tbs::{SparsityDim, TbsConfig, TbsPattern};

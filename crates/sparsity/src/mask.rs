@@ -175,6 +175,25 @@ impl Mask {
         })
     }
 
+    /// Borrows the `height × width` sub-mask at `(row0, col0)` without
+    /// copying; out-of-bounds positions read as pruned, exactly like
+    /// [`Mask::block`].
+    pub fn block_view(
+        &self,
+        row0: usize,
+        col0: usize,
+        height: usize,
+        width: usize,
+    ) -> MaskBlockView<'_> {
+        MaskBlockView {
+            source: self,
+            row0,
+            col0,
+            height,
+            width,
+        }
+    }
+
     /// Writes `block` into `self` at `(row0, col0)`, ignoring out-of-bounds
     /// positions.
     pub fn set_block(&mut self, row0: usize, col0: usize, block: &Mask) {
@@ -224,14 +243,31 @@ impl Mask {
     ///
     /// Panics when shapes differ.
     pub fn apply(&self, w: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.apply_into(w, &mut out);
+        out
+    }
+
+    /// Applies the mask into `out`, reusing `out`'s allocation — the
+    /// zero-realloc path behind the effective-weight cache in
+    /// `tbstc-train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn apply_into(&self, w: &Matrix, out: &mut Matrix) {
         assert_eq!(self.shape(), w.shape(), "mask/matrix shape mismatch");
-        Matrix::from_fn(self.rows, self.cols, |r, c| {
-            if self.get(r, c) {
-                w[(r, c)]
-            } else {
-                0.0
+        out.reset(self.rows, self.cols);
+        for ((o, &v), &kept) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(w.as_slice())
+            .zip(&self.keep)
+        {
+            if kept {
+                *o = v;
             }
-        })
+        }
     }
 
     /// Converts the mask to a 0/1 matrix.
@@ -249,6 +285,70 @@ impl Mask {
             .enumerate()
             .filter(|(_, &k)| k)
             .map(move |(i, _)| (i / cols, i % cols))
+    }
+}
+
+/// A borrowed, pruned-padded window into a [`Mask`].
+///
+/// Created by [`Mask::block_view`]. Positions whose source coordinates
+/// fall outside the underlying mask read as pruned (`false`), mirroring
+/// [`Mask::block`] — but without allocating a sub-mask, which keeps the
+/// per-block loops of the TBS sparsifier allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskBlockView<'a> {
+    source: &'a Mask,
+    row0: usize,
+    col0: usize,
+    height: usize,
+    width: usize,
+}
+
+impl MaskBlockView<'_> {
+    /// Number of rows in the window (including padding).
+    pub fn rows(&self) -> usize {
+        self.height
+    }
+
+    /// Number of columns in the window (including padding).
+    pub fn cols(&self) -> usize {
+        self.width
+    }
+
+    /// Whether window position `(r, c)` is kept; `false` where the window
+    /// hangs off the underlying mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(r, c)` is outside the window itself.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(
+            r < self.height && c < self.width,
+            "view index out of bounds"
+        );
+        let (rr, cc) = (self.row0 + r, self.col0 + c);
+        rr < self.source.rows && cc < self.source.cols && self.source.get(rr, cc)
+    }
+
+    /// Number of kept positions in the window (padding counts as pruned),
+    /// equal to `self.to_mask().count_kept()` without the copy.
+    pub fn count_kept(&self) -> usize {
+        let rmax = (self.row0 + self.height).min(self.source.rows);
+        let cmax = (self.col0 + self.width).min(self.source.cols);
+        let mut kept = 0;
+        for r in self.row0..rmax {
+            kept += self.source.keep[r * self.source.cols + self.col0..r * self.source.cols + cmax]
+                .iter()
+                .filter(|&&k| k)
+                .count();
+        }
+        kept
+    }
+
+    /// Materializes the window as an owned [`Mask`] (equivalent to
+    /// [`Mask::block`]).
+    pub fn to_mask(&self) -> Mask {
+        self.source
+            .block(self.row0, self.col0, self.height, self.width)
     }
 }
 
@@ -360,6 +460,33 @@ mod tests {
         let b = m.block(2, 2, 2, 2);
         assert!(b.get(0, 0));
         assert!(!b.get(1, 1));
+    }
+
+    #[test]
+    fn block_view_matches_block() {
+        let s = MatrixRng::seed_from(5).uniform(7, 9, 0.0, 1.0);
+        let m = Mask::top_k(&s, 30);
+        // Window hanging off both edges.
+        let v = m.block_view(5, 6, 4, 4);
+        let b = m.block(5, 6, 4, 4);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(v.get(r, c), b.get(r, c));
+            }
+        }
+        assert_eq!(v.count_kept(), b.count_kept());
+        assert_eq!(v.to_mask(), b);
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let s = MatrixRng::seed_from(6).uniform(6, 6, -1.0, 1.0);
+        let m = Mask::top_k(&s.map(f32::abs), 20);
+        let mut out = Matrix::filled(2, 2, 9.0);
+        m.apply_into(&s, &mut out);
+        assert_eq!(out, m.apply(&s));
     }
 
     #[test]

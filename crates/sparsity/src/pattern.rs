@@ -392,7 +392,7 @@ impl Pattern for Tbs {
     }
 
     fn project(&self, scores: &Matrix, target: f64) -> Mask {
-        TbsPattern::sparsify(scores, target, &self.0).mask().clone()
+        TbsPattern::sparsify(scores, target, &self.0).into_mask()
     }
 }
 

@@ -172,6 +172,8 @@ impl TbsPattern {
 
         // Step 2: choose N per block to match the block's unstructured
         // density, then globally adjust so overall sparsity hits the target.
+        // Blocks are walked through borrowed views: nothing in the per-block
+        // loops allocates.
         let grid_rows = blocks_along(scores.rows(), m);
         let grid_cols = blocks_along(scores.cols(), m);
         let mut chosen: Vec<(BlockCoord, usize)> = Vec::with_capacity(grid_rows * grid_cols);
@@ -182,41 +184,69 @@ impl TbsPattern {
                     block_col: bc,
                 };
                 let (r0, c0) = coord.origin(m);
-                let block_mask = unstructured.block(r0, c0, m, m);
-                let density = 1.0 - block_mask.sparsity();
+                let kept = unstructured.block_view(r0, c0, m, m).count_kept();
+                let density = kept as f64 / (m * m) as f64;
                 let n = nearest_candidate(&config.n_candidates, density, m);
                 chosen.push((coord, n));
             }
         }
         adjust_to_target(&mut chosen, &abs_scores, config, keep_total);
 
-        // Step 3: per block, build both directional masks and keep the one
-        // closer (L1/Hamming) to the unstructured mask.
+        // Step 3: per block, build both directional candidate sets and keep
+        // the one closer (L1/Hamming) to the unstructured mask. The winner
+        // is written straight into the full-size mask (out-of-bounds padded
+        // positions dropped); one index buffer and two candidate lists are
+        // reused across every block.
         let mut mask = Mask::none(scores.rows(), scores.cols());
         let mut blocks = Vec::with_capacity(chosen.len());
+        let mut idx = Vec::with_capacity(m);
+        let mut row_cand: Vec<(usize, usize)> = Vec::with_capacity(m * m);
+        let mut col_cand: Vec<(usize, usize)> = Vec::with_capacity(m * m);
         for (coord, n) in chosen {
             let (r0, c0) = coord.origin(m);
-            let block_scores = abs_scores.block(r0, c0, m, m);
-            let block_un = unstructured.block(r0, c0, m, m);
+            let sv = abs_scores.block_view(r0, c0, m, m);
+            let uv = unstructured.block_view(r0, c0, m, m);
 
-            let row_mask = nm_block_mask(&block_scores, n, SparsityDim::Reduction);
-            let col_mask = nm_block_mask(&block_scores, n, SparsityDim::Independent);
-            let (dim, best) = if row_mask.hamming(&block_un) <= col_mask.hamming(&block_un) {
-                (SparsityDim::Reduction, row_mask)
+            row_cand.clear();
+            col_cand.clear();
+            for lane in 0..m {
+                lane_top_n(&sv, lane, n, SparsityDim::Reduction, &mut idx);
+                row_cand.extend(idx.iter().map(|&i| (lane, i)));
+                lane_top_n(&sv, lane, n, SparsityDim::Independent, &mut idx);
+                col_cand.extend(idx.iter().map(|&i| (i, lane)));
+            }
+
+            // Hamming(A, U) = |A| + |U| − 2|A ∩ U|; every candidate set
+            // keeps exactly n·m positions (padding included, matching
+            // `nm_block_mask` on a zero-padded block copy).
+            let un_kept = uv.count_kept();
+            let overlap =
+                |cand: &[(usize, usize)]| cand.iter().filter(|&&(r, c)| uv.get(r, c)).count();
+            let ham_row = n * m + un_kept - 2 * overlap(&row_cand);
+            let ham_col = n * m + un_kept - 2 * overlap(&col_cand);
+            let (dim, winner) = if ham_row <= ham_col {
+                (SparsityDim::Reduction, &row_cand)
             } else {
-                (SparsityDim::Independent, col_mask)
+                (SparsityDim::Independent, &col_cand)
             };
-            mask.set_block(r0, c0, &best);
+            for &(r, c) in winner {
+                if r0 + r < scores.rows() && c0 + c < scores.cols() {
+                    mask.set(r0 + r, c0 + c, true);
+                }
+            }
             blocks.push(BlockInfo { coord, n, dim });
         }
-        // Edge blocks may have padded positions; clear anything outside.
-        let mask = Mask::from_fn(scores.rows(), scores.cols(), |r, c| mask.get(r, c));
 
         TbsPattern {
             mask,
             blocks,
             config: config.clone(),
         }
+    }
+
+    /// Consumes the pattern and returns its mask without cloning.
+    pub fn into_mask(self) -> Mask {
+        self.mask
     }
 
     /// The combined keep/prune mask.
@@ -332,19 +362,12 @@ impl TbsPattern {
 pub fn nm_block_mask(block_scores: &Matrix, n: usize, dim: SparsityDim) -> Mask {
     let m = block_scores.rows();
     debug_assert_eq!(block_scores.cols(), m, "blocks are square");
+    let view = block_scores.block_view(0, 0, m, m);
     let mut mask = Mask::none(m, m);
+    let mut idx = Vec::with_capacity(m);
     for lane in 0..m {
-        let mut idx: Vec<usize> = (0..m).collect();
-        idx.sort_by(|&a, &b| {
-            let (sa, sb) = match dim {
-                SparsityDim::Reduction => (block_scores[(lane, a)], block_scores[(lane, b)]),
-                SparsityDim::Independent => (block_scores[(a, lane)], block_scores[(b, lane)]),
-            };
-            sb.partial_cmp(&sa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        for &i in idx.iter().take(n) {
+        lane_top_n(&view, lane, n, dim, &mut idx);
+        for &i in &idx {
             match dim {
                 SparsityDim::Reduction => mask.set(lane, i, true),
                 SparsityDim::Independent => mask.set(i, lane, true),
@@ -352,6 +375,31 @@ pub fn nm_block_mask(block_scores: &Matrix, n: usize, dim: SparsityDim) -> Mask 
         }
     }
     mask
+}
+
+/// Fills `idx` with the top-`n` in-lane indices of `scores` (ties broken
+/// by lower index, exactly the `nm_block_mask` ordering), reusing `idx`'s
+/// allocation.
+fn lane_top_n(
+    scores: &tbstc_matrix::BlockView<'_>,
+    lane: usize,
+    n: usize,
+    dim: SparsityDim,
+    idx: &mut Vec<usize>,
+) {
+    let m = scores.rows();
+    idx.clear();
+    idx.extend(0..m);
+    idx.sort_by(|&a, &b| {
+        let (sa, sb) = match dim {
+            SparsityDim::Reduction => (scores.get(lane, a), scores.get(lane, b)),
+            SparsityDim::Independent => (scores.get(a, lane), scores.get(b, lane)),
+        };
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(n);
 }
 
 /// Picks the candidate `N` whose density `N/M` is nearest `density`
@@ -392,7 +440,7 @@ fn adjust_to_target(
     // between its current and next N (cheap proxy for importance lost/gained).
     let block_mass = |coord: BlockCoord| -> f64 {
         let (r0, c0) = coord.origin(m);
-        abs_scores.block(r0, c0, m, m).l1_norm()
+        abs_scores.block_view(r0, c0, m, m).l1_norm()
     };
 
     let step = |n: usize, up: bool| -> Option<usize> {
@@ -568,6 +616,54 @@ mod tests {
         p.assert_valid();
         assert_eq!(p.mask().shape(), (20, 28));
         assert_eq!(p.grid(), (3, 4));
+    }
+
+    #[test]
+    fn sparsify_matches_blockwise_reference() {
+        // The view-based step 3 must reproduce the allocate-per-block
+        // reference exactly: same dimension choice, same kept positions.
+        let w = MatrixRng::seed_from(77).weights(20, 28); // non-multiple shape
+        let config = cfg();
+        let m = config.m;
+        let target = 0.6;
+        let p = TbsPattern::sparsify(&w, target, &config);
+
+        let abs_scores = w.map(f32::abs);
+        let keep_total = ((1.0 - target) * w.len() as f64).round() as usize;
+        let unstructured = Mask::top_k(&abs_scores, keep_total);
+        for info in p.blocks() {
+            let (r0, c0) = info.coord.origin(m);
+            let block_scores = abs_scores.block(r0, c0, m, m);
+            let block_un = unstructured.block(r0, c0, m, m);
+            let row_mask = nm_block_mask(&block_scores, info.n, SparsityDim::Reduction);
+            let col_mask = nm_block_mask(&block_scores, info.n, SparsityDim::Independent);
+            let (dim, best) = if row_mask.hamming(&block_un) <= col_mask.hamming(&block_un) {
+                (SparsityDim::Reduction, row_mask)
+            } else {
+                (SparsityDim::Independent, col_mask)
+            };
+            assert_eq!(info.dim, dim, "block {:?}", info.coord);
+            for r in 0..m {
+                for c in 0..m {
+                    if r0 + r < w.rows() && c0 + c < w.cols() {
+                        assert_eq!(
+                            p.mask().get(r0 + r, c0 + c),
+                            best.get(r, c),
+                            "block {:?} at ({r},{c})",
+                            info.coord
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_mask_matches_mask() {
+        let w = MatrixRng::seed_from(21).weights(16, 16);
+        let p = TbsPattern::sparsify(&w, 0.5, &cfg());
+        let mask = p.mask().clone();
+        assert_eq!(p.into_mask(), mask);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! the forward/backward pass while gradients update the dense weights —
 //! the straight-through scheme of the paper's sparse-training flow.
 
-use tbstc_matrix::gemm;
+use std::cell::{Ref, RefCell};
+
+use tbstc_matrix::gemm::{self, GemmScratch};
 use tbstc_matrix::rng::MatrixRng;
 use tbstc_matrix::Matrix;
 use tbstc_sparsity::Mask;
@@ -39,6 +41,13 @@ impl MlpConfig {
     }
 }
 
+/// The cached masked weights behind [`Linear`]'s dirty flag.
+#[derive(Debug, Clone)]
+struct EffCache {
+    w: Matrix,
+    dirty: bool,
+}
+
 /// One linear layer with its optimizer state and optional mask.
 #[derive(Debug, Clone)]
 struct Linear {
@@ -52,6 +61,13 @@ struct Linear {
     vb: Vec<f32>,
     /// Active mask (None = dense).
     mask: Option<Mask>,
+    /// Masked effective weights, recomputed in place only when `w` or
+    /// `mask` changed since the last use (`backward_update`, `set_mask`
+    /// and `set_weights` set the dirty flag). `RefCell` keeps `forward`
+    /// usable through `&self`.
+    eff: RefCell<EffCache>,
+    /// Reused per-column gradient accumulator for the bias update.
+    db: Vec<f32>,
 }
 
 impl Linear {
@@ -62,47 +78,162 @@ impl Linear {
             vw: Matrix::zeros(outputs, inputs),
             vb: vec![0.0; outputs],
             mask: None,
+            eff: RefCell::new(EffCache {
+                w: Matrix::zeros(0, 0),
+                dirty: true,
+            }),
+            db: vec![0.0; outputs],
         }
     }
 
-    /// The weights the forward pass actually uses.
-    fn effective_w(&self) -> Matrix {
-        match &self.mask {
-            Some(m) => m.apply(&self.w),
-            None => self.w.clone(),
+    /// The weights the forward pass actually uses: masked on a cache miss,
+    /// straight from the cache afterwards.
+    fn effective(&self) -> Ref<'_, Matrix> {
+        {
+            let mut cache = self.eff.borrow_mut();
+            if cache.dirty {
+                let EffCache { w, dirty } = &mut *cache;
+                match &self.mask {
+                    Some(m) => m.apply_into(&self.w, w),
+                    None => w.copy_from(&self.w),
+                }
+                *dirty = false;
+            }
         }
+        Ref::map(self.eff.borrow(), |c| &c.w)
+    }
+
+    /// Marks the cached effective weights stale. Every mutation of `w` or
+    /// `mask` must come through here.
+    fn invalidate(&mut self) {
+        self.eff.get_mut().dirty = true;
+    }
+
+    /// Owned copy of the effective weights (test/inspection helper).
+    #[cfg(test)]
+    fn effective_w(&self) -> Matrix {
+        self.effective().clone()
     }
 
     /// `X (out×in W)ᵀ + b` for a row-major batch `X` (`n × in`).
     fn forward(&self, x: &Matrix) -> Matrix {
-        let mut h = gemm::matmul(x, &self.effective_w().transpose());
-        for r in 0..h.rows() {
-            for c in 0..h.cols() {
-                h[(r, c)] += self.b[c];
-            }
-        }
+        let mut h = Matrix::zeros(0, 0);
+        let mut scratch = GemmScratch::new();
+        self.forward_into(x, &mut h, &mut scratch);
         h
     }
 
-    /// Backward: given `dH` (`n × out`) and the input `x`, returns `dX`
-    /// and applies the SGD-momentum update to the dense weights.
-    fn backward_update(&mut self, x: &Matrix, dh: &Matrix, lr: f32, momentum: f32) -> Matrix {
-        let n = x.rows().max(1) as f32;
-        // dW = dHᵀ X / n ; dB = mean(dH) ; dX = dH W_eff.
-        let dw = gemm::matmul(&dh.transpose(), x).map(|g| g / n);
-        let dx = gemm::matmul(dh, &self.effective_w());
-        for c in 0..self.b.len() {
-            let db: f32 = (0..dh.rows()).map(|r| dh[(r, c)]).sum::<f32>() / n;
-            self.vb[c] = momentum * self.vb[c] - lr * db;
-            self.b[c] += self.vb[c];
-        }
-        for r in 0..self.w.rows() {
-            for c in 0..self.w.cols() {
-                self.vw[(r, c)] = momentum * self.vw[(r, c)] - lr * dw[(r, c)];
-                self.w[(r, c)] += self.vw[(r, c)];
+    /// [`Linear::forward`] into a caller-owned buffer: on a cache hit with
+    /// stable shapes this performs no heap allocation.
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut GemmScratch) {
+        let eff = self.effective();
+        gemm::matmul_transb_into(x, &eff, out, scratch);
+        for r in 0..out.rows() {
+            for (v, &bias) in out.row_mut(r).iter_mut().zip(&self.b) {
+                *v += bias;
             }
         }
-        dx
+    }
+
+    /// Backward: given `dH` (`n × out`) and the input `x`, writes `dX`
+    /// into `dx` and applies the SGD-momentum update to the dense weights.
+    ///
+    /// `dw` and `scratch` are caller-owned workspaces (the raw `dHᵀ·X`
+    /// gradient and the GEMM packing buffer); nothing here allocates once
+    /// their capacities have grown to the layer's shape.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_update(
+        &mut self,
+        x: &Matrix,
+        dh: &Matrix,
+        lr: f32,
+        momentum: f32,
+        dw: &mut Matrix,
+        dx: &mut Matrix,
+        scratch: &mut GemmScratch,
+    ) {
+        let n = x.rows().max(1) as f32;
+        // dW = dHᵀ X / n ; dB = mean(dH) ; dX = dH W_eff.
+        gemm::matmul_at_b_into(dh, x, dw, scratch);
+        {
+            // dH in multiplier position: ReLU-gated gradients are mostly
+            // exact zeros, which the kernel skips.
+            let eff = self.effective();
+            gemm::matmul_into(dh, &eff, dx);
+        }
+        self.db.clear();
+        self.db.resize(self.b.len(), 0.0);
+        for r in 0..dh.rows() {
+            for (acc, &g) in self.db.iter_mut().zip(dh.row(r)) {
+                *acc += g;
+            }
+        }
+        for ((vb, b), &db) in self.vb.iter_mut().zip(self.b.iter_mut()).zip(&self.db) {
+            *vb = momentum * *vb - lr * (db / n);
+            *b += *vb;
+        }
+        for r in 0..self.w.rows() {
+            let dw_row = dw.row(r);
+            let vw_row = self.vw.row_mut(r);
+            let w_row = self.w.row_mut(r);
+            for ((vw, w), &g) in vw_row.iter_mut().zip(w_row).zip(dw_row) {
+                *vw = momentum * *vw - lr * (g / n);
+                *w += *vw;
+            }
+        }
+        self.invalidate();
+    }
+}
+
+/// Reusable buffers for [`Mlp::train_batch`] and [`Mlp::forward_into`]:
+/// activations, gradients and GEMM workspaces grow to the batch shape once
+/// and are rewritten in place afterwards.
+#[derive(Debug, Clone)]
+struct TrainScratch {
+    gemm: GemmScratch,
+    dw: Matrix,
+    grad: Matrix,
+    dx: Matrix,
+    acts: Vec<Matrix>,
+    probs: Matrix,
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        TrainScratch {
+            gemm: GemmScratch::new(),
+            dw: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            dx: Matrix::zeros(0, 0),
+            acts: Vec::new(),
+            probs: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+/// Runs the layer stack over `x`, storing each layer's input in `acts`
+/// (post-ReLU activations, `acts[0]` = `x`) and the final logits in
+/// `probs` — all into reused buffers.
+fn forward_through(
+    layers: &[Linear],
+    x: &Matrix,
+    acts: &mut Vec<Matrix>,
+    probs: &mut Matrix,
+    scratch: &mut GemmScratch,
+) {
+    let nl = layers.len();
+    if acts.len() != nl {
+        acts.resize(nl, Matrix::zeros(0, 0));
+    }
+    acts[0].copy_from(x);
+    for i in 0..nl {
+        if i + 1 < nl {
+            let (head, tail) = acts.split_at_mut(i + 1);
+            layers[i].forward_into(&head[i], &mut tail[0], scratch);
+            tail[0].map_inplace(|v| v.max(0.0)); // ReLU
+        } else {
+            layers[i].forward_into(&acts[i], probs, scratch);
+        }
     }
 }
 
@@ -124,6 +255,7 @@ pub struct Mlp {
     layers: Vec<Linear>,
     lr: f32,
     momentum: f32,
+    scratch: TrainScratch,
 }
 
 impl Mlp {
@@ -141,6 +273,7 @@ impl Mlp {
             layers,
             lr: cfg.lr,
             momentum: cfg.momentum,
+            scratch: TrainScratch::default(),
         }
     }
 
@@ -167,6 +300,7 @@ impl Mlp {
     pub fn set_weights(&mut self, i: usize, w: Matrix) {
         assert_eq!(self.layers[i].w.shape(), w.shape(), "weight shape mismatch");
         self.layers[i].w = w;
+        self.layers[i].invalidate();
     }
 
     /// Borrows layer `i`'s active mask, if any.
@@ -188,12 +322,27 @@ impl Mlp {
             assert_eq!(self.layers[i].w.shape(), m.shape(), "mask shape mismatch");
         }
         self.layers[i].mask = mask;
+        self.layers[i].invalidate();
     }
 
     /// Forward pass returning class probabilities (`n × classes`).
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let (probs, _) = self.forward_cached(x);
         probs
+    }
+
+    /// Forward pass into a caller-owned buffer.
+    ///
+    /// After a warm-up call with the same batch shape (and with the masked
+    /// effective weights cached), this path performs **no heap
+    /// allocation**: activations live in the network's scratch buffers and
+    /// `out` is rewritten in place.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let Mlp {
+            layers, scratch, ..
+        } = self;
+        forward_through(layers, x, &mut scratch.acts, out, &mut scratch.gemm);
+        softmax_rows_inplace(out);
     }
 
     /// Forward pass that also returns the per-layer inputs (activations
@@ -218,14 +367,30 @@ impl Mlp {
     /// Panics when `labels.len() != x.rows()` or a label is out of range.
     pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
         assert_eq!(labels.len(), x.rows(), "one label per sample");
-        let (probs, acts) = self.forward_cached(x);
+        let Mlp {
+            layers,
+            lr,
+            momentum,
+            scratch,
+        } = self;
+        let TrainScratch {
+            gemm: gemm_scratch,
+            dw,
+            grad,
+            dx,
+            acts,
+            probs,
+        } = scratch;
+
+        forward_through(layers, x, acts, probs, gemm_scratch);
+        softmax_rows_inplace(probs);
         let classes = probs.cols();
         assert!(labels.iter().all(|&y| y < classes), "label out of range");
 
         let n = x.rows();
         let mut loss = 0.0f64;
         // dLogits = probs - onehot.
-        let mut grad = probs.clone();
+        grad.copy_from(probs);
         for (i, &y) in labels.iter().enumerate() {
             loss -= f64::from(probs[(i, y)].max(1e-12).ln());
             grad[(i, y)] -= 1.0;
@@ -233,21 +398,22 @@ impl Mlp {
         loss /= n as f64;
 
         // Backprop through the stack; ReLU derivative gates hidden grads.
-        for li in (0..self.layers.len()).rev() {
-            let x_in = &acts[li];
-            let (lr, mom) = (self.lr, self.momentum);
-            let mut dx = self.layers[li].backward_update(x_in, &grad, lr, mom);
+        // `grad` and `dx` ping-pong so each step reads the previous layer's
+        // gradient while writing the next one — no per-layer allocation.
+        for li in (0..layers.len()).rev() {
+            layers[li].backward_update(&acts[li], grad, *lr, *momentum, dw, dx, gemm_scratch);
             if li > 0 {
                 // Gate by the ReLU that produced acts[li].
+                let act = &acts[li];
                 for r in 0..dx.rows() {
-                    for c in 0..dx.cols() {
-                        if acts[li][(r, c)] <= 0.0 {
-                            dx[(r, c)] = 0.0;
+                    for (v, &a) in dx.row_mut(r).iter_mut().zip(act.row(r)) {
+                        if a <= 0.0 {
+                            *v = 0.0;
                         }
                     }
                 }
             }
-            grad = dx;
+            std::mem::swap(grad, dx);
         }
         loss
     }
@@ -284,6 +450,13 @@ impl Mlp {
 /// Row-wise softmax with max-subtraction for stability.
 fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// [`softmax_rows`] in place — the allocation-free path `train_batch` and
+/// `forward_into` use on their scratch buffers.
+fn softmax_rows_inplace(out: &mut Matrix) {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -296,7 +469,6 @@ fn softmax_rows(logits: &Matrix) -> Matrix {
             *v /= sum.max(1e-12);
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -380,6 +552,72 @@ mod tests {
                 assert_eq!(eff[(r, c)], 0.0);
             }
         }
+    }
+
+    #[test]
+    fn forward_into_matches_forward() {
+        let d = Dataset::gaussian_mixture(12, 3, 64, 32, 0.3, 9);
+        let mut net = Mlp::new(&MlpConfig::small(12, 3), 8);
+        for (x, y) in d.batches(16) {
+            net.train_batch(&x, &y);
+        }
+        let x = d.test_x.block(0, 0, 8, 12);
+        let reference = net.forward(&x);
+        let mut out = Matrix::zeros(0, 0);
+        net.forward_into(&x, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn forward_steady_state_reuses_buffers() {
+        // Scratch-reuse check: after warm-up, neither the output buffer
+        // nor the cached effective weights move in memory.
+        let mut net = Mlp::new(&MlpConfig::small(16, 4), 9);
+        let shape = net.weights(0).shape();
+        net.set_mask(
+            0,
+            Some(Mask::from_fn(shape.0, shape.1, |r, c| (r + c) % 2 == 0)),
+        );
+        let x = Matrix::filled(8, 16, 0.5);
+        let mut out = Matrix::zeros(0, 0);
+        net.forward_into(&x, &mut out); // warm-up: buffers grow, cache fills
+        let out_ptr = out.as_slice().as_ptr();
+        let eff_ptr = net.layers[0].effective().as_slice().as_ptr();
+        net.forward_into(&x, &mut out);
+        assert_eq!(out.as_slice().as_ptr(), out_ptr, "output buffer moved");
+        assert_eq!(
+            net.layers[0].effective().as_slice().as_ptr(),
+            eff_ptr,
+            "effective-weight cache recomputed into a new allocation"
+        );
+    }
+
+    #[test]
+    fn effective_cache_invalidated_by_mutations() {
+        let mut net = Mlp::new(&MlpConfig::small(8, 2), 10);
+        let shape = net.weights(0).shape();
+        let dense_eff = net.layers[0].effective_w();
+        assert_eq!(dense_eff, *net.weights(0));
+
+        // set_mask must invalidate.
+        net.set_mask(0, Some(Mask::none(shape.0, shape.1)));
+        assert_eq!(net.layers[0].effective_w(), Matrix::zeros(shape.0, shape.1));
+
+        // set_weights must invalidate.
+        net.set_mask(0, None);
+        net.set_weights(0, Matrix::filled(shape.0, shape.1, 2.0));
+        assert_eq!(
+            net.layers[0].effective_w(),
+            Matrix::filled(shape.0, shape.1, 2.0)
+        );
+
+        // backward_update must invalidate: train once, cache must track w.
+        let d = Dataset::gaussian_mixture(8, 2, 32, 16, 0.4, 11);
+        let mut net = Mlp::new(&MlpConfig::small(8, 2), 12);
+        for (x, y) in d.batches(8) {
+            net.train_batch(&x, &y);
+        }
+        assert_eq!(net.layers[0].effective_w(), *net.weights(0));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! The optimized training stack must reproduce the pre-optimization
+//! ("seed") implementation's loss trajectory exactly.
+//!
+//! `RefMlp` below re-implements the seed's arithmetic verbatim on public
+//! APIs: effective weights materialized by `Mask::apply`/`clone`, forward
+//! as `matmul(x, wᵀ)`, gradients through owned `transpose` + `matmul`, and
+//! index-loop SGD updates. The optimized kernels were designed to keep the
+//! same accumulation order, so the comparison is exact (`==`), not
+//! approximate.
+
+use tbstc_matrix::gemm;
+use tbstc_matrix::rng::MatrixRng;
+use tbstc_matrix::Matrix;
+use tbstc_sparsity::pattern::paper_pattern;
+use tbstc_sparsity::{Mask, PatternKind};
+use tbstc_train::{Dataset, Mlp, MlpConfig};
+
+struct RefLinear {
+    w: Matrix,
+    b: Vec<f32>,
+    vw: Matrix,
+    vb: Vec<f32>,
+    mask: Option<Mask>,
+}
+
+impl RefLinear {
+    fn new(inputs: usize, outputs: usize, rng: &mut MatrixRng) -> Self {
+        RefLinear {
+            w: rng.weights(outputs, inputs),
+            b: vec![0.0; outputs],
+            vw: Matrix::zeros(outputs, inputs),
+            vb: vec![0.0; outputs],
+            mask: None,
+        }
+    }
+
+    fn effective_w(&self) -> Matrix {
+        match &self.mask {
+            Some(m) => m.apply(&self.w),
+            None => self.w.clone(),
+        }
+    }
+
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = gemm::matmul(x, &self.effective_w().transpose());
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                h[(r, c)] += self.b[c];
+            }
+        }
+        h
+    }
+
+    fn backward_update(&mut self, x: &Matrix, dh: &Matrix, lr: f32, momentum: f32) -> Matrix {
+        let n = x.rows().max(1) as f32;
+        let dw = gemm::matmul(&dh.transpose(), x).map(|g| g / n);
+        let dx = gemm::matmul(dh, &self.effective_w());
+        for c in 0..self.b.len() {
+            let db: f32 = (0..dh.rows()).map(|r| dh[(r, c)]).sum::<f32>() / n;
+            self.vb[c] = momentum * self.vb[c] - lr * db;
+            self.b[c] += self.vb[c];
+        }
+        for r in 0..self.w.rows() {
+            for c in 0..self.w.cols() {
+                self.vw[(r, c)] = momentum * self.vw[(r, c)] - lr * dw[(r, c)];
+                self.w[(r, c)] += self.vw[(r, c)];
+            }
+        }
+        dx
+    }
+}
+
+struct RefMlp {
+    layers: Vec<RefLinear>,
+    lr: f32,
+    momentum: f32,
+}
+
+impl RefMlp {
+    fn new(cfg: &MlpConfig, seed: u64) -> Self {
+        let mut rng = MatrixRng::seed_from(seed);
+        let mut dims = vec![cfg.inputs];
+        dims.extend(&cfg.hidden);
+        dims.push(cfg.classes);
+        let layers = dims
+            .windows(2)
+            .map(|w| RefLinear::new(w[0], w[1], &mut rng))
+            .collect();
+        RefMlp {
+            layers,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+        }
+    }
+
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<Matrix>) {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            acts.push(h.clone());
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h.map_inplace(|v| v.max(0.0));
+            }
+        }
+        (softmax_rows(&h), acts)
+    }
+
+    fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+        let (probs, acts) = self.forward_cached(x);
+        let n = x.rows();
+        let mut loss = 0.0f64;
+        let mut grad = probs.clone();
+        for (i, &y) in labels.iter().enumerate() {
+            loss -= f64::from(probs[(i, y)].max(1e-12).ln());
+            grad[(i, y)] -= 1.0;
+        }
+        loss /= n as f64;
+
+        for li in (0..self.layers.len()).rev() {
+            let x_in = &acts[li];
+            let (lr, mom) = (self.lr, self.momentum);
+            let mut dx = self.layers[li].backward_update(x_in, &grad, lr, mom);
+            if li > 0 {
+                for r in 0..dx.rows() {
+                    for c in 0..dx.cols() {
+                        if acts[li][(r, c)] <= 0.0 {
+                            dx[(r, c)] = 0.0;
+                        }
+                    }
+                }
+            }
+            grad = dx;
+        }
+        loss
+    }
+}
+
+fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum.max(1e-12);
+        }
+    }
+    out
+}
+
+#[test]
+fn masked_training_reproduces_seed_loss_trajectory() {
+    let cfg = MlpConfig::small(16, 4);
+    let d = Dataset::gaussian_mixture(16, 4, 128, 64, 0.35, 3);
+    let mut net = Mlp::new(&cfg, 7);
+    let mut reference = RefMlp::new(&cfg, 7);
+    let pattern = paper_pattern(PatternKind::Tbs);
+
+    for epoch in 0..3 {
+        // Re-project TBS masks from the current dense weights, exactly as
+        // SparseTrainer does during the sparsity ramp. Both nets must see
+        // identical weights, hence identical masks.
+        for li in 0..net.layer_count() - 1 {
+            let mask = pattern.project(net.weights(li), 0.6);
+            let ref_mask = pattern.project(&reference.layers[li].w, 0.6);
+            assert_eq!(
+                mask, ref_mask,
+                "epoch {epoch} layer {li}: dense weights diverged before masking"
+            );
+            net.set_mask(li, Some(mask.clone()));
+            reference.layers[li].mask = Some(mask);
+        }
+        for (bi, (x, y)) in d.batches(32).enumerate() {
+            let loss_opt = net.train_batch(&x, &y);
+            let loss_ref = reference.train_batch(&x, &y);
+            assert_eq!(
+                loss_opt.to_bits(),
+                loss_ref.to_bits(),
+                "epoch {epoch} batch {bi}: {loss_opt} vs {loss_ref}"
+            );
+        }
+    }
+
+    for li in 0..net.layer_count() {
+        assert_eq!(
+            *net.weights(li),
+            reference.layers[li].w,
+            "layer {li}: weights diverged after training"
+        );
+    }
+}
+
+#[test]
+fn dense_training_reproduces_seed_loss_trajectory() {
+    let cfg = MlpConfig::small(12, 3);
+    let d = Dataset::gaussian_mixture(12, 3, 96, 48, 0.3, 5);
+    let mut net = Mlp::new(&cfg, 11);
+    let mut reference = RefMlp::new(&cfg, 11);
+
+    for (bi, (x, y)) in d.batches(24).enumerate() {
+        let loss_opt = net.train_batch(&x, &y);
+        let loss_ref = reference.train_batch(&x, &y);
+        assert_eq!(
+            loss_opt.to_bits(),
+            loss_ref.to_bits(),
+            "batch {bi}: {loss_opt} vs {loss_ref}"
+        );
+    }
+}
