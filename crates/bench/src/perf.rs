@@ -1,13 +1,14 @@
-//! Wall-clock performance harness for the PR 2 hot-path work.
+//! Wall-clock performance harness for the hot-path and serve work.
 //!
 //! Times the three numeric hot paths — the training step, Algorithm-1
 //! sparsification and the layer simulation — and compares the optimized
 //! training step against [`reference`], a faithful re-implementation of
 //! the pre-optimization ("seed") trainer: effective weights cloned and
 //! transposed per call, gradients through owned `transpose` + `matmul`,
-//! index-loop SGD updates, fresh allocations everywhere. The report is
-//! written as JSON (hand-rolled; the workspace is offline and carries no
-//! serde) to `BENCH_PR2.json`.
+//! index-loop SGD updates, fresh allocations everywhere. A loopback run
+//! against `tbstc-serve` adds end-to-end server throughput and the cache
+//! hit rate. The report is written as JSON (hand-rolled; the workspace is
+//! offline and carries no serde) to `BENCH_PR3.json`.
 
 use std::time::Instant;
 
@@ -46,7 +47,19 @@ pub struct Timing {
     pub mean_us: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR2.json`.
+/// Loopback measurements against a live `tbstc-serve` instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Job submissions issued over HTTP.
+    pub requests: usize,
+    /// End-to-end submissions per second (connect → parse → cache/execute
+    /// → respond), over the whole mixed cold/warm run.
+    pub throughput_rps: f64,
+    /// Fraction of submissions answered from the disk cache.
+    pub cache_hit_rate: f64,
+}
+
+/// The harness output, serialized to `BENCH_PR3.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -66,6 +79,8 @@ pub struct PerfReport {
     pub simulate_layer: Timing,
     /// Whether the parallel GEMM reproduced the serial result bit for bit.
     pub parallel_gemm_bit_identical: bool,
+    /// Loopback server throughput and cache behaviour.
+    pub serve: ServeStats,
 }
 
 impl PerfReport {
@@ -78,7 +93,7 @@ impl PerfReport {
             )
         }
         format!(
-            "{{\n  \"bench\": \"PR2 hot-path perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"parallel_gemm_bit_identical\": {}\n}}\n",
+            "{{\n  \"bench\": \"PR3 hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"parallel_gemm_bit_identical\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
@@ -87,6 +102,9 @@ impl PerfReport {
             timing(&self.sparsify),
             timing(&self.simulate_layer),
             self.parallel_gemm_bit_identical,
+            self.serve.requests,
+            self.serve.throughput_rps,
+            self.serve.cache_hit_rate,
         )
     }
 }
@@ -255,6 +273,72 @@ pub mod reference {
     }
 }
 
+/// Boots a loopback `tbstc-serve` on a fresh cache directory and drives a
+/// mixed cold/warm run: three distinct job specs, each submitted four
+/// times (3 disk misses, 9 hits → hit rate 0.75 by construction).
+/// Transport failures degrade to zeroed stats rather than failing the
+/// harness.
+fn measure_serve(seed: u64) -> ServeStats {
+    let zeroed = ServeStats {
+        requests: 0,
+        throughput_rps: 0.0,
+        cache_hit_rate: 0.0,
+    };
+    let dir = std::env::temp_dir().join(format!("tbstc-bench-serve-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = tbstc_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: dir.clone(),
+        quiet: true,
+        ..tbstc_serve::ServeConfig::default()
+    };
+    let Ok(server) = tbstc_serve::Server::bind(cfg) else {
+        return zeroed;
+    };
+    let Ok(running) = server.spawn() else {
+        return zeroed;
+    };
+    let addr = running.addr.to_string();
+
+    let specs: Vec<String> = [0.25, 0.5, 0.75]
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"type":"simulate","arch":"tb-stc","model":{{"kind":"gcn","nodes":64,"features":16}},"sparsity":{s},"seed":{seed}}}"#
+            )
+        })
+        .collect();
+
+    let mut requests = 0usize;
+    let mut hits = 0usize;
+    let t0 = Instant::now();
+    for _round in 0..4 {
+        for spec in &specs {
+            match tbstc_serve::http::request(&addr, "POST", "/v1/jobs", Some(spec)) {
+                Ok(resp) if resp.status == 200 => {
+                    requests += 1;
+                    if resp.header("x-cache") == Some("hit") {
+                        hits += 1;
+                    }
+                }
+                _ => {
+                    running.shutdown_and_join();
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return zeroed;
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    running.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+    ServeStats {
+        requests,
+        throughput_rps: requests as f64 / wall_s,
+        cache_hit_rate: hits as f64 / requests.max(1) as f64,
+    }
+}
+
 /// The MLP shape the train-step measurements use: hidden widths in the
 /// range of the paper's transformer workloads (BERT-base/OPT FFN slices),
 /// large enough that the GEMMs dominate, small enough to keep the harness
@@ -344,6 +428,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
     );
     let parallel_gemm_bit_identical = serial == parallel;
 
+    let serve = measure_serve(cfg.seed);
+
     PerfReport {
         iters: cfg.iters,
         workers: pool::available_workers(),
@@ -353,6 +439,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         sparsify,
         simulate_layer,
         parallel_gemm_bit_identical,
+        serve,
     }
 }
 
@@ -375,10 +462,17 @@ mod tests {
             sparsify: t,
             simulate_layer: t,
             parallel_gemm_bit_identical: true,
+            serve: ServeStats {
+                requests: 12,
+                throughput_rps: 80.0,
+                cache_hit_rate: 0.75,
+            },
         };
         let json = r.to_json();
         assert!(json.contains("\"train_speedup\": 1.000"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
+        assert!(json.contains("\"serve_requests\": 12"));
+        assert!(json.contains("\"serve_cache_hit_rate\": 0.750"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
@@ -388,5 +482,12 @@ mod tests {
         assert!(r.train_step_new.best_us > 0.0);
         assert!(r.train_speedup > 1.0, "speedup {}", r.train_speedup);
         assert!(r.parallel_gemm_bit_identical);
+        assert_eq!(r.serve.requests, 12);
+        assert!(r.serve.throughput_rps > 0.0);
+        assert!(
+            (r.serve.cache_hit_rate - 0.75).abs() < 1e-9,
+            "3 misses, 9 hits by construction: {}",
+            r.serve.cache_hit_rate
+        );
     }
 }

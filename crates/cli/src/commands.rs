@@ -21,16 +21,20 @@ USAGE:
   tbstc-cli prune    [--rows 128] [--cols 128] [--sparsity 0.75] [--block 8] [--seed 0]
   tbstc-cli formats  [--rows 128] [--cols 128] [--sparsity 0.75] [--seed 0]
   tbstc-cli simulate [--model bert] [--arch tb-stc] [--sparsity 0.75]
-                     [--bandwidth 64] [--seed 0]
+                     [--bandwidth 64] [--seed 0] [--json]
   tbstc-cli sweep    [--models bert,resnet50] [--archs tb-stc,rm-stc,highlight]
                      [--sparsities 0.5,0.75] [--seed 0] [--bandwidth 64]
-                     [--jobs N] [--verify]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR2.json]
+                     [--jobs N] [--verify] [--json]
+  tbstc-cli serve    [--addr 127.0.0.1:7878] [--cache-dir .tbstc-cache]
+                     [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
+                     [--oneshot --job FILE]
+  tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR3.json]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
 
-Models: resnet50, resnet18, bert, opt, llama (sweep also: gcn)
+Models: resnet50, resnet18, bert, opt, llama (sweep/--json also: gcn)
 Archs:  tc, stc, vegeta, highlight, rm-stc, tb-stc (sweep also: sgcn)
 
 `sweep` runs the cross product models x archs x sparsities in parallel
@@ -39,9 +43,23 @@ adds a dense TC baseline per model, and reports speedup/EDP against it.
 --verify reruns the grid serially and checks the results are
 bit-identical to the parallel run.
 
+`serve` runs the HTTP job service: POST job specs to /v1/jobs, scrape
+Prometheus metrics from /metrics. Results are cached on disk under
+--cache-dir keyed by the canonicalized spec, so identical jobs are
+byte-identical cache hits even across restarts. --oneshot boots on an
+ephemeral port, submits --job FILE twice (the second must be a cache
+hit), prints the metrics text, and exits — the CI smoke test.
+
+`submit` posts a job-spec file to a running server and prints the
+response body (stdout) plus cache status (stderr).
+
+`--json` on simulate/sweep emits the same canonical machine-readable
+body the server returns, instead of the human tables.
+
 `perf` times the numeric hot paths (train step old vs new kernels,
-Algorithm-1 sparsify, layer simulation) and writes a JSON report to
---out. --jobs caps the GEMM worker pool (sets TBSTC_JOBS).
+Algorithm-1 sparsify, layer simulation) plus the serve loopback
+(throughput and cache hit-rate) and writes a JSON report to --out.
+--jobs caps the GEMM worker pool (sets TBSTC_JOBS).
 ";
 
 /// Dispatches a parsed command line.
@@ -55,6 +73,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "formats" => formats(args),
         "simulate" => simulate(args),
         "sweep" => sweep(args),
+        "serve" => serve(args),
+        "submit" => submit(args),
         "perf" => perf(args),
         "table3" => Ok(table3()),
         "models" => Ok(models()),
@@ -65,31 +85,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn parse_arch(name: &str) -> Result<Arch, ArgError> {
-    Ok(match name {
-        "tc" => Arch::Tc,
-        "stc" => Arch::Stc,
-        "vegeta" => Arch::Vegeta,
-        "highlight" => Arch::Highlight,
-        "rm-stc" | "rmstc" => Arch::RmStc,
-        "tb-stc" | "tbstc" => Arch::TbStc,
-        "sgcn" => Arch::Sgcn,
-        other => return Err(ArgError(format!("unknown arch `{other}`"))),
-    })
+    // One name table for CLI, server, and caches: the jobspec module.
+    tbstc::jobspec::arch_from_name(name).ok_or_else(|| ArgError(format!("unknown arch `{name}`")))
 }
 
 fn parse_model_spec(name: &str) -> Result<ModelSpec, ArgError> {
-    Ok(match name {
-        "resnet50" => ModelSpec::ResNet50 { input: 64 },
-        "resnet18" => ModelSpec::ResNet18 { input: 64 },
-        "bert" => ModelSpec::BertBase { tokens: 128 },
-        "opt" => ModelSpec::Opt6_7b { tokens: 128 },
-        "llama" => ModelSpec::Llama2_7b { tokens: 128 },
-        "gcn" => ModelSpec::Gcn {
-            nodes: 1024,
-            features: 128,
-        },
-        other => return Err(ArgError(format!("unknown model `{other}`"))),
-    })
+    tbstc::jobspec::model_from_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))
 }
 
 fn parse_list<T>(
@@ -240,7 +241,6 @@ fn formats(args: &ParsedArgs) -> Result<String, ArgError> {
 
 fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     let arch = parse_arch(&args.str_or("arch", "tb-stc"))?;
-    let model = parse_model(&args.str_or("model", "bert"))?;
     let sparsity: f64 = args.num_or("sparsity", 0.75)?;
     let bandwidth: f64 = args.num_or("bandwidth", 64.0)?;
     let seed: u64 = args.num_or("seed", 0)?;
@@ -248,6 +248,20 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
         return Err(ArgError("--sparsity must be in [0, 1]".into()));
     }
 
+    if args.str_or("json", "false") == "true" {
+        // Same schema and bytes the server returns for this job.
+        let spec = JobSpec::Simulate(SimulateSpec {
+            arch,
+            model: parse_model_spec(&args.str_or("model", "bert"))?,
+            sparsity,
+            seed,
+            bandwidth_gbps: bandwidth,
+        });
+        let engine = SweepRunner::new(HwConfig::with_bandwidth_gbps(bandwidth));
+        return Ok(format!("{}\n", spec.execute(&engine)));
+    }
+
+    let model = parse_model(&args.str_or("model", "bert"))?;
     let cfg = HwConfig::with_bandwidth_gbps(bandwidth);
     let dense = simulate_model(Arch::Tc, &model, 0.0, seed, &cfg);
     let res = simulate_model(arch, &model, sparsity, seed, &cfg);
@@ -317,6 +331,17 @@ fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
         Runner::new()
     };
     let engine = SweepRunner::with_runner(HwConfig::with_bandwidth_gbps(bandwidth), runner);
+
+    if args.str_or("json", "false") == "true" {
+        let spec = JobSpec::Sweep(SweepSpec {
+            archs,
+            models,
+            sparsities,
+            seeds: vec![seed],
+            bandwidth_gbps: bandwidth,
+        });
+        return Ok(format!("{}\n", spec.execute(&engine)));
+    }
 
     // Dense TC baselines lead the batch: they anchor the speedup/EDP
     // columns and are served from the cache if the grid revisits them.
@@ -396,11 +421,127 @@ fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn serve_config(args: &ParsedArgs) -> Result<tbstc_serve::ServeConfig, ArgError> {
+    let queue: usize = args.num_or("queue", 32)?;
+    let job_workers: usize = args.num_or("job-workers", 0)?; // 0 = auto
+    let hold_ms: u64 = args.num_or("hold-ms", 0)?;
+    let mut cfg = tbstc_serve::ServeConfig {
+        addr: args.str_or("addr", "127.0.0.1:7878"),
+        queue_capacity: queue,
+        cache_dir: args.str_or("cache-dir", ".tbstc-cache").into(),
+        hold_ms,
+        quiet: args.str_or("quiet", "false") == "true",
+        ..tbstc_serve::ServeConfig::default()
+    };
+    if job_workers > 0 {
+        cfg.job_workers = job_workers;
+    }
+    Ok(cfg)
+}
+
+fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
+    let mut cfg = serve_config(args)?;
+    if args.str_or("oneshot", "false") == "true" {
+        if !args.options.contains_key("addr") {
+            cfg.addr = "127.0.0.1:0".into(); // ephemeral: CI-safe
+        }
+        let job = args
+            .options
+            .get("job")
+            .ok_or_else(|| ArgError("--oneshot needs --job FILE".into()))?;
+        return oneshot(cfg, job);
+    }
+    cfg.watch_signals = true;
+    tbstc_serve::signal::install_shutdown_handlers();
+    let server = tbstc_serve::Server::bind(cfg).map_err(|e| ArgError(e.to_string()))?;
+    server.run(); // blocks until SIGTERM/ctrl-c, then drains and flushes
+    Ok(String::new())
+}
+
+/// Boot on a private port, submit the canned job twice (the second must
+/// be a byte-identical cache hit), print the metrics text, shut down.
+/// CI runs this and greps the output.
+fn oneshot(cfg: tbstc_serve::ServeConfig, job_path: &str) -> Result<String, ArgError> {
+    let body = std::fs::read_to_string(job_path)
+        .map_err(|e| ArgError(format!("cannot read {job_path}: {e}")))?;
+    // Validate locally so a bad file fails with a parse error, not a 400.
+    JobSpec::from_json(&body).map_err(|e| ArgError(format!("{job_path}: {e}")))?;
+
+    let server = tbstc_serve::Server::bind(cfg).map_err(|e| ArgError(e.to_string()))?;
+    let running = server.spawn().map_err(|e| ArgError(e.to_string()))?;
+    let addr = running.addr.to_string();
+
+    let mut out = String::new();
+    let mut first_body = String::new();
+    for pass in ["first", "second"] {
+        let resp = tbstc_serve::http::request(&addr, "POST", "/v1/jobs", Some(&body))
+            .map_err(|e| ArgError(e.to_string()))?;
+        let cache = resp.header("x-cache").unwrap_or("-").to_string();
+        writeln!(
+            out,
+            "oneshot {pass} submission: {} X-Cache: {cache} ({} bytes)",
+            resp.status,
+            resp.body.len()
+        )
+        .ok();
+        if resp.status != 200 {
+            running.shutdown_and_join();
+            return Err(ArgError(format!(
+                "oneshot {pass} submission failed with {}: {}",
+                resp.status,
+                resp.body.trim()
+            )));
+        }
+        match pass {
+            "first" => first_body = resp.body,
+            _ => {
+                if cache != "hit" || resp.body != first_body {
+                    running.shutdown_and_join();
+                    return Err(ArgError(
+                        "oneshot: second submission was not a byte-identical cache hit".into(),
+                    ));
+                }
+                writeln!(out, "oneshot cache check: byte-identical hit").ok();
+            }
+        }
+    }
+    let metrics = tbstc_serve::http::request(&addr, "GET", "/metrics", None)
+        .map_err(|e| ArgError(e.to_string()))?;
+    running.shutdown_and_join();
+    out.push_str(&metrics.body);
+    Ok(out)
+}
+
+fn submit(args: &ParsedArgs) -> Result<String, ArgError> {
+    let addr = args.str_or("addr", "127.0.0.1:7878");
+    let job_path = args
+        .options
+        .get("job")
+        .ok_or_else(|| ArgError("submit needs --job FILE".into()))?;
+    let body = std::fs::read_to_string(job_path)
+        .map_err(|e| ArgError(format!("cannot read {job_path}: {e}")))?;
+    let resp = tbstc_serve::http::request(&addr, "POST", "/v1/jobs", Some(&body))
+        .map_err(|e| ArgError(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(ArgError(format!(
+            "server answered {}: {}",
+            resp.status,
+            resp.body.trim()
+        )));
+    }
+    eprintln!(
+        "submitted {job_path}: X-Cache: {} key {}",
+        resp.header("x-cache").unwrap_or("-"),
+        resp.header("x-job-key").unwrap_or("-")
+    );
+    Ok(resp.body)
+}
+
 fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let iters: usize = args.num_or("iters", 20)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
-    let out_path = args.str_or("out", "BENCH_PR2.json");
+    let out_path = args.str_or("out", "BENCH_PR3.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -443,6 +584,14 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
         out,
         "  parallel GEMM bit-identical to serial: {}",
         report.parallel_gemm_bit_identical
+    )
+    .ok();
+    writeln!(
+        out,
+        "  serve loopback  : {:>9.1} req/s over {} submissions ({:.0}% cache hits)",
+        report.serve.throughput_rps,
+        report.serve.requests,
+        report.serve.cache_hit_rate * 100.0
     )
     .ok();
     writeln!(out, "  report written to {out_path}").ok();
@@ -606,5 +755,104 @@ mod tests {
     #[test]
     fn perf_rejects_zero_iters() {
         assert!(run_line(&["perf", "--iters", "0"]).is_err());
+    }
+
+    #[test]
+    fn simulate_json_matches_the_server_schema() {
+        let out = run_line(&[
+            "simulate",
+            "--model",
+            "gcn",
+            "--arch",
+            "tb-stc",
+            "--sparsity",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let v = tbstc::json::Json::parse(out.trim_end()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(tbstc::json::Json::as_str),
+            Some(tbstc::jobspec::SCHEMA)
+        );
+        assert!(v.get("result").is_some());
+        // Emitting the same job twice gives identical bytes.
+        let again = run_line(&[
+            "simulate",
+            "--model",
+            "gcn",
+            "--arch",
+            "tb-stc",
+            "--sparsity",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn sweep_json_lists_every_grid_point() {
+        let out = run_line(&[
+            "sweep",
+            "--models",
+            "gcn",
+            "--archs",
+            "tb-stc,stc",
+            "--sparsities",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let v = tbstc::json::Json::parse(out.trim_end()).unwrap();
+        let results = v
+            .get("results")
+            .and_then(tbstc::json::Json::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 2, "2 archs x 1 model x 1 sparsity");
+    }
+
+    #[test]
+    fn oneshot_serves_cached_second_submission() {
+        let dir = std::env::temp_dir().join(format!("tbstc-cli-oneshot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let job = dir.join("job.json");
+        std::fs::write(
+            &job,
+            r#"{"type":"simulate","arch":"tb-stc",
+                "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":0.5}"#,
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        let out = run_line(&[
+            "serve",
+            "--oneshot",
+            "--job",
+            job.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--quiet",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("oneshot cache check: byte-identical hit"),
+            "{out}"
+        );
+        assert!(
+            out.contains("tbstc_requests_total{endpoint=\"jobs\"} 2"),
+            "{out}"
+        );
+        assert!(
+            out.contains("tbstc_cache_hits_total{tier=\"disk\"} 1"),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_requires_a_job_file() {
+        assert!(run_line(&["submit"]).is_err());
+        assert!(run_line(&["submit", "--job", "/no/such/file.json"]).is_err());
     }
 }

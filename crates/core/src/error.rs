@@ -1,7 +1,9 @@
-//! The shared error type of the experiment helpers.
+//! The shared error type of the experiment helpers and the serve
+//! subsystem.
 
-/// Errors the experiment helpers can report instead of panicking.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Errors the experiment helpers and the serve subsystem report instead
+/// of panicking.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
     /// An accuracy curve holds no measured points.
@@ -11,6 +13,20 @@ pub enum Error {
         /// The offending value.
         value: f64,
     },
+    /// Malformed JSON text (job spec, cached result, memo file).
+    Parse(String),
+    /// Well-formed JSON that is not a valid job spec or result.
+    InvalidSpec(String),
+    /// An I/O failure in the serve store or the HTTP transport.
+    Io(String),
+    /// An HTTP request/response violated the protocol subset we speak.
+    Http(String),
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -20,6 +36,10 @@ impl std::fmt::Display for Error {
             Error::NonPositive { value } => {
                 write!(f, "geometric mean requires positive values, got {value}")
             }
+            Error::Parse(msg) => write!(f, "json parse error: {msg}"),
+            Error::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::Http(msg) => write!(f, "http error: {msg}"),
         }
     }
 }

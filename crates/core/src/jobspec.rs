@@ -1,0 +1,717 @@
+//! The shared job-spec schema: what `tbstc-serve` accepts over HTTP,
+//! what `tbstc-cli --json` emits, and what the on-disk caches store.
+//!
+//! One schema, three consumers:
+//!
+//! * `tbstc-cli simulate/sweep --json` serializes results through
+//!   [`JobSpec::execute`], so CLI output and server responses are
+//!   diffable byte-for-byte.
+//! * `tbstc-serve` parses request bodies into [`JobSpec`], keys its
+//!   content-addressed result cache on [`JobSpec::cache_key`] (a hash of
+//!   the *canonicalized* spec — field order and omitted defaults do not
+//!   change the key), and stores the response bodies verbatim.
+//! * The `SweepRunner` memo persistence file serializes its
+//!   `(SimJob, ModelResult)` entries with [`sim_job_to_value`] /
+//!   [`model_result_to_value`].
+//!
+//! Determinism contract: [`JobSpec::execute`] is a pure function of the
+//! spec (each job owns its seed; the engine's parallel runner is
+//! bit-identical to serial), so identical specs always produce identical
+//! response bodies — the property the serve cache relies on.
+
+use crate::error::Error;
+use crate::json::{fnv1a_64, Json};
+
+use tbstc_runner::{ModelSpec, SimJob, Sweep, SweepRunner};
+use tbstc_sim::{Arch, CycleBreakdown, LayerResult, ModelResult};
+
+/// Schema tag stamped into every response body.
+pub const SCHEMA: &str = "tbstc.v1";
+
+/// Default off-chip bandwidth when a spec omits it (GB/s, the paper's
+/// platform).
+pub const DEFAULT_BANDWIDTH_GBPS: f64 = 64.0;
+
+/// The canonical lowercase name of an architecture (the inverse of
+/// [`arch_from_name`]).
+pub fn arch_name(arch: Arch) -> &'static str {
+    match arch {
+        Arch::Tc => "tc",
+        Arch::Stc => "stc",
+        Arch::Vegeta => "vegeta",
+        Arch::Highlight => "highlight",
+        Arch::RmStc => "rm-stc",
+        Arch::TbStc => "tb-stc",
+        Arch::DvpeFan => "dvpe-fan",
+        Arch::Sgcn => "sgcn",
+    }
+}
+
+/// Parses an architecture name (accepts the canonical kebab-case names
+/// plus the undashed aliases the CLI has always taken).
+pub fn arch_from_name(name: &str) -> Option<Arch> {
+    Some(match name {
+        "tc" => Arch::Tc,
+        "stc" => Arch::Stc,
+        "vegeta" => Arch::Vegeta,
+        "highlight" => Arch::Highlight,
+        "rm-stc" | "rmstc" => Arch::RmStc,
+        "tb-stc" | "tbstc" => Arch::TbStc,
+        "dvpe-fan" | "dvpefan" => Arch::DvpeFan,
+        "sgcn" => Arch::Sgcn,
+        _ => return None,
+    })
+}
+
+/// Builds a [`ModelSpec`] from a bare name at the CLI's default shapes.
+pub fn model_from_name(name: &str) -> Option<ModelSpec> {
+    Some(match name {
+        "resnet50" => ModelSpec::ResNet50 { input: 64 },
+        "resnet18" => ModelSpec::ResNet18 { input: 64 },
+        "bert" => ModelSpec::BertBase { tokens: 128 },
+        "opt" => ModelSpec::Opt6_7b { tokens: 128 },
+        "llama" => ModelSpec::Llama2_7b { tokens: 128 },
+        "gcn" => ModelSpec::Gcn {
+            nodes: 1024,
+            features: 128,
+        },
+        _ => return None,
+    })
+}
+
+/// Serializes a [`ModelSpec`] to its canonical object form.
+pub fn model_to_value(model: ModelSpec) -> Json {
+    match model {
+        ModelSpec::ResNet50 { input } => Json::obj([
+            ("input", Json::Int(input as i64)),
+            ("kind", Json::str("resnet50")),
+        ]),
+        ModelSpec::ResNet18 { input } => Json::obj([
+            ("input", Json::Int(input as i64)),
+            ("kind", Json::str("resnet18")),
+        ]),
+        ModelSpec::BertBase { tokens } => Json::obj([
+            ("kind", Json::str("bert")),
+            ("tokens", Json::Int(tokens as i64)),
+        ]),
+        ModelSpec::Opt6_7b { tokens } => Json::obj([
+            ("kind", Json::str("opt")),
+            ("tokens", Json::Int(tokens as i64)),
+        ]),
+        ModelSpec::Llama2_7b { tokens } => Json::obj([
+            ("kind", Json::str("llama")),
+            ("tokens", Json::Int(tokens as i64)),
+        ]),
+        ModelSpec::Gcn { nodes, features } => Json::obj([
+            ("features", Json::Int(features as i64)),
+            ("kind", Json::str("gcn")),
+            ("nodes", Json::Int(nodes as i64)),
+        ]),
+    }
+}
+
+/// Parses a [`ModelSpec`] from either a bare name string (CLI default
+/// shapes) or the canonical `{"kind": ..., ...}` object.
+pub fn model_from_value(v: &Json) -> Result<ModelSpec, Error> {
+    if let Some(name) = v.as_str() {
+        return model_from_name(name)
+            .ok_or_else(|| Error::InvalidSpec(format!("unknown model `{name}`")));
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::InvalidSpec("model needs a `kind`".into()))?;
+    let dim = |key: &str, default: usize| -> Result<usize, Error> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(j) => j
+                .as_usize()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| Error::InvalidSpec(format!("model `{key}` must be a positive int"))),
+        }
+    };
+    Ok(match kind {
+        "resnet50" => ModelSpec::ResNet50 {
+            input: dim("input", 64)?,
+        },
+        "resnet18" => ModelSpec::ResNet18 {
+            input: dim("input", 64)?,
+        },
+        "bert" => ModelSpec::BertBase {
+            tokens: dim("tokens", 128)?,
+        },
+        "opt" => ModelSpec::Opt6_7b {
+            tokens: dim("tokens", 128)?,
+        },
+        "llama" => ModelSpec::Llama2_7b {
+            tokens: dim("tokens", 128)?,
+        },
+        "gcn" => ModelSpec::Gcn {
+            nodes: dim("nodes", 1024)?,
+            features: dim("features", 128)?,
+        },
+        other => return Err(Error::InvalidSpec(format!("unknown model kind `{other}`"))),
+    })
+}
+
+fn parse_arch_value(v: &Json) -> Result<Arch, Error> {
+    let name = v
+        .as_str()
+        .ok_or_else(|| Error::InvalidSpec("arch must be a string".into()))?;
+    arch_from_name(name).ok_or_else(|| Error::InvalidSpec(format!("unknown arch `{name}`")))
+}
+
+fn parse_sparsity(v: &Json) -> Result<f64, Error> {
+    let s = v
+        .as_f64()
+        .ok_or_else(|| Error::InvalidSpec("sparsity must be a number".into()))?;
+    if !(0.0..=1.0).contains(&s) {
+        return Err(Error::InvalidSpec(format!("sparsity {s} outside [0, 1]")));
+    }
+    Ok(s)
+}
+
+/// One whole-model simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// Architecture to simulate.
+    pub arch: Arch,
+    /// Workload.
+    pub model: ModelSpec,
+    /// Target sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Weight-sampling seed.
+    pub seed: u64,
+    /// Off-chip bandwidth of the platform, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+/// A grid request: the cross product archs × models × sparsities × seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Architecture axis.
+    pub archs: Vec<Arch>,
+    /// Workload axis.
+    pub models: Vec<ModelSpec>,
+    /// Sparsity axis.
+    pub sparsities: Vec<f64>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Off-chip bandwidth of the platform, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+/// A job the serve subsystem can execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Simulate one model on one architecture.
+    Simulate(SimulateSpec),
+    /// Run a deterministic sweep grid.
+    Sweep(SweepSpec),
+}
+
+impl JobSpec {
+    /// Parses and validates a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] on malformed JSON, [`Error::InvalidSpec`] on a
+    /// well-formed body that is not a valid job.
+    pub fn from_json(text: &str) -> Result<JobSpec, Error> {
+        Self::from_value(&Json::parse(text)?)
+    }
+
+    /// Parses and validates a spec from a JSON value. Omitted fields take
+    /// defaults: seed 0, bandwidth 64 GB/s, sweep seeds `[0]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] when required fields are missing or out of
+    /// range.
+    pub fn from_value(v: &Json) -> Result<JobSpec, Error> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::InvalidSpec("job needs a `type` (simulate|sweep)".into()))?;
+        let bandwidth_gbps = match v.get("bandwidth_gbps") {
+            None => DEFAULT_BANDWIDTH_GBPS,
+            Some(j) => {
+                let b = j
+                    .as_f64()
+                    .ok_or_else(|| Error::InvalidSpec("bandwidth_gbps must be a number".into()))?;
+                if !b.is_finite() || b <= 0.0 {
+                    return Err(Error::InvalidSpec(format!(
+                        "bandwidth_gbps {b} must be positive"
+                    )));
+                }
+                b
+            }
+        };
+        let seed_of = |j: Option<&Json>| -> Result<u64, Error> {
+            match j {
+                None => Ok(0),
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| Error::InvalidSpec("seed must be a non-negative int".into())),
+            }
+        };
+        match kind {
+            "simulate" => {
+                let arch = parse_arch_value(
+                    v.get("arch")
+                        .ok_or_else(|| Error::InvalidSpec("simulate needs an `arch`".into()))?,
+                )?;
+                let model = model_from_value(
+                    v.get("model")
+                        .ok_or_else(|| Error::InvalidSpec("simulate needs a `model`".into()))?,
+                )?;
+                let sparsity = match v.get("sparsity") {
+                    None => 0.75,
+                    Some(j) => parse_sparsity(j)?,
+                };
+                Ok(JobSpec::Simulate(SimulateSpec {
+                    arch,
+                    model,
+                    sparsity,
+                    seed: seed_of(v.get("seed"))?,
+                    bandwidth_gbps,
+                }))
+            }
+            "sweep" => {
+                let list = |key: &str| -> Result<&[Json], Error> {
+                    v.get(key)
+                        .and_then(Json::as_arr)
+                        .filter(|a| !a.is_empty())
+                        .ok_or_else(|| {
+                            Error::InvalidSpec(format!("sweep needs a non-empty `{key}` array"))
+                        })
+                };
+                let archs = list("archs")?
+                    .iter()
+                    .map(parse_arch_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let models = list("models")?
+                    .iter()
+                    .map(model_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let sparsities = list("sparsities")?
+                    .iter()
+                    .map(parse_sparsity)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let seeds = match v.get("seeds") {
+                    None => vec![0],
+                    Some(j) => j
+                        .as_arr()
+                        .filter(|a| !a.is_empty())
+                        .ok_or_else(|| {
+                            Error::InvalidSpec("`seeds` must be a non-empty array".into())
+                        })?
+                        .iter()
+                        .map(|s| seed_of(Some(s)))
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                Ok(JobSpec::Sweep(SweepSpec {
+                    archs,
+                    models,
+                    sparsities,
+                    seeds,
+                    bandwidth_gbps,
+                }))
+            }
+            other => Err(Error::InvalidSpec(format!(
+                "unknown job type `{other}` (want simulate|sweep)"
+            ))),
+        }
+    }
+
+    /// The canonical value form: every default filled in, keys sorted.
+    /// Two specs that execute identically canonicalize identically.
+    pub fn to_value(&self) -> Json {
+        match self {
+            JobSpec::Simulate(s) => Json::obj([
+                ("arch", Json::str(arch_name(s.arch))),
+                ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
+                ("model", model_to_value(s.model)),
+                ("seed", Json::Int(s.seed as i64)),
+                ("sparsity", Json::Num(s.sparsity)),
+                ("type", Json::str("simulate")),
+            ]),
+            JobSpec::Sweep(s) => Json::obj([
+                (
+                    "archs",
+                    Json::Arr(s.archs.iter().map(|&a| Json::str(arch_name(a))).collect()),
+                ),
+                ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
+                (
+                    "models",
+                    Json::Arr(s.models.iter().map(|&m| model_to_value(m)).collect()),
+                ),
+                (
+                    "seeds",
+                    Json::Arr(s.seeds.iter().map(|&x| Json::Int(x as i64)).collect()),
+                ),
+                (
+                    "sparsities",
+                    Json::Arr(s.sparsities.iter().map(|&x| Json::Num(x)).collect()),
+                ),
+                ("type", Json::str("sweep")),
+            ]),
+        }
+    }
+
+    /// The canonical JSON text (the byte string the cache key hashes).
+    pub fn canonical_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// The content-addressed cache key: 128 bits of FNV-1a over the
+    /// canonical JSON, as 32 hex characters.
+    pub fn cache_key(&self) -> String {
+        let text = self.canonical_json();
+        let a = fnv1a_64(text.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a_64(text.as_bytes(), 0x6c62_272e_07bb_0142);
+        format!("{a:016x}{b:016x}")
+    }
+
+    /// The platform bandwidth this job simulates under.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        match self {
+            JobSpec::Simulate(s) => s.bandwidth_gbps,
+            JobSpec::Sweep(s) => s.bandwidth_gbps,
+        }
+    }
+
+    /// The number of grid points this job expands to.
+    pub fn grid_len(&self) -> usize {
+        match self {
+            JobSpec::Simulate(_) => 1,
+            JobSpec::Sweep(s) => {
+                s.archs.len() * s.models.len() * s.sparsities.len() * s.seeds.len().max(1)
+            }
+        }
+    }
+
+    /// Executes the job on `engine` and returns the deterministic
+    /// response body value. The engine must be bound to this spec's
+    /// bandwidth (the serve layer keeps one engine per bandwidth).
+    pub fn execute(&self, engine: &SweepRunner) -> Json {
+        debug_assert_eq!(
+            engine.config().dram.bytes_per_cycle,
+            self.bandwidth_gbps(),
+            "engine bound to a different bandwidth than the spec"
+        );
+        match self {
+            JobSpec::Simulate(s) => {
+                let result = engine.model(SimJob {
+                    arch: s.arch,
+                    model: s.model,
+                    sparsity: s.sparsity,
+                    seed: s.seed,
+                });
+                Json::obj([
+                    ("job", self.to_value()),
+                    ("result", model_result_to_value(&result)),
+                    ("schema", Json::str(SCHEMA)),
+                ])
+            }
+            JobSpec::Sweep(s) => {
+                let jobs = Sweep::new()
+                    .archs(s.archs.iter().copied())
+                    .models(s.models.iter().copied())
+                    .sparsities(s.sparsities.iter().copied())
+                    .seeds(s.seeds.iter().copied())
+                    .jobs();
+                let report = engine.run_models(&jobs);
+                let results = jobs
+                    .iter()
+                    .zip(&report.results)
+                    .map(|(job, res)| {
+                        Json::obj([
+                            ("job", sim_job_to_value(job)),
+                            ("result", model_result_to_value(res)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("job", self.to_value()),
+                    ("results", Json::Arr(results)),
+                    ("schema", Json::str(SCHEMA)),
+                ])
+            }
+        }
+    }
+}
+
+/// Serializes one grid point (the memo key of model sweeps).
+pub fn sim_job_to_value(job: &SimJob) -> Json {
+    Json::obj([
+        ("arch", Json::str(arch_name(job.arch))),
+        ("model", model_to_value(job.model)),
+        ("seed", Json::Int(job.seed as i64)),
+        ("sparsity", Json::Num(job.sparsity)),
+    ])
+}
+
+/// Parses one grid point.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] when fields are missing or malformed.
+pub fn sim_job_from_value(v: &Json) -> Result<SimJob, Error> {
+    let missing = |k: &str| Error::InvalidSpec(format!("sim job missing `{k}`"));
+    Ok(SimJob {
+        arch: parse_arch_value(v.get("arch").ok_or_else(|| missing("arch"))?)?,
+        model: model_from_value(v.get("model").ok_or_else(|| missing("model"))?)?,
+        sparsity: parse_sparsity(v.get("sparsity").ok_or_else(|| missing("sparsity"))?)?,
+        seed: v
+            .get("seed")
+            .ok_or_else(|| missing("seed"))?
+            .as_u64()
+            .ok_or_else(|| Error::InvalidSpec("seed must be a non-negative int".into()))?,
+    })
+}
+
+fn u64_value(x: u64) -> Json {
+    match i64::try_from(x) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Num(x as f64),
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, Error> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| Error::InvalidSpec(format!("result missing counter `{key}`")))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, Error> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| Error::InvalidSpec(format!("result missing number `{key}`")))
+}
+
+/// Serializes a per-layer simulation result.
+pub fn layer_result_to_value(l: &LayerResult) -> Json {
+    Json::obj([
+        ("arch", Json::str(arch_name(l.arch))),
+        ("bandwidth_utilization", Json::Num(l.bandwidth_utilization)),
+        (
+            "breakdown",
+            Json::obj([
+                ("codec_exposed", u64_value(l.breakdown.codec_exposed)),
+                ("codec_hidden", u64_value(l.breakdown.codec_hidden)),
+                ("compute", u64_value(l.breakdown.compute)),
+                ("memory", u64_value(l.breakdown.memory)),
+            ]),
+        ),
+        ("compute_utilization", Json::Num(l.compute_utilization)),
+        ("cycles", u64_value(l.cycles)),
+        ("energy_pj", Json::Num(l.energy_pj)),
+        ("name", Json::str(l.name.clone())),
+        ("traffic_bytes", Json::Num(l.traffic_bytes)),
+        ("useful_macs", u64_value(l.useful_macs)),
+    ])
+}
+
+/// Parses a per-layer simulation result.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] when the value does not match the schema.
+pub fn layer_result_from_value(v: &Json) -> Result<LayerResult, Error> {
+    let b = v
+        .get("breakdown")
+        .ok_or_else(|| Error::InvalidSpec("layer result missing `breakdown`".into()))?;
+    Ok(LayerResult {
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::InvalidSpec("layer result missing `name`".into()))?
+            .to_string(),
+        arch: parse_arch_value(
+            v.get("arch")
+                .ok_or_else(|| Error::InvalidSpec("layer result missing `arch`".into()))?,
+        )?,
+        cycles: get_u64(v, "cycles")?,
+        breakdown: CycleBreakdown {
+            compute: get_u64(b, "compute")?,
+            memory: get_u64(b, "memory")?,
+            codec_hidden: get_u64(b, "codec_hidden")?,
+            codec_exposed: get_u64(b, "codec_exposed")?,
+        },
+        useful_macs: get_u64(v, "useful_macs")?,
+        compute_utilization: get_f64(v, "compute_utilization")?,
+        bandwidth_utilization: get_f64(v, "bandwidth_utilization")?,
+        traffic_bytes: get_f64(v, "traffic_bytes")?,
+        energy_pj: get_f64(v, "energy_pj")?,
+    })
+}
+
+/// Serializes a whole-model simulation result.
+pub fn model_result_to_value(r: &ModelResult) -> Json {
+    Json::obj([
+        ("arch", Json::str(arch_name(r.arch))),
+        (
+            "layers",
+            Json::Arr(r.layers.iter().map(layer_result_to_value).collect()),
+        ),
+        ("model", Json::str(r.model.clone())),
+        ("total_cycles", u64_value(r.total_cycles)),
+        ("total_energy_pj", Json::Num(r.total_energy_pj)),
+    ])
+}
+
+/// Parses a whole-model simulation result.
+///
+/// # Errors
+///
+/// [`Error::InvalidSpec`] when the value does not match the schema.
+pub fn model_result_from_value(v: &Json) -> Result<ModelResult, Error> {
+    Ok(ModelResult {
+        arch: parse_arch_value(
+            v.get("arch")
+                .ok_or_else(|| Error::InvalidSpec("model result missing `arch`".into()))?,
+        )?,
+        model: v
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::InvalidSpec("model result missing `model`".into()))?
+            .to_string(),
+        layers: v
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| Error::InvalidSpec("model result missing `layers`".into()))?
+            .iter()
+            .map(layer_result_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        total_cycles: get_u64(v, "total_cycles")?,
+        total_energy_pj: get_f64(v, "total_energy_pj")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc_sim::HwConfig;
+
+    fn gcn_spec() -> JobSpec {
+        JobSpec::from_json(
+            r#"{"type":"simulate","arch":"tb-stc",
+                "model":{"kind":"gcn","nodes":64,"features":16},
+                "sparsity":0.5}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_fill_in_and_canonicalize() {
+        let spec = gcn_spec();
+        match &spec {
+            JobSpec::Simulate(s) => {
+                assert_eq!(s.seed, 0);
+                assert_eq!(s.bandwidth_gbps, DEFAULT_BANDWIDTH_GBPS);
+            }
+            JobSpec::Sweep(_) => panic!("wrong variant"),
+        }
+        // Field order and explicit defaults do not change the key.
+        let explicit = JobSpec::from_json(
+            r#"{"seed":0,"bandwidth_gbps":64.0,"sparsity":0.5,
+                "model":{"features":16,"kind":"gcn","nodes":64},
+                "arch":"tb-stc","type":"simulate"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cache_key(), explicit.cache_key());
+        assert_eq!(spec.canonical_json(), explicit.canonical_json());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_canonical_json() {
+        let spec = JobSpec::Sweep(SweepSpec {
+            archs: vec![Arch::TbStc, Arch::Stc],
+            models: vec![
+                ModelSpec::Gcn {
+                    nodes: 64,
+                    features: 16,
+                },
+                ModelSpec::BertBase { tokens: 32 },
+            ],
+            sparsities: vec![0.5, 0.75],
+            seeds: vec![0, 7],
+            bandwidth_gbps: 128.0,
+        });
+        let back = JobSpec::from_json(&spec.canonical_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.grid_len(), 16);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let a = gcn_spec();
+        let mut b = a.clone();
+        if let JobSpec::Simulate(s) = &mut b {
+            s.sparsity = 0.75;
+        }
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key().len(), 32);
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        for bad in [
+            r#"{"arch":"tb-stc"}"#,
+            r#"{"type":"simulate"}"#,
+            r#"{"type":"simulate","arch":"tpu","model":"bert"}"#,
+            r#"{"type":"simulate","arch":"tc","model":"bert","sparsity":1.5}"#,
+            r#"{"type":"simulate","arch":"tc","model":"bert","seed":-1}"#,
+            r#"{"type":"simulate","arch":"tc","model":"bert","bandwidth_gbps":0}"#,
+            r#"{"type":"sweep","archs":[],"models":["bert"],"sparsities":[0.5]}"#,
+            r#"{"type":"train"}"#,
+        ] {
+            assert!(JobSpec::from_json(bad).is_err(), "{bad} should be rejected");
+        }
+        assert!(matches!(JobSpec::from_json("{nope"), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn arch_names_roundtrip() {
+        for arch in [
+            Arch::Tc,
+            Arch::Stc,
+            Arch::Vegeta,
+            Arch::Highlight,
+            Arch::RmStc,
+            Arch::TbStc,
+            Arch::DvpeFan,
+            Arch::Sgcn,
+        ] {
+            assert_eq!(arch_from_name(arch_name(arch)), Some(arch));
+        }
+    }
+
+    #[test]
+    fn execute_is_deterministic_and_results_roundtrip() {
+        let engine = SweepRunner::new(HwConfig::with_bandwidth_gbps(DEFAULT_BANDWIDTH_GBPS));
+        let spec = gcn_spec();
+        let a = spec.execute(&engine).to_string();
+        let b = spec.execute(&engine).to_string();
+        assert_eq!(a, b, "identical spec, identical body");
+
+        let body = Json::parse(&a).unwrap();
+        assert_eq!(body.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let result = model_result_from_value(body.get("result").unwrap()).unwrap();
+        let again = model_result_to_value(&result);
+        assert_eq!(body.get("result").unwrap(), &again, "result round-trips");
+    }
+
+    #[test]
+    fn sim_job_roundtrips() {
+        let job = SimJob {
+            arch: Arch::RmStc,
+            model: ModelSpec::Opt6_7b { tokens: 128 },
+            sparsity: 0.75,
+            seed: 3,
+        };
+        let back = sim_job_from_value(&sim_job_to_value(&job)).unwrap();
+        assert_eq!(job, back);
+    }
+}

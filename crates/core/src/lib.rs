@@ -58,6 +58,8 @@ pub use tbstc_train as train;
 
 pub mod error;
 pub mod experiments;
+pub mod jobspec;
+pub mod json;
 
 pub use error::Error;
 
@@ -77,4 +79,6 @@ pub mod prelude {
 
     pub use crate::error::Error;
     pub use crate::experiments::{AccuracyCurve, ParetoPoint};
+    pub use crate::jobspec::{JobSpec, SimulateSpec, SweepSpec};
+    pub use crate::json::Json;
 }

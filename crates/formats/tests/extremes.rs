@@ -1,0 +1,84 @@
+//! Property tests for the storage codecs at the sparsity extremes.
+//!
+//! The in-module proptests sweep the interior of the sparsity range;
+//! these pin the two boundary regimes the job service can be asked for
+//! directly (`sparsity: 0.0` and `sparsity: 1.0`):
+//!
+//! * **fully dense** — every value nonzero, so index structures carry no
+//!   information and padding paths in SDC are never taken;
+//! * **fully zero** — no values at all, the degenerate case where
+//!   offsets, row pointers, and block info must still be self-consistent.
+
+use proptest::prelude::*;
+
+use tbstc_formats::{Csr, Ddc, Sdc};
+use tbstc_matrix::Matrix;
+use tbstc_sparsity::{TbsConfig, TbsPattern};
+
+/// A matrix with every entry nonzero (values in ±[0.5, 1.5]).
+fn fully_dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        // xorshift64*: cheap, deterministic, and never maps to zero below.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let u = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 40) as f32 / (1 << 24) as f32;
+        let magnitude = 0.5 + u; // in [0.5, 1.5]
+        if state & 1 == 0 {
+            magnitude
+        } else {
+            -magnitude
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fully_dense_round_trips(seed in 0u64..100, rows in 8usize..40, cols in 8usize..40) {
+        let w = fully_dense(rows, cols, seed);
+        prop_assert_eq!(w.count_zeros(), 0, "generator must not emit zeros");
+
+        // DDC stores what the pattern keeps; at target 0.0 the sparsifier
+        // keeps as much as the block grid allows, so encode the masked
+        // matrix (the codec's actual contract) and require it near-dense.
+        let pattern = TbsPattern::sparsify(&w, 0.0, &TbsConfig::paper_default());
+        let kept = pattern.mask().apply(&w);
+        let ddc = Ddc::encode(&kept, &pattern);
+        prop_assert_eq!(ddc.decode(), kept);
+
+        let sdc = Sdc::encode(&w);
+        prop_assert_eq!(sdc.decode(), w.clone());
+
+        let csr = Csr::encode(&w);
+        prop_assert_eq!(csr.decode(), w);
+    }
+
+    #[test]
+    fn fully_zero_round_trips(rows in 1usize..40, cols in 1usize..40) {
+        let w = Matrix::zeros(rows, cols);
+
+        let pattern = TbsPattern::sparsify(&w, 1.0, &TbsConfig::paper_default());
+        let ddc = Ddc::encode(&w, &pattern);
+        prop_assert_eq!(ddc.decode(), w.clone());
+
+        let sdc = Sdc::encode(&w);
+        prop_assert_eq!(sdc.decode(), w.clone());
+
+        let csr = Csr::encode(&w);
+        prop_assert_eq!(csr.decode(), w.clone());
+        prop_assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn sparsify_at_one_empties_any_matrix(seed in 0u64..100) {
+        let w = fully_dense(24, 24, seed);
+        let pattern = TbsPattern::sparsify(&w, 1.0, &TbsConfig::paper_default());
+        let pruned = pattern.mask().apply(&w);
+        prop_assert_eq!(pruned.count_nonzeros(), 0);
+        let ddc = Ddc::encode(&pruned, &pattern);
+        prop_assert_eq!(ddc.decode(), pruned);
+    }
+}

@@ -84,6 +84,27 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
     pub fn clear(&self) {
         self.map.lock().expect("memo poisoned").clear();
     }
+
+    /// A snapshot of every cached entry (iteration order unspecified —
+    /// persistence layers sort before writing).
+    pub fn entries(&self) -> Vec<(K, R)> {
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect()
+    }
+
+    /// Bulk-inserts precomputed entries (cache warm-up from a persisted
+    /// store). Counters are untouched: preloaded entries count as hits
+    /// only when a later lookup finds them.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (K, R)>) {
+        let mut map = self.map.lock().expect("memo poisoned");
+        for (k, r) in entries {
+            map.insert(k, r);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +142,22 @@ mod tests {
         memo.record(3, 2);
         assert_eq!(memo.hits(), 3);
         assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn entries_snapshot_and_preload_roundtrip() {
+        let memo: Memo<u32, u32> = Memo::new();
+        memo.insert(1, 10);
+        memo.insert(2, 20);
+        let mut entries = memo.entries();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+
+        let other: Memo<u32, u32> = Memo::new();
+        other.preload(entries);
+        assert_eq!(other.len(), 2);
+        assert_eq!(other.peek(&2), Some(20));
+        assert_eq!(other.hits() + other.misses(), 0, "preload leaves counters");
     }
 
     #[test]

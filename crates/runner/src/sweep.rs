@@ -199,6 +199,21 @@ impl SweepRunner {
             .expect("one job in, one result out")
     }
 
+    /// A snapshot of the model-level memo cache, for persistence across
+    /// process restarts (the serve subsystem writes these to disk on
+    /// shutdown and feeds them back through
+    /// [`SweepRunner::preload_models`] on boot).
+    pub fn model_memo_entries(&self) -> Vec<(SimJob, ModelResult)> {
+        self.models.entries()
+    }
+
+    /// Warm-starts the model-level memo cache with persisted entries.
+    /// Preloaded jobs are served without recomputation, exactly like
+    /// entries computed this process.
+    pub fn preload_models(&self, entries: impl IntoIterator<Item = (SimJob, ModelResult)>) {
+        self.models.preload(entries);
+    }
+
     /// `(hits, misses)` across both caches since construction.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
@@ -343,6 +358,31 @@ mod tests {
         set.insert(base);
         assert!(set.contains(&base));
         assert!(!set.contains(&other));
+    }
+
+    #[test]
+    fn preloaded_entries_are_served_without_compute() {
+        let cfg = HwConfig::paper_default();
+        let job = SimJob {
+            arch: Arch::Tc,
+            model: ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            },
+            sparsity: 0.0,
+            seed: 0,
+        };
+        let first = SweepRunner::with_runner(cfg, Runner::serial());
+        let result = first.model(job);
+        let entries = first.model_memo_entries();
+        assert_eq!(entries.len(), 1);
+
+        let second = SweepRunner::with_runner(cfg, Runner::serial());
+        second.preload_models(entries);
+        let report = second.run_models(std::slice::from_ref(&job));
+        assert_eq!(report.results[0], result);
+        assert_eq!(report.stats.unique_jobs, 0, "preload must prevent compute");
+        assert_eq!(report.stats.cache_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! tbstc-serve — a std-only HTTP job service for TB-STC simulations.
+//!
+//! The server accepts simulation and sweep jobs as JSON over HTTP/1.1
+//! (plain `std::net`, no external dependencies), executes them on the
+//! existing [`tbstc::runner::SweepRunner`] engine, and returns
+//! deterministic, canonically-serialized results. Three properties the
+//! rest of the workspace leans on:
+//!
+//! * **Admission control** — a bounded queue ([`queue::AdmissionQueue`])
+//!   turns overload into `429 Too Many Requests` + `Retry-After` instead
+//!   of unbounded memory growth; in-flight jobs are never dropped.
+//! * **Persistent, content-addressed results** — the response body for a
+//!   job is stored under a hash of its canonicalized spec
+//!   ([`store::ResultStore`]); resubmitting the identical job — even
+//!   across a server restart — returns byte-identical bytes with
+//!   `X-Cache: hit`. The engine's memo cache persists through the same
+//!   store (`memo.jsonl`).
+//! * **Observability** — `GET /metrics` renders Prometheus text
+//!   ([`metrics::Metrics`]): request/job counters, cache hits and misses
+//!   by tier, queue depth, worker utilization, and a latency histogram.
+//!
+//! Graceful shutdown (SIGTERM / ctrl-c, [`signal`]) closes admission,
+//! drains in-flight jobs, and flushes the memo cache before exit.
+//!
+//! See `DESIGN.md` §8 for the job-spec schema, cache-key derivation, and
+//! backpressure policy; the `tbstc-cli` crate wires this up as the
+//! `serve` and `submit` subcommands.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod store;
+
+pub use metrics::{Gauges, Metrics};
+pub use queue::AdmissionQueue;
+pub use server::{Handle, Running, ServeConfig, Server};
+pub use store::{MemoEntry, ResultStore};

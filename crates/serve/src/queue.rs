@@ -1,0 +1,196 @@
+//! Bounded admission with backpressure.
+//!
+//! The queue guards the expensive part of the service — simulation jobs —
+//! with two limits:
+//!
+//! * **capacity** — the total number of admitted-but-unfinished jobs
+//!   (waiting + executing). When reached, [`AdmissionQueue::try_enter`]
+//!   refuses and the server answers `429 Too Many Requests` with a
+//!   `Retry-After` hint instead of accepting unbounded work.
+//! * **workers** — how many admitted jobs may execute concurrently; the
+//!   rest wait on a condvar in FIFO-ish order (condvar wakeup order).
+//!
+//! Cheap endpoints (`/metrics`, `/healthz`) bypass the queue entirely, so
+//! observability survives saturation.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct QueueState {
+    waiting: usize,
+    executing: usize,
+    closed: bool,
+}
+
+/// The bounded admission queue (see module docs).
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    workers: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` unfinished jobs, executing at
+    /// most `workers` of them concurrently. Both are clamped to ≥ 1.
+    pub fn new(capacity: usize, workers: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The concurrent-execution limit.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Tries to admit a job. `None` means the queue is full (or closed
+    /// for shutdown) — reject with 429, no state was taken.
+    pub fn try_enter(&self) -> Option<Ticket<'_>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed || s.waiting + s.executing >= self.capacity {
+            return None;
+        }
+        s.waiting += 1;
+        Some(Ticket {
+            queue: self,
+            executing: false,
+        })
+    }
+
+    /// `(waiting, executing)` right now.
+    pub fn depth(&self) -> (usize, usize) {
+        let s = self.state.lock().expect("queue poisoned");
+        (s.waiting, s.executing)
+    }
+
+    /// Whether no admitted job remains (drained).
+    pub fn is_idle(&self) -> bool {
+        let s = self.state.lock().expect("queue poisoned");
+        s.waiting == 0 && s.executing == 0
+    }
+
+    /// Stops admitting new jobs; jobs already admitted keep their slots
+    /// and run to completion (the graceful-shutdown drain).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every admitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.waiting + s.executing > 0 {
+            s = self.cv.wait(s).expect("queue poisoned");
+        }
+    }
+}
+
+/// An admitted job's slot. Dropping it releases the slot (whether the
+/// job ran or not), so a panicking handler can never leak capacity.
+#[derive(Debug)]
+pub struct Ticket<'q> {
+    queue: &'q AdmissionQueue,
+    executing: bool,
+}
+
+impl Ticket<'_> {
+    /// Waits for a worker slot, then transitions waiting → executing.
+    pub fn begin(&mut self) {
+        let mut s = self.queue.state.lock().expect("queue poisoned");
+        while s.executing >= self.queue.workers {
+            s = self.queue.cv.wait(s).expect("queue poisoned");
+        }
+        s.waiting -= 1;
+        s.executing += 1;
+        self.executing = true;
+        drop(s);
+        // Depth changed; wake metrics-free waiters (other begins/drains).
+        self.queue.cv.notify_all();
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        let mut s = self.queue.state.lock().expect("queue poisoned");
+        if self.executing {
+            s.executing -= 1;
+        } else {
+            s.waiting -= 1;
+        }
+        drop(s);
+        self.queue.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects() {
+        let q = AdmissionQueue::new(2, 1);
+        let a = q.try_enter().expect("first fits");
+        let b = q.try_enter().expect("second fits");
+        assert!(q.try_enter().is_none(), "third must be rejected");
+        drop(a);
+        let c = q.try_enter().expect("slot freed");
+        drop(b);
+        drop(c);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn begin_respects_worker_limit() {
+        let q = Arc::new(AdmissionQueue::new(4, 1));
+        let mut first = q.try_enter().unwrap();
+        first.begin();
+        assert_eq!(q.depth(), (0, 1));
+
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            let mut t = q2.try_enter().unwrap();
+            t.begin(); // blocks until `first` drops
+            q2.depth()
+        });
+        // Give the waiter time to block on the worker limit.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(q.depth(), (1, 1), "second job queued, not executing");
+        drop(first);
+        let depth = waiter.join().unwrap();
+        assert_eq!(depth.1, 1, "waiter got the worker slot");
+        q.wait_idle();
+    }
+
+    #[test]
+    fn dropped_ticket_never_leaks_capacity() {
+        let q = AdmissionQueue::new(1, 1);
+        {
+            let _t = q.try_enter().unwrap();
+            assert!(q.try_enter().is_none());
+        }
+        assert!(q.try_enter().is_some(), "slot returned on drop");
+    }
+
+    #[test]
+    fn close_stops_admission_but_keeps_in_flight() {
+        let q = AdmissionQueue::new(4, 2);
+        let mut t = q.try_enter().unwrap();
+        t.begin();
+        q.close();
+        assert!(q.try_enter().is_none(), "closed queue admits nothing");
+        assert_eq!(q.depth(), (0, 1), "in-flight job keeps running");
+        drop(t);
+        q.wait_idle();
+    }
+}

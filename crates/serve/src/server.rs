@@ -1,0 +1,557 @@
+//! The job server: accept loop, routing, job execution, graceful drain.
+//!
+//! Request flow for `POST /v1/jobs`:
+//!
+//! 1. parse + validate the [`JobSpec`]; malformed bodies get 400,
+//! 2. derive the content-addressed cache key and probe the on-disk
+//!    store — a hit is answered immediately with `X-Cache: hit` and the
+//!    *exact bytes* of the original response body,
+//! 3. otherwise ask the [`AdmissionQueue`] for a slot — a full queue is
+//!    429 with a `Retry-After` estimate, in-flight work is untouched,
+//! 4. execute on the bandwidth-matched [`SweepRunner`] (itself parallel
+//!    over the `tbstc-matrix` worker pool), persist the body, answer
+//!    `X-Cache: miss`.
+//!
+//! Shutdown (SIGTERM/ctrl-c via [`crate::signal`], or
+//! [`Handle::shutdown`]) closes admission, drains in-flight jobs, flushes
+//! the memo cache to `memo.jsonl`, and only then returns.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tbstc::jobspec::JobSpec;
+use tbstc::prelude::*;
+use tbstc::runner::available_workers;
+use tbstc::sim::{HwConfig, ModelResult};
+
+use crate::http::{Request, Response};
+use crate::metrics::{Gauges, Metrics};
+use crate::queue::AdmissionQueue;
+use crate::signal;
+use crate::store::{MemoEntry, ResultStore};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 = ephemeral).
+    pub addr: String,
+    /// Maximum admitted-but-unfinished jobs before 429s start.
+    pub queue_capacity: usize,
+    /// Concurrently executing jobs (each job parallelizes internally).
+    pub job_workers: usize,
+    /// Directory of the persistent result cache.
+    pub cache_dir: PathBuf,
+    /// Artificial per-job delay after admission, milliseconds. A test and
+    /// benchmark knob for exercising backpressure deterministically;
+    /// 0 (the default) in production.
+    pub hold_ms: u64,
+    /// Also honor the process-wide SIGINT/SIGTERM flag (the CLI binary
+    /// sets this; embedded servers and tests leave it off so signals and
+    /// parallel test servers cannot interfere).
+    pub watch_signals: bool,
+    /// Suppress startup/shutdown stderr chatter.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            queue_capacity: 32,
+            job_workers: available_workers().max(1),
+            cache_dir: PathBuf::from(".tbstc-cache"),
+            hold_ms: 0,
+            watch_signals: false,
+            quiet: false,
+        }
+    }
+}
+
+/// Shared server state (metrics, queue, store, engines).
+#[derive(Debug)]
+pub struct State {
+    cfg: ServeConfig,
+    /// Service counters.
+    pub metrics: Metrics,
+    queue: AdmissionQueue,
+    store: ResultStore,
+    /// One engine per platform bandwidth (bit pattern of the GB/s value),
+    /// because `SweepRunner` binds its `HwConfig`.
+    engines: Mutex<HashMap<u64, Arc<SweepRunner>>>,
+    /// Persisted memo entries not yet claimed by an engine.
+    preload: Mutex<HashMap<u64, Vec<(SimJob, ModelResult)>>>,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+}
+
+impl State {
+    fn new(cfg: ServeConfig) -> Result<State, Error> {
+        let store = ResultStore::open(cfg.cache_dir.clone())?;
+        let mut preload: HashMap<u64, Vec<(SimJob, ModelResult)>> = HashMap::new();
+        let persisted = store.load_memo();
+        let preloaded = persisted.len();
+        for entry in persisted {
+            preload
+                .entry(entry.bandwidth_gbps.to_bits())
+                .or_default()
+                .push((entry.job, entry.result));
+        }
+        if preloaded > 0 && !cfg.quiet {
+            eprintln!("tbstc-serve: reloaded {preloaded} memoized results from disk");
+        }
+        Ok(State {
+            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.job_workers),
+            metrics: Metrics::new(),
+            store,
+            engines: Mutex::new(HashMap::new()),
+            preload: Mutex::new(preload),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            cfg,
+        })
+    }
+
+    fn engine_for(&self, bandwidth_gbps: f64) -> Arc<SweepRunner> {
+        let bits = bandwidth_gbps.to_bits();
+        let mut engines = self.engines.lock().expect("engines poisoned");
+        Arc::clone(engines.entry(bits).or_insert_with(|| {
+            let engine = SweepRunner::new(HwConfig::with_bandwidth_gbps(bandwidth_gbps));
+            if let Some(entries) = self.preload.lock().expect("preload poisoned").remove(&bits) {
+                engine.preload_models(entries);
+            }
+            Arc::new(engine)
+        }))
+    }
+
+    fn memo_totals(&self) -> (u64, u64) {
+        let engines = self.engines.lock().expect("engines poisoned");
+        engines.values().fold((0, 0), |(h, m), e| {
+            let (eh, em) = e.cache_stats();
+            (h + eh, m + em)
+        })
+    }
+
+    fn memo_entries(&self) -> Vec<MemoEntry> {
+        let engines = self.engines.lock().expect("engines poisoned");
+        let mut out = Vec::new();
+        for (&bits, engine) in engines.iter() {
+            let bandwidth_gbps = f64::from_bits(bits);
+            out.extend(
+                engine
+                    .model_memo_entries()
+                    .into_iter()
+                    .map(|(job, result)| MemoEntry {
+                        bandwidth_gbps,
+                        job,
+                        result,
+                    }),
+            );
+        }
+        // Entries still waiting for an engine survive restarts too.
+        for (&bits, entries) in self.preload.lock().expect("preload poisoned").iter() {
+            let bandwidth_gbps = f64::from_bits(bits);
+            out.extend(entries.iter().cloned().map(|(job, result)| MemoEntry {
+                bandwidth_gbps,
+                job,
+                result,
+            }));
+        }
+        out
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.cfg.watch_signals && signal::shutdown_requested())
+    }
+
+    /// Renders the `/metrics` exposition with live gauges.
+    pub fn render_metrics(&self) -> String {
+        let (waiting, executing) = self.queue.depth();
+        let (memo_hits, memo_misses) = self.memo_totals();
+        self.metrics.render(&Gauges {
+            queue_depth: waiting,
+            in_flight: executing,
+            job_workers: self.cfg.job_workers,
+            memo_hits,
+            memo_misses,
+        })
+    }
+
+    fn retry_after_secs(&self) -> u64 {
+        // Rough drain time for the backlog ahead of a retry: mean job
+        // latency × queue rounds per worker, clamped to something polite.
+        let (waiting, executing) = self.queue.depth();
+        let backlog = (waiting + executing) as f64;
+        let rounds = (backlog / self.cfg.job_workers.max(1) as f64).ceil();
+        let mean = self.metrics.mean_latency_s(1.0);
+        (mean * rounds).ceil().clamp(1.0, 60.0) as u64
+    }
+
+    fn flush_memo(&self) {
+        let entries = self.memo_entries();
+        match self.store.save_memo(&entries) {
+            Ok(()) => {
+                if !self.cfg.quiet {
+                    eprintln!(
+                        "tbstc-serve: flushed {} memoized results to {}",
+                        entries.len(),
+                        self.store.memo_path().display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("tbstc-serve: warning: memo flush failed: {e}"),
+        }
+    }
+}
+
+/// A handle for asking a running server to shut down gracefully.
+#[derive(Debug, Clone)]
+pub struct Handle {
+    state: Arc<State>,
+}
+
+impl Handle {
+    /// Requests a graceful shutdown: stop accepting, drain, flush.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+    }
+
+    /// The shared server state (metrics etc.).
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+}
+
+/// A bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+/// A server running on a background thread.
+#[derive(Debug)]
+pub struct Running {
+    /// The bound address (useful with ephemeral ports).
+    pub addr: SocketAddr,
+    handle: Handle,
+    thread: thread::JoinHandle<()>,
+}
+
+impl Running {
+    /// The shutdown handle.
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// Requests shutdown and blocks until the drain + flush complete.
+    pub fn shutdown_and_join(self) {
+        self.handle.shutdown();
+        let _ = self.thread.join();
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares state (loads the persisted memo
+    /// cache).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the address cannot be bound or the cache
+    /// directory cannot be created.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| Error::Io(format!("cannot bind {}: {e}", cfg.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Io(e.to_string()))?;
+        let state = Arc::new(State::new(cfg)?);
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, Error> {
+        self.listener
+            .local_addr()
+            .map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop on this thread until shutdown, then drains
+    /// in-flight jobs and flushes the memo cache.
+    pub fn run(self) {
+        let state = self.state;
+        if !state.cfg.quiet {
+            if let Ok(addr) = self.listener.local_addr() {
+                eprintln!(
+                    "tbstc-serve: listening on http://{addr} (queue {}, {} job workers, cache {})",
+                    state.cfg.queue_capacity,
+                    state.cfg.job_workers,
+                    state.store.dir().display()
+                );
+            }
+        }
+        while !state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    state.connections.fetch_add(1, Ordering::SeqCst);
+                    let state = Arc::clone(&state);
+                    thread::spawn(move || {
+                        handle_connection(&state, stream);
+                        state.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) => {
+                    eprintln!("tbstc-serve: accept failed: {e}");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        drop(self.listener);
+        state.queue.close();
+        if !state.cfg.quiet {
+            eprintln!("tbstc-serve: shutting down — draining in-flight jobs");
+        }
+        // Drain: every admitted job finishes; lingering connections get a
+        // bounded grace period.
+        state.queue.wait_idle();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while state.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        state.flush_memo();
+        if !state.cfg.quiet {
+            eprintln!("tbstc-serve: drained; bye");
+        }
+    }
+
+    /// Spawns [`Server::run`] on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the socket has no local address.
+    pub fn spawn(self) -> Result<Running, Error> {
+        let addr = self.local_addr()?;
+        let handle = self.handle();
+        let thread = thread::Builder::new()
+            .name("tbstc-serve-accept".into())
+            .spawn(move || self.run())
+            .map_err(|e| Error::Io(e.to_string()))?;
+        Ok(Running {
+            addr,
+            handle,
+            thread,
+        })
+    }
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    stream.set_read_timeout(Some(crate::http::IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(crate::http::IO_TIMEOUT)).ok();
+    let request = match Request::read_from(&mut stream) {
+        Ok(r) => r,
+        Err(Error::Http(msg)) => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            let _ = Response::new(400)
+                .json(error_body(&msg))
+                .write_to(&mut stream);
+            return;
+        }
+        Err(_) => return, // transport error; nothing to answer
+    };
+    let response = route(state, &request);
+    let _ = response.write_to(&mut stream);
+}
+
+fn error_body(msg: &str) -> String {
+    format!("{}\n", Json::obj([("error", Json::str(msg))]))
+}
+
+fn route(state: &State, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => {
+            state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
+            handle_job(state, request)
+        }
+        ("GET", "/metrics") => {
+            state
+                .metrics
+                .requests_metrics
+                .fetch_add(1, Ordering::Relaxed);
+            Response::new(200).text(state.render_metrics())
+        }
+        ("GET", "/healthz") => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            Response::new(200).text("ok\n")
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
+            let key = &path["/v1/jobs/".len()..];
+            match state.store.get(key) {
+                Some(body) => Response::new(200)
+                    .header("X-Cache", "hit")
+                    .header("X-Job-Key", key.to_string())
+                    .json(body),
+                None => Response::new(404).json(error_body("no cached result for this key")),
+            }
+        }
+        ("POST" | "GET", _) => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            Response::new(404).json(error_body("unknown endpoint"))
+        }
+        _ => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            Response::new(405).json(error_body("method not allowed"))
+        }
+    }
+}
+
+fn handle_job(state: &State, request: &Request) -> Response {
+    let started = Instant::now();
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(b) => b,
+        Err(_) => {
+            state.metrics.jobs_bad.fetch_add(1, Ordering::Relaxed);
+            return Response::new(400).json(error_body("body is not utf-8"));
+        }
+    };
+    let spec = match JobSpec::from_json(body) {
+        Ok(s) => s,
+        Err(e) => {
+            state.metrics.jobs_bad.fetch_add(1, Ordering::Relaxed);
+            return Response::new(400).json(error_body(&e.to_string()));
+        }
+    };
+    let key = spec.cache_key();
+
+    // Tier 1: the on-disk response cache — byte-identical across restarts.
+    if let Some(cached) = state.store.get(&key) {
+        state.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+        state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .observe_latency(started.elapsed().as_secs_f64());
+        return Response::new(200)
+            .header("X-Cache", "hit")
+            .header("X-Job-Key", key)
+            .json(cached);
+    }
+
+    // Tier 2: compute, under admission control.
+    let Some(mut ticket) = state.queue.try_enter() else {
+        state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        let retry = state.retry_after_secs();
+        return Response::new(429)
+            .header("Retry-After", retry.to_string())
+            .json(error_body(&format!(
+                "admission queue full ({} jobs); retry in ~{retry}s",
+                state.queue.capacity()
+            )));
+    };
+    ticket.begin();
+    if state.cfg.hold_ms > 0 {
+        thread::sleep(Duration::from_millis(state.cfg.hold_ms));
+    }
+    let engine = state.engine_for(spec.bandwidth_gbps());
+    let compute_started = Instant::now();
+    let response_body = format!("{}\n", spec.execute(&engine));
+    state.metrics.busy_us.fetch_add(
+        compute_started.elapsed().as_micros() as u64,
+        Ordering::Relaxed,
+    );
+    drop(ticket);
+
+    if let Err(e) = state.store.put(&key, &response_body) {
+        eprintln!("tbstc-serve: warning: cannot cache job {key}: {e}");
+    }
+    state.metrics.disk_misses.fetch_add(1, Ordering::Relaxed);
+    state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .observe_latency(started.elapsed().as_secs_f64());
+    Response::new(200)
+        .header("X-Cache", "miss")
+        .header("X-Job-Key", key)
+        .json(response_body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tbstc-server-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_cfg(tag: &str) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: tmp_dir(tag),
+            quiet: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let server = Server::bind(test_cfg("health")).unwrap();
+        let running = server.spawn().unwrap();
+        let addr = running.addr.to_string();
+
+        let health = crate::http::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, "ok\n");
+
+        let metrics = crate::http::request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("tbstc_requests_total"));
+        assert!(metrics.body.contains("tbstc_worker_utilization"));
+
+        let missing = crate::http::request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(missing.status, 404);
+
+        let cache_dir = running.handle().state().store.dir().to_path_buf();
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn malformed_job_specs_get_400() {
+        let server = Server::bind(test_cfg("badspec")).unwrap();
+        let running = server.spawn().unwrap();
+        let addr = running.addr.to_string();
+
+        for bad in ["{nope", r#"{"type":"simulate"}"#, r#"{"type":"warp"}"#] {
+            let resp = crate::http::request(&addr, "POST", "/v1/jobs", Some(bad)).unwrap();
+            assert_eq!(resp.status, 400, "{bad}");
+            assert!(resp.body.contains("error"));
+        }
+
+        let cache_dir = running.handle().state().store.dir().to_path_buf();
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+}

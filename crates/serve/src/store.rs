@@ -1,0 +1,349 @@
+//! The persistent result store: a content-addressed response cache plus
+//! the `SweepRunner` memo persistence file.
+//!
+//! Layout under the cache directory:
+//!
+//! * `<key>.json` — one file per job, where `key` is
+//!   [`tbstc::jobspec::JobSpec::cache_key`] (32 hex chars of the
+//!   canonicalized spec). The file holds the *exact response body bytes*,
+//!   so a hit across a process restart is byte-identical to the original
+//!   response.
+//! * `memo.jsonl` — the serialized model-level memo cache: a version
+//!   header line, then one `{"bandwidth_gbps":..,"job":..,"result":..}`
+//!   entry per line, sorted for deterministic files.
+//!
+//! Both readers are corruption-tolerant: a truncated or garbled file
+//! logs a warning to stderr and degrades to a recompute — it never
+//! panics and never serves bad bytes (every read is validated by a full
+//! JSON parse before use).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tbstc::jobspec::{
+    model_result_from_value, model_result_to_value, sim_job_from_value, sim_job_to_value,
+};
+use tbstc::json::Json;
+use tbstc::runner::SimJob;
+use tbstc::sim::ModelResult;
+use tbstc::Error;
+
+/// Name of the memo persistence file inside the cache directory.
+pub const MEMO_FILE: &str = "memo.jsonl";
+/// Header line identifying the memo file format.
+pub const MEMO_HEADER: &str = r#"{"format":"tbstc-memo","version":1}"#;
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One persisted memo entry: the engine bandwidth it belongs to, the job
+/// key and its result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoEntry {
+    /// Off-chip bandwidth of the engine that computed this entry, GB/s.
+    pub bandwidth_gbps: f64,
+    /// The memoized grid point.
+    pub job: SimJob,
+    /// Its simulation result.
+    pub result: ModelResult,
+}
+
+/// The on-disk store (see module docs).
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ResultStore, Error> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| Error::Io(format!("cannot create cache dir {}: {e}", dir.display())))?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether `key` has the shape our cache keys have (32 hex chars).
+    /// Anything else is refused — keys arrive in URLs and must never
+    /// escape the cache directory.
+    pub fn valid_key(key: &str) -> bool {
+        key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        Self::valid_key(key).then(|| self.dir.join(format!("{key}.json")))
+    }
+
+    /// Fetches the cached response body for `key`, validating that the
+    /// bytes still parse as JSON. Corrupt entries log a warning and
+    /// report a miss (the caller recomputes and overwrites).
+    pub fn get(&self, key: &str) -> Option<String> {
+        let path = self.path_for(key)?;
+        let body = match fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(_) => return None,
+        };
+        if Json::parse(body.trim_end()).is_err() {
+            eprintln!(
+                "tbstc-serve: warning: corrupt cache entry {} — recomputing",
+                path.display()
+            );
+            return None;
+        }
+        Some(body)
+    }
+
+    /// Stores `body` under `key` atomically (write to a temp file in the
+    /// same directory, then rename), so a crash mid-write can never leave
+    /// a half-entry at the final path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] on a malformed key, [`Error::Io`] on write
+    /// failures.
+    pub fn put(&self, key: &str, body: &str) -> Result<(), Error> {
+        let path = self
+            .path_for(key)
+            .ok_or_else(|| Error::InvalidSpec(format!("malformed cache key `{key}`")))?;
+        let tmp = self.dir.join(format!(
+            "{key}.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(tmp, &path)
+        };
+        write(&tmp).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            Error::Io(format!("cannot persist {}: {e}", path.display()))
+        })
+    }
+
+    /// Path of the memo persistence file.
+    pub fn memo_path(&self) -> PathBuf {
+        self.dir.join(MEMO_FILE)
+    }
+
+    /// Persists the memo entries (sorted for a deterministic file),
+    /// atomically like [`ResultStore::put`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on write failures.
+    pub fn save_memo(&self, entries: &[MemoEntry]) -> Result<(), Error> {
+        let mut lines: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("bandwidth_gbps", Json::Num(e.bandwidth_gbps)),
+                    ("job", sim_job_to_value(&e.job)),
+                    ("result", model_result_to_value(&e.result)),
+                ])
+                .to_string()
+            })
+            .collect();
+        lines.sort_unstable();
+        let mut text = String::with_capacity(lines.iter().map(String::len).sum::<usize>() + 64);
+        text.push_str(MEMO_HEADER);
+        text.push('\n');
+        for line in lines {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let path = self.memo_path();
+        let tmp = self.dir.join(format!(
+            "memo.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &text)
+            .and_then(|()| fs::rename(&tmp, &path))
+            .map_err(|e| {
+                let _ = fs::remove_file(&tmp);
+                Error::Io(format!("cannot persist {}: {e}", path.display()))
+            })
+    }
+
+    /// Reloads the memo file. Tolerant by construction: a missing file is
+    /// an empty cache; a bad header, truncated line, or malformed entry
+    /// logs one warning and returns every entry parsed up to that point —
+    /// the worst outcome is recomputation, never a panic.
+    pub fn load_memo(&self) -> Vec<MemoEntry> {
+        let path = self.memo_path();
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return Vec::new(),
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(MEMO_HEADER) => {}
+            _ => {
+                eprintln!(
+                    "tbstc-serve: warning: {} has an unknown header — ignoring the memo cache",
+                    path.display()
+                );
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match parse_memo_line(line) {
+                Ok(entry) => out.push(entry),
+                Err(e) => {
+                    eprintln!(
+                        "tbstc-serve: warning: {} entry {} is corrupt ({e}) — keeping the {} entries before it",
+                        path.display(),
+                        i + 1,
+                        out.len()
+                    );
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_memo_line(line: &str) -> Result<MemoEntry, Error> {
+    let v = Json::parse(line)?;
+    let bandwidth_gbps = v
+        .get("bandwidth_gbps")
+        .and_then(Json::as_f64)
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .ok_or_else(|| Error::InvalidSpec("memo entry missing bandwidth".into()))?;
+    let job = sim_job_from_value(
+        v.get("job")
+            .ok_or_else(|| Error::InvalidSpec("memo entry missing job".into()))?,
+    )?;
+    let result = model_result_from_value(
+        v.get("result")
+            .ok_or_else(|| Error::InvalidSpec("memo entry missing result".into()))?,
+    )?;
+    Ok(MemoEntry {
+        bandwidth_gbps,
+        job,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbstc::prelude::*;
+    use tbstc::sim::Arch;
+
+    fn tmp_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("tbstc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    fn sample_entry(seed: u64) -> MemoEntry {
+        let job = SimJob {
+            arch: Arch::TbStc,
+            model: ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            },
+            sparsity: 0.5,
+            seed,
+        };
+        let engine = SweepRunner::with_runner(
+            tbstc::sim::HwConfig::with_bandwidth_gbps(64.0),
+            Runner::serial(),
+        );
+        MemoEntry {
+            bandwidth_gbps: 64.0,
+            job,
+            result: engine.model(job),
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrips_bytes() {
+        let store = tmp_store("putget");
+        let key = "0123456789abcdef0123456789abcdef";
+        let body = "{\"x\":1}\n";
+        store.put(key, body).unwrap();
+        assert_eq!(store.get(key).as_deref(), Some(body));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn rejects_path_traversal_keys() {
+        let store = tmp_store("keys");
+        assert!(!ResultStore::valid_key("../../../../etc/passwd"));
+        assert!(!ResultStore::valid_key("0123456789abcdef0123456789abcdeg"));
+        assert!(store.get("../escape").is_none());
+        assert!(store.put("../escape", "{}").is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_result_entry_reads_as_miss() {
+        let store = tmp_store("corrupt");
+        let key = "00000000000000000000000000000001";
+        store.put(key, "{\"ok\":true}").unwrap();
+        fs::write(store.dir().join(format!("{key}.json")), "{\"ok\":tru").unwrap();
+        assert!(store.get(key).is_none(), "corrupt entry must read as miss");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn memo_roundtrips() {
+        let store = tmp_store("memo");
+        let entries = vec![sample_entry(0), sample_entry(1)];
+        store.save_memo(&entries).unwrap();
+        let mut back = store.load_memo();
+        back.sort_by_key(|e| e.job.seed);
+        assert_eq!(back, entries);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncated_memo_file_degrades_without_panic() {
+        let store = tmp_store("truncated");
+        let entries = vec![sample_entry(0), sample_entry(1), sample_entry(2)];
+        store.save_memo(&entries).unwrap();
+        // Chop the file mid-way through the last entry.
+        let path = store.memo_path();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 40]).unwrap();
+
+        let back = store.load_memo();
+        assert_eq!(back.len(), 2, "entries before the tear survive");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn garbage_memo_file_loads_empty() {
+        let store = tmp_store("garbage");
+        fs::write(store.memo_path(), "not a memo file\n").unwrap();
+        assert!(store.load_memo().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_memo_file_loads_empty() {
+        let store = tmp_store("missing");
+        assert!(store.load_memo().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end loopback tests for the job service: a real server on an
+//! ephemeral port, real HTTP, a real cache directory.
+//!
+//! The two properties the PR promises are exercised directly:
+//!
+//! * identical job specs return byte-identical bodies, the second from
+//!   the disk cache (`X-Cache: hit`) — including across a full server
+//!   restart on the same cache directory;
+//! * a full admission queue answers `429` with a `Retry-After` hint
+//!   while the in-flight job still completes.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tbstc_serve::http::request;
+use tbstc_serve::{ServeConfig, Server};
+
+const GCN_JOB: &str = r#"{"type":"simulate","arch":"tb-stc",
+    "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":0.5}"#;
+
+/// The same job with fields shuffled and defaults spelled out — must hit
+/// the same cache entry because the key hashes the canonicalized spec.
+const GCN_JOB_SHUFFLED: &str = r#"{"seed":0,"sparsity":0.5,"bandwidth_gbps":64.0,
+    "model":{"features":16,"kind":"gcn","nodes":64},
+    "arch":"tb-stc","type":"simulate"}"#;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tbstc-loopback-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: dir.to_path_buf(),
+        quiet: true,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn identical_jobs_hit_the_cache_across_restarts() {
+    let dir = tmp_dir("restart");
+
+    // First server lifetime: miss, then hit, then a canonicalization hit.
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+
+    let first = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let key = first.header("x-job-key").unwrap().to_string();
+    assert_eq!(key.len(), 32);
+
+    let second = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(second.body, first.body, "cached body is byte-identical");
+
+    let shuffled = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB_SHUFFLED)).unwrap();
+    assert_eq!(
+        shuffled.header("x-cache"),
+        Some("hit"),
+        "field order and explicit defaults do not change the cache key"
+    );
+    assert_eq!(shuffled.body, first.body);
+
+    // The result is also addressable by key.
+    let by_key = request(&addr, "GET", &format!("/v1/jobs/{key}"), None).unwrap();
+    assert_eq!(by_key.status, 200);
+    assert_eq!(by_key.body, first.body);
+
+    running.shutdown_and_join();
+
+    // Second server lifetime, same cache dir: the very first submission
+    // is already a byte-identical hit served from disk.
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+    let after_restart = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap();
+    assert_eq!(after_restart.status, 200);
+    assert_eq!(after_restart.header("x-cache"), Some("hit"));
+    assert_eq!(
+        after_restart.body, first.body,
+        "restart preserves bit-identical responses"
+    );
+    running.shutdown_and_join();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_rejects_with_429_without_dropping_in_flight_work() {
+    let dir = tmp_dir("backpressure");
+    let running = Server::bind(ServeConfig {
+        queue_capacity: 1,
+        job_workers: 1,
+        hold_ms: 700, // keep the admitted job in flight deterministically
+        ..cfg(&dir)
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = running.addr.to_string();
+
+    let slow_addr = addr.clone();
+    let slow =
+        std::thread::spawn(move || request(&slow_addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap());
+    // Let the slow job get admitted (it holds its slot for hold_ms).
+    std::thread::sleep(Duration::from_millis(200));
+
+    let other_job = r#"{"type":"simulate","arch":"stc",
+        "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":0.75}"#;
+    let rejected = request(&addr, "POST", "/v1/jobs", Some(other_job)).unwrap();
+    assert_eq!(
+        rejected.status, 429,
+        "queue of 1 is full: {}",
+        rejected.body
+    );
+    let retry_after: u64 = rejected
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!((1..=60).contains(&retry_after));
+
+    let done = slow.join().unwrap();
+    assert_eq!(done.status, 200, "in-flight job survives the rejection");
+    assert_eq!(done.header("x-cache"), Some("miss"));
+
+    let metrics = request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        metrics.body.contains("tbstc_jobs_rejected_total 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(metrics.body.contains("tbstc_jobs_total{outcome=\"ok\"} 1"));
+
+    running.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_jobs_cache_and_memo_persists_across_restart() {
+    let dir = tmp_dir("sweep");
+    let sweep_job = r#"{"type":"sweep","archs":["tb-stc","stc"],
+        "models":[{"kind":"gcn","nodes":64,"features":16}],
+        "sparsities":[0.5,0.75]}"#;
+
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+    let first = request(&addr, "POST", "/v1/jobs", Some(sweep_job)).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    running.shutdown_and_join();
+
+    // The shutdown flush wrote the memo file.
+    let memo = std::fs::read_to_string(dir.join("memo.jsonl")).unwrap();
+    assert!(memo.starts_with(r#"{"format":"tbstc-memo","version":1}"#));
+    assert_eq!(
+        memo.lines().count(),
+        1 + 4,
+        "header + 2 archs x 2 sparsities"
+    );
+
+    // A restarted server preloads the memo: a *different* job spec whose
+    // grid overlaps (so the disk cache cannot answer it) recomputes
+    // nothing — every grid point is a memo hit.
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+    let overlapping = r#"{"type":"sweep","archs":["tb-stc"],
+        "models":[{"kind":"gcn","nodes":64,"features":16}],
+        "sparsities":[0.5,0.75]}"#;
+    let resp = request(&addr, "POST", "/v1/jobs", Some(overlapping)).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("x-cache"),
+        Some("miss"),
+        "different spec, new disk entry"
+    );
+    let metrics = request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        metrics
+            .body
+            .contains("tbstc_cache_hits_total{tier=\"memo\"} 2"),
+        "both grid points served from the preloaded memo: {}",
+        metrics.body
+    );
+    running.shutdown_and_join();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
