@@ -7,8 +7,10 @@
 //! transposed per call, gradients through owned `transpose` + `matmul`,
 //! index-loop SGD updates, fresh allocations everywhere. A loopback run
 //! against `tbstc-serve` adds end-to-end server throughput and the cache
-//! hit rate. The report is written as JSON (hand-rolled; the workspace is
-//! offline and carries no serde) to `BENCH_PR3.json`.
+//! hit rate. A per-architecture `simulate_layer` sweep times the full
+//! pipeline once per registry entry, so registry-dispatch regressions show
+//! up per baseline. The report is written as JSON (hand-rolled; the
+//! workspace is offline and carries no serde) to `BENCH_PR4.json`.
 
 use std::time::Instant;
 
@@ -59,7 +61,7 @@ pub struct ServeStats {
     pub cache_hit_rate: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR3.json`.
+/// The harness output, serialized to `BENCH_PR4.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -77,6 +79,9 @@ pub struct PerfReport {
     pub sparsify: Timing,
     /// Full per-layer simulation (sparsify + encode + compute + memory).
     pub simulate_layer: Timing,
+    /// The same per-layer simulation, once per registered architecture
+    /// (canonical name, timing) in registry order.
+    pub simulate_layer_by_arch: Vec<(&'static str, Timing)>,
     /// Whether the parallel GEMM reproduced the serial result bit for bit.
     pub parallel_gemm_bit_identical: bool,
     /// Loopback server throughput and cache behaviour.
@@ -92,8 +97,14 @@ impl PerfReport {
                 t.best_us, t.mean_us
             )
         }
+        let by_arch = self
+            .simulate_layer_by_arch
+            .iter()
+            .map(|(name, t)| format!("    \"{name}\": {}", timing(t)))
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
-            "{{\n  \"bench\": \"PR3 hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"parallel_gemm_bit_identical\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"PR4 registry hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"parallel_gemm_bit_identical\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
@@ -412,6 +423,24 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         std::hint::black_box(sim.run(&hw));
     });
 
+    // The same layer once per registered architecture: per-baseline
+    // dispatch cost through the ArchModel registry.
+    let simulate_layer_by_arch = Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let sim = LayerSim::new(&shape)
+                .arch(arch)
+                .sparsity(0.75)
+                .seed(cfg.seed);
+            (
+                arch.canonical_name(),
+                time_us(cfg.iters, || {
+                    std::hint::black_box(sim.run(&hw));
+                }),
+            )
+        })
+        .collect();
+
     // Record that the parallel GEMM is bit-identical to serial.
     let a = MatrixRng::seed_from(cfg.seed).weights(192, 96);
     let b = MatrixRng::seed_from(cfg.seed + 1).weights(160, 96);
@@ -438,6 +467,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         train_step_new,
         sparsify,
         simulate_layer,
+        simulate_layer_by_arch,
         parallel_gemm_bit_identical,
         serve,
     }
@@ -461,6 +491,7 @@ mod tests {
             train_speedup: 1.0,
             sparsify: t,
             simulate_layer: t,
+            simulate_layer_by_arch: vec![("tc", t), ("tb-stc", t)],
             parallel_gemm_bit_identical: true,
             serve: ServeStats {
                 requests: 12,
@@ -470,6 +501,8 @@ mod tests {
         };
         let json = r.to_json();
         assert!(json.contains("\"train_speedup\": 1.000"));
+        assert!(json.contains("\"simulate_layer_by_arch_us\""));
+        assert!(json.contains("\"tb-stc\":"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
         assert!(json.contains("\"serve_requests\": 12"));
         assert!(json.contains("\"serve_cache_hit_rate\": 0.750"));
@@ -481,6 +514,11 @@ mod tests {
         let r = run(&PerfConfig { iters: 2, seed: 1 });
         assert!(r.train_step_new.best_us > 0.0);
         assert!(r.train_speedup > 1.0, "speedup {}", r.train_speedup);
+        assert_eq!(r.simulate_layer_by_arch.len(), Arch::ALL.len());
+        assert!(r
+            .simulate_layer_by_arch
+            .iter()
+            .all(|(_, t)| t.best_us > 0.0));
         assert!(r.parallel_gemm_bit_identical);
         assert_eq!(r.serve.requests, 12);
         assert!(r.serve.throughput_rps > 0.0);

@@ -29,7 +29,7 @@ USAGE:
                      [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
                      [--oneshot --job FILE]
   tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR3.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR4.json]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
@@ -85,8 +85,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn parse_arch(name: &str) -> Result<Arch, ArgError> {
-    // One name table for CLI, server, and caches: the jobspec module.
-    tbstc::jobspec::arch_from_name(name).ok_or_else(|| ArgError(format!("unknown arch `{name}`")))
+    // One name table for CLI, server, and caches: the archs registry.
+    name.parse::<Arch>().map_err(|e| ArgError(e.to_string()))
 }
 
 fn parse_model_spec(name: &str) -> Result<ModelSpec, ArgError> {
@@ -541,7 +541,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let iters: usize = args.num_or("iters", 20)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
-    let out_path = args.str_or("out", "BENCH_PR3.json");
+    let out_path = args.str_or("out", "BENCH_PR4.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }

@@ -32,37 +32,6 @@ pub const SCHEMA: &str = "tbstc.v1";
 /// platform).
 pub const DEFAULT_BANDWIDTH_GBPS: f64 = 64.0;
 
-/// The canonical lowercase name of an architecture (the inverse of
-/// [`arch_from_name`]).
-pub fn arch_name(arch: Arch) -> &'static str {
-    match arch {
-        Arch::Tc => "tc",
-        Arch::Stc => "stc",
-        Arch::Vegeta => "vegeta",
-        Arch::Highlight => "highlight",
-        Arch::RmStc => "rm-stc",
-        Arch::TbStc => "tb-stc",
-        Arch::DvpeFan => "dvpe-fan",
-        Arch::Sgcn => "sgcn",
-    }
-}
-
-/// Parses an architecture name (accepts the canonical kebab-case names
-/// plus the undashed aliases the CLI has always taken).
-pub fn arch_from_name(name: &str) -> Option<Arch> {
-    Some(match name {
-        "tc" => Arch::Tc,
-        "stc" => Arch::Stc,
-        "vegeta" => Arch::Vegeta,
-        "highlight" => Arch::Highlight,
-        "rm-stc" | "rmstc" => Arch::RmStc,
-        "tb-stc" | "tbstc" => Arch::TbStc,
-        "dvpe-fan" | "dvpefan" => Arch::DvpeFan,
-        "sgcn" => Arch::Sgcn,
-        _ => return None,
-    })
-}
-
 /// Builds a [`ModelSpec`] from a bare name at the CLI's default shapes.
 pub fn model_from_name(name: &str) -> Option<ModelSpec> {
     Some(match name {
@@ -158,7 +127,8 @@ fn parse_arch_value(v: &Json) -> Result<Arch, Error> {
     let name = v
         .as_str()
         .ok_or_else(|| Error::InvalidSpec("arch must be a string".into()))?;
-    arch_from_name(name).ok_or_else(|| Error::InvalidSpec(format!("unknown arch `{name}`")))
+    name.parse::<Arch>()
+        .map_err(|e| Error::InvalidSpec(e.to_string()))
 }
 
 fn parse_sparsity(v: &Json) -> Result<f64, Error> {
@@ -329,7 +299,7 @@ impl JobSpec {
     pub fn to_value(&self) -> Json {
         match self {
             JobSpec::Simulate(s) => Json::obj([
-                ("arch", Json::str(arch_name(s.arch))),
+                ("arch", Json::str(s.arch.canonical_name())),
                 ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
                 ("model", model_to_value(s.model)),
                 ("seed", Json::Int(s.seed as i64)),
@@ -339,7 +309,12 @@ impl JobSpec {
             JobSpec::Sweep(s) => Json::obj([
                 (
                     "archs",
-                    Json::Arr(s.archs.iter().map(|&a| Json::str(arch_name(a))).collect()),
+                    Json::Arr(
+                        s.archs
+                            .iter()
+                            .map(|&a| Json::str(a.canonical_name()))
+                            .collect(),
+                    ),
                 ),
                 ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
                 (
@@ -445,7 +420,7 @@ impl JobSpec {
 /// Serializes one grid point (the memo key of model sweeps).
 pub fn sim_job_to_value(job: &SimJob) -> Json {
     Json::obj([
-        ("arch", Json::str(arch_name(job.arch))),
+        ("arch", Json::str(job.arch.canonical_name())),
         ("model", model_to_value(job.model)),
         ("seed", Json::Int(job.seed as i64)),
         ("sparsity", Json::Num(job.sparsity)),
@@ -493,7 +468,7 @@ fn get_f64(v: &Json, key: &str) -> Result<f64, Error> {
 /// Serializes a per-layer simulation result.
 pub fn layer_result_to_value(l: &LayerResult) -> Json {
     Json::obj([
-        ("arch", Json::str(arch_name(l.arch))),
+        ("arch", Json::str(l.arch.canonical_name())),
         ("bandwidth_utilization", Json::Num(l.bandwidth_utilization)),
         (
             "breakdown",
@@ -550,7 +525,7 @@ pub fn layer_result_from_value(v: &Json) -> Result<LayerResult, Error> {
 /// Serializes a whole-model simulation result.
 pub fn model_result_to_value(r: &ModelResult) -> Json {
     Json::obj([
-        ("arch", Json::str(arch_name(r.arch))),
+        ("arch", Json::str(r.arch.canonical_name())),
         (
             "layers",
             Json::Arr(r.layers.iter().map(layer_result_to_value).collect()),
@@ -674,17 +649,8 @@ mod tests {
 
     #[test]
     fn arch_names_roundtrip() {
-        for arch in [
-            Arch::Tc,
-            Arch::Stc,
-            Arch::Vegeta,
-            Arch::Highlight,
-            Arch::RmStc,
-            Arch::TbStc,
-            Arch::DvpeFan,
-            Arch::Sgcn,
-        ] {
-            assert_eq!(arch_from_name(arch_name(arch)), Some(arch));
+        for arch in Arch::ALL {
+            assert_eq!(arch.canonical_name().parse::<Arch>(), Ok(arch));
         }
     }
 

@@ -1,10 +1,19 @@
-//! The architecture registry: which pattern each baseline executes and
-//! what its datapath costs are.
+//! The `Arch` enum: a cheap copyable tag for the architectures in the
+//! registry. All behaviour lives in [`crate::archs`] — one module per
+//! baseline implementing [`ArchModel`] — and every method here delegates
+//! to the registered model.
 
-use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use std::str::FromStr;
+
+use tbstc_energy::components::{DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
+use crate::archs::{self, ArchModel};
+
 /// A simulated accelerator architecture (§VII-A2 baselines + ablations).
+///
+/// Discriminant order matches [`archs::REGISTRY`]; the registry's
+/// `registry_order_matches_enum` test locks the correspondence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Arch {
     /// Dense Tensor Core.
@@ -27,6 +36,19 @@ pub enum Arch {
 }
 
 impl Arch {
+    /// Every registered architecture, in the registry's (paper plotting)
+    /// order.
+    pub const ALL: [Arch; 8] = [
+        Arch::Tc,
+        Arch::Stc,
+        Arch::Vegeta,
+        Arch::Highlight,
+        Arch::RmStc,
+        Arch::TbStc,
+        Arch::DvpeFan,
+        Arch::Sgcn,
+    ];
+
     /// The baselines of the main comparison figures (Fig. 12/13), in the
     /// paper's plotting order.
     pub const MAIN_BASELINES: [Arch; 6] = [
@@ -38,89 +60,89 @@ impl Arch {
         Arch::TbStc,
     ];
 
+    /// The registered model implementing this architecture.
+    pub fn model(self) -> &'static dyn ArchModel {
+        archs::model(self)
+    }
+
+    /// Canonical lowercase name (job specs, CLI, caches) — the inverse of
+    /// [`Arch::from_str`].
+    pub fn canonical_name(self) -> &'static str {
+        self.model().canonical_name()
+    }
+
+    /// Accepted alternate spellings.
+    pub fn aliases(self) -> &'static [&'static str] {
+        self.model().aliases()
+    }
+
     /// The sparsity pattern this architecture natively executes.
     pub fn native_pattern(self) -> PatternKind {
-        match self {
-            Arch::Tc => PatternKind::Dense,
-            Arch::Stc => PatternKind::TileNm,
-            Arch::Vegeta => PatternKind::RowWiseVegeta,
-            Arch::Highlight => PatternKind::RowWiseHighlight,
-            Arch::RmStc | Arch::Sgcn => PatternKind::Unstructured,
-            Arch::TbStc | Arch::DvpeFan => PatternKind::Tbs,
-        }
+        self.model().native_pattern()
     }
 
     /// The datapath cost inventory for this architecture.
     pub fn datapath(self, shape: PeArrayShape) -> DatapathCosts {
-        match self {
-            Arch::Tc => components::tensor_core(shape),
-            Arch::Stc => components::nvidia_stc(shape),
-            Arch::Vegeta => components::vegeta(shape),
-            Arch::Highlight => components::highlight(shape),
-            Arch::RmStc => components::rm_stc(shape),
-            Arch::TbStc => components::tb_stc(shape),
-            Arch::DvpeFan => components::dvpe_with_fan(shape),
-            // SGCN's compressed-sparse frontend carries gather/union-class
-            // logic like RM-STC's.
-            Arch::Sgcn => {
-                let mut dp = components::rm_stc(shape);
-                dp.name = "SGCN";
-                dp
-            }
-        }
+        self.model().datapath(shape)
     }
 
     /// Multiplier-lane count available to this architecture. The paper
-    /// keeps peak compute equal across baselines (§VII-A1); SGCN differs
-    /// through its bandwidth ratio and element-granular frontend, not its
-    /// lane count.
+    /// keeps peak compute equal across baselines (§VII-A1).
     pub fn lanes(self, shape: PeArrayShape) -> usize {
-        shape.mults()
+        self.model().lanes(shape)
     }
 
-    /// Off-chip bandwidth override in GB/s (SGCN provisions 256 GB/s,
-    /// §VII-D4); `None` = use the platform default.
+    /// Off-chip bandwidth override in GB/s; `None` = platform default.
     pub fn bandwidth_override_gbps(self) -> Option<f64> {
-        match self {
-            Arch::Sgcn => Some(256.0),
-            _ => None,
-        }
+        self.model().bandwidth_override_gbps()
     }
 
     /// Whether this architecture has the inter/intra-block sparsity-aware
     /// scheduling of §VI (used by the Fig. 16(b) ablation).
     pub fn has_hierarchical_scheduling(self) -> bool {
-        matches!(self, Arch::TbStc)
+        self.model().has_hierarchical_scheduling()
     }
 
     /// Per-MAC dynamic-energy multiplier over the plain FP16 MAC.
-    /// Unstructured engines burn extra energy per operand on index
-    /// matching (RM-STC's gather/union; SGCN's CSR intersection) — the
-    /// reason their EDP trails TB-STC even at similar speed (Fig. 6(d),
-    /// §VII-C1).
     pub fn mac_energy_multiplier(self) -> f64 {
-        match self {
-            Arch::RmStc => 2.1,
-            Arch::Sgcn => 1.8,
-            Arch::DvpeFan => 1.45, // FAN forwards operands through extra nodes
-            _ => 1.0,
-        }
+        self.model().mac_energy_multiplier()
     }
 }
 
 impl std::fmt::Display for Arch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            Arch::Tc => "TC",
-            Arch::Stc => "STC",
-            Arch::Vegeta => "VEGETA",
-            Arch::Highlight => "HighLight",
-            Arch::RmStc => "RM-STC",
-            Arch::TbStc => "TB-STC",
-            Arch::DvpeFan => "DVPE+FAN",
-            Arch::Sgcn => "SGCN",
-        };
-        f.write_str(name)
+        f.write_str(self.model().display_name())
+    }
+}
+
+/// An architecture name that matched no registry entry. Its display lists
+/// every valid canonical name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArchError {
+    name: String,
+}
+
+impl std::fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown arch `{}` (valid: {})",
+            self.name,
+            archs::canonical_names()
+        )
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+impl FromStr for Arch {
+    type Err = ParseArchError;
+
+    /// Parses a canonical name or alias, backed by the registry.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        archs::by_name(s)
+            .map(ArchModel::arch)
+            .ok_or_else(|| ParseArchError { name: s.into() })
     }
 }
 
@@ -165,5 +187,24 @@ mod tests {
     fn display_names() {
         assert_eq!(Arch::TbStc.to_string(), "TB-STC");
         assert_eq!(Arch::DvpeFan.to_string(), "DVPE+FAN");
+    }
+
+    #[test]
+    fn names_roundtrip_through_the_registry() {
+        for arch in Arch::ALL {
+            assert_eq!(arch.canonical_name().parse::<Arch>(), Ok(arch));
+            for alias in arch.aliases() {
+                assert_eq!(alias.parse::<Arch>(), Ok(arch));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_error_lists_all_valid_names() {
+        let err = "tpu".parse::<Arch>().unwrap_err().to_string();
+        assert!(err.contains("unknown arch `tpu`"), "{err}");
+        for arch in Arch::ALL {
+            assert!(err.contains(arch.canonical_name()), "{err}");
+        }
     }
 }

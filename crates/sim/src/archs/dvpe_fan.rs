@@ -1,0 +1,83 @@
+//! Ablation: TB-STC's DVPEs replaced by SIGMA's FAN reduction
+//! (paper §VII-E2). Keeps TB-STC's pattern, format, codec and scheduler;
+//! pays extra pipeline occupancy and forwarding energy.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ddc_or_dense_trace, ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::memory::FormatOverride;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// Extra pipeline occupancy of SIGMA's FAN (deeper forwarding network).
+const FAN_OVERHEAD: f64 = 1.12;
+
+/// The DVPE→FAN ablation point.
+pub struct DvpeFan;
+
+impl ArchModel for DvpeFan {
+    fn arch(&self) -> Arch {
+        Arch::DvpeFan
+    }
+
+    fn display_name(&self) -> &'static str {
+        "DVPE+FAN"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "dvpe-fan"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["dvpefan"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "Ablation: TB-STC with SIGMA's FAN reduction instead of DVPEs"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::Tbs
+    }
+
+    /// The FAN ablation keeps TB-STC's scheduler.
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::SparsityAware,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// Nnz-proportional like TB-STC, times the FAN pipeline overhead.
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: ((b.nnz as f64) * FAN_OVERHEAD).ceil() as usize,
+            nonempty_rows: b.nonempty_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        ddc_or_dense_trace(layer)
+    }
+
+    fn dense_info_stream(&self, layer: &SparseLayer, fmt: FormatOverride) -> bool {
+        layer.tbs().is_none() && fmt == FormatOverride::Native
+    }
+
+    fn consumes_ddc(&self) -> bool {
+        true
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::dvpe_with_fan(shape)
+    }
+
+    /// FAN forwards operands through extra nodes.
+    fn mac_energy_multiplier(&self) -> f64 {
+        1.45
+    }
+}

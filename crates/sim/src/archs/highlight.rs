@@ -1,0 +1,70 @@
+//! HighLight: hierarchical structured sparsity with a uniform per-level
+//! ratio — homogeneous rows, but two-level metadata intersection on every
+//! element cluster.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_formats::Sdc;
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ratio_grouped_slots, ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// HighLight's two-level metadata intersection overhead per element
+/// cluster (hierarchical coordinate decoding on the datapath).
+const INTERSECT_OVERHEAD: f64 = 1.06;
+
+/// The HighLight baseline.
+pub struct Highlight;
+
+impl ArchModel for Highlight {
+    fn arch(&self) -> Arch {
+        Arch::Highlight
+    }
+
+    fn display_name(&self) -> &'static str {
+        "HighLight"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "highlight"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Hierarchical structured sparsity; uniform ratios, 2-level metadata"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::RowWiseHighlight
+    }
+
+    /// One-dimensional balancing like VEGETA's (see there).
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::SparsityAware,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// The uniform hierarchical ratio keeps rows homogeneous (small
+    /// grouping penalty) but pays two-level metadata intersection on
+    /// every cluster.
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: (ratio_grouped_slots(&b.row_nnz, 8) as f64 * INTERSECT_OVERHEAD).ceil() as usize,
+            nonempty_rows: b.nonempty_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    /// Homogeneous rows: whole-matrix SDC alignment pads almost nothing.
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        WeightTrace::from_access_trace(Sdc::encode(layer.sampled()).access_trace())
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::highlight(shape)
+    }
+}

@@ -1,0 +1,345 @@
+//! The pluggable architecture layer: one module per baseline, one trait,
+//! one registry.
+//!
+//! Every simulated accelerator (§VII-A2 baselines + ablations) implements
+//! [`ArchModel`]: its naming, native sparsity pattern, per-block compute
+//! cost, weight-stream storage format, codec participation, scheduling
+//! policy and datapath costs all live in one file under this module.
+//! [`REGISTRY`] is the single dispatch point — `compute`, `memory`,
+//! `pipeline`, the job-spec schema, the CLI and `tbstc-serve` all resolve
+//! architectures through it, so adding a ninth architecture is a new
+//! module plus one registry line (and zero new `match` arms: the
+//! `arch_dispatch_lint` test forbids `Arch` variant dispatch outside this
+//! directory).
+
+pub mod dvpe_fan;
+pub mod highlight;
+pub mod rm_stc;
+pub mod sgcn;
+pub mod stc;
+pub mod tb_stc;
+pub mod tc;
+pub mod vegeta;
+
+use tbstc_energy::components::{DatapathCosts, PeArrayShape};
+use tbstc_formats::AccessTrace;
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::memory::FormatOverride;
+use crate::sched::BlockWork;
+
+/// Per-block statistics of the sampled pruned weights, as walked in 8×8
+/// blocks — the input every architecture's dataflow turns into
+/// [`BlockWork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Non-zero count of each of the (up to) 8 rows of the block.
+    pub row_nnz: [usize; 8],
+    /// Total non-zeros in the block.
+    pub nnz: usize,
+    /// Rows with at least one non-zero.
+    pub nonempty_rows: usize,
+    /// Whether the block's N:M runs along the independent dimension
+    /// (TBS metadata; `false` for every other pattern).
+    pub independent_dim: bool,
+    /// Dense MAC slots of the (possibly edge-clipped) block.
+    pub dense_slots: usize,
+    /// Clipped block height (rows the block actually covers).
+    pub block_rows: usize,
+}
+
+/// The sampled weight-stream an architecture's storage format emits:
+/// DRAM requests plus the stored byte count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightTrace {
+    /// Requests as `(addr, bytes)`, replayed through the DRAM model.
+    pub requests: Vec<(u64, u64)>,
+    /// Bytes the format stores (the useful-traffic numerator).
+    pub stored_bytes: u64,
+}
+
+impl WeightTrace {
+    /// A trace from a format's [`AccessTrace`].
+    pub fn from_access_trace(t: AccessTrace) -> Self {
+        let stored_bytes = t.total_bytes();
+        WeightTrace {
+            requests: t.requests().iter().map(|r| (r.addr, r.bytes)).collect(),
+            stored_bytes,
+        }
+    }
+
+    /// A perfectly sequential stream of `bytes`, split into
+    /// row-buffer-friendly chunks.
+    pub fn sequential(bytes: u64) -> Self {
+        const CHUNK: u64 = 256;
+        let mut requests = Vec::with_capacity((bytes / CHUNK + 1) as usize);
+        let mut addr = 0;
+        while addr < bytes {
+            let len = CHUNK.min(bytes - addr);
+            requests.push((addr, len));
+            addr += len;
+        }
+        WeightTrace {
+            requests,
+            stored_bytes: bytes,
+        }
+    }
+}
+
+/// Everything the simulator needs to know about one accelerator
+/// architecture. One implementation per baseline, registered in
+/// [`REGISTRY`].
+pub trait ArchModel: Sync {
+    // --- Identity -------------------------------------------------------
+
+    /// The enum tag this model implements.
+    fn arch(&self) -> Arch;
+
+    /// Paper-style display name (e.g. `TB-STC`).
+    fn display_name(&self) -> &'static str;
+
+    /// Canonical lowercase kebab-case name (job specs, CLI, caches).
+    fn canonical_name(&self) -> &'static str;
+
+    /// Accepted alternate spellings (e.g. `tbstc` for `tb-stc`).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line description for the README architecture table.
+    fn summary(&self) -> &'static str;
+
+    // --- Sparsity pattern & compute -------------------------------------
+
+    /// The sparsity pattern this architecture natively executes.
+    fn native_pattern(&self) -> PatternKind;
+
+    /// The scheduling policy the architecture ships with.
+    fn native_schedule(&self) -> SchedulePolicy;
+
+    /// The MAC-slot work the dataflow sees for one 8×8 block — where each
+    /// baseline's structural constraints (lockstep, ratio grouping,
+    /// gather efficiency, density floors) are modelled.
+    fn block_work(&self, block: &BlockStats) -> BlockWork;
+
+    /// Extra sampled compute cycles outside the block schedule (e.g.
+    /// SGCN's per-row CSR frontend decode), given the block work list and
+    /// the PE count.
+    fn extra_compute_cycles(&self, works: &[BlockWork], pes: usize) -> u64 {
+        let _ = (works, pes);
+        0
+    }
+
+    // --- Memory format & codec ------------------------------------------
+
+    /// The sampled weight-stream trace of the architecture's native
+    /// storage format.
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace;
+
+    /// Whether the weight stream degenerates to a dense row stream for
+    /// this layer/format, making the full matrix the information content
+    /// (dense TC always; TB-STC on non-TBS layers).
+    fn dense_info_stream(&self, layer: &SparseLayer, fmt: FormatOverride) -> bool {
+        let _ = (layer, fmt);
+        false
+    }
+
+    /// Whether the architecture consumes DDC through the adaptive codec
+    /// (conversion cycles are modelled only for these).
+    fn consumes_ddc(&self) -> bool {
+        false
+    }
+
+    // --- Datapath, energy, platform -------------------------------------
+
+    /// The datapath cost inventory (Table III-style component list).
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts;
+
+    /// Multiplier-lane count. The paper keeps peak compute equal across
+    /// baselines (§VII-A1).
+    fn lanes(&self, shape: PeArrayShape) -> usize {
+        shape.mults()
+    }
+
+    /// Off-chip bandwidth override in GB/s; `None` = platform default.
+    fn bandwidth_override_gbps(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether the §VI inter/intra-block sparsity-aware scheduling is
+    /// present (the Fig. 16(b) ablation switches it off).
+    fn has_hierarchical_scheduling(&self) -> bool {
+        false
+    }
+
+    /// Per-MAC dynamic-energy multiplier over the plain FP16 MAC
+    /// (index-matching overheads of unstructured engines, Fig. 6(d)).
+    fn mac_energy_multiplier(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The architecture registry, in the paper's plotting order. Indexed by
+/// the `Arch` discriminant — `registry_order_matches_enum` locks the
+/// correspondence.
+pub static REGISTRY: [&dyn ArchModel; 8] = [
+    &tc::Tc,
+    &stc::Stc,
+    &vegeta::Vegeta,
+    &highlight::Highlight,
+    &rm_stc::RmStc,
+    &tb_stc::TbStc,
+    &dvpe_fan::DvpeFan,
+    &sgcn::Sgcn,
+];
+
+/// Resolves an architecture to its registered model.
+pub fn model(arch: Arch) -> &'static dyn ArchModel {
+    REGISTRY[arch as usize]
+}
+
+/// The registered model for a canonical name or alias, if any.
+pub fn by_name(name: &str) -> Option<&'static dyn ArchModel> {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|m| m.canonical_name() == name || m.aliases().contains(&name))
+}
+
+/// All canonical names, registry order, comma-separated — the "valid
+/// names" list of parse errors.
+pub fn canonical_names() -> String {
+    REGISTRY
+        .iter()
+        .map(|m| m.canonical_name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the architecture table (README "Architectures" section) from
+/// the registry, so documentation cannot drift from the code.
+pub fn architecture_table_markdown() -> String {
+    let mut out = String::from(
+        "| Architecture | Name (CLI/jobs) | Native pattern | Model |\n\
+         |---|---|---|---|\n",
+    );
+    for m in REGISTRY {
+        out.push_str(&format!(
+            "| **{}** | `{}` | {} | {} |\n",
+            m.display_name(),
+            m.canonical_name(),
+            m.native_pattern(),
+            m.summary()
+        ));
+    }
+    out
+}
+
+/// Slots a lockstep SIMD engine needs: adjacent groups of `group` rows
+/// run together, each costing `group × max(row nnz)`.
+pub(crate) fn lockstep_slots(row_nnz: &[usize; 8], group: usize) -> usize {
+    row_nnz
+        .chunks(group)
+        .map(|g| g.len() * g.iter().copied().max().unwrap_or(0))
+        .sum()
+}
+
+/// Slots a ratio-grouped SIMD engine needs for one block: rows sharing a
+/// non-zero count pack into common issues; each distinct count needs its
+/// own issues (`width` lanes each).
+pub(crate) fn ratio_grouped_slots(row_nnz: &[usize; 8], width: usize) -> usize {
+    let mut issues = 0usize;
+    for ratio in 1..=width {
+        let rows = row_nnz.iter().filter(|&&c| c == ratio).count();
+        if rows > 0 {
+            issues += (rows * ratio).div_ceil(width);
+        }
+    }
+    issues * width
+}
+
+/// The TBS weight stream: DDC when the layer carries TBS metadata, a
+/// dense row stream otherwise (non-prunable layers run dense). Shared by
+/// TB-STC and its FAN ablation.
+pub(crate) fn ddc_or_dense_trace(layer: &SparseLayer) -> WeightTrace {
+    let w = layer.sampled();
+    match layer.tbs() {
+        Some(tbs) => {
+            WeightTrace::from_access_trace(tbstc_formats::Ddc::encode(w, tbs).access_trace())
+        }
+        None => WeightTrace::sequential(w.len() as u64 * 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_order_matches_enum() {
+        for (i, m) in REGISTRY.iter().enumerate() {
+            assert_eq!(m.arch() as usize, i, "{} out of order", m.display_name());
+        }
+        for arch in Arch::ALL {
+            assert_eq!(model(arch).arch(), arch);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolve() {
+        let mut seen = std::collections::HashSet::new();
+        for m in REGISTRY {
+            assert!(seen.insert(m.canonical_name()), "{}", m.canonical_name());
+            for alias in m.aliases() {
+                assert!(seen.insert(alias), "alias {alias} collides");
+                assert_eq!(by_name(alias).unwrap().arch(), m.arch());
+            }
+            assert_eq!(by_name(m.canonical_name()).unwrap().arch(), m.arch());
+        }
+        assert!(by_name("tpu").is_none());
+    }
+
+    #[test]
+    fn table_lists_every_architecture() {
+        let table = architecture_table_markdown();
+        for m in REGISTRY {
+            assert!(table.contains(m.display_name()), "{}", m.display_name());
+            assert!(table.contains(m.canonical_name()));
+        }
+    }
+
+    #[test]
+    fn ratio_grouping_penalizes_mixed_rows() {
+        // Uniform rows (all N=2): 2 issues = 16 slots = nnz.
+        let uniform = ratio_grouped_slots(&[2; 8], 8);
+        assert_eq!(uniform, 16);
+        // Mixed rows {8,4,2,1,1,0,0,0}: each ratio its own issues.
+        let mixed = ratio_grouped_slots(&[8, 4, 2, 1, 1, 0, 0, 0], 8);
+        assert!(mixed > 16, "mixed rows need more slots: {mixed}");
+    }
+
+    #[test]
+    fn lockstep_free_on_uniform_rows() {
+        assert_eq!(lockstep_slots(&[4; 8], 2), 32); // = nnz
+        assert_eq!(lockstep_slots(&[4; 8], 4), 32);
+        // Heterogeneous neighbours pad to the group max.
+        let mixed = lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 2);
+        let nnz = 8 + 1 + 4 + 2 + 2 + 1;
+        assert!(mixed > nnz, "{mixed} > {nnz}");
+        assert_eq!(mixed, 2 * (8 + 4 + 2 + 1));
+        // Wider lockstep pads at least as much.
+        assert!(lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 4) >= mixed);
+    }
+
+    #[test]
+    fn sequential_trace_covers_exactly() {
+        let t = WeightTrace::sequential(1000);
+        let total: u64 = t.requests.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(t.stored_bytes, 1000);
+        assert!(t.requests.windows(2).all(|w| w[1].0 == w[0].0 + w[0].1));
+    }
+}

@@ -1,0 +1,83 @@
+//! RM-STC: unstructured row-merge sparse tensor core — nnz-proportional
+//! compute with merge bubbles, bitmap-compressed weights, and
+//! gather/union index-matching energy.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// Row-merge packing efficiency of RM-STC's unstructured dataflow
+/// (merge bubbles between rows; its speedup loss vs TB-STC is small —
+/// paper: 1.06×).
+const EFFICIENCY: f64 = 0.94;
+
+/// The RM-STC baseline.
+pub struct RmStc;
+
+impl ArchModel for RmStc {
+    fn arch(&self) -> Arch {
+        Arch::RmStc
+    }
+
+    fn display_name(&self) -> &'static str {
+        "RM-STC"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "rm-stc"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["rmstc"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "Unstructured row-merge; nnz-proportional, pays gather/union energy"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::Unstructured
+    }
+
+    /// The row-merge dataflow achieves the same stream merging for
+    /// unstructured work as TB-STC's scheduler.
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::SparsityAware,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// Nnz-proportional with the row-merge efficiency factor.
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: ((b.nnz as f64) / EFFICIENCY).ceil() as usize,
+            nonempty_rows: b.nonempty_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    /// Bitmap + packed values (the row-merge frontend consumes streams).
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        let w = layer.sampled();
+        let nnz = w.count_nonzeros() as u64;
+        let bitmap = (w.len() as u64).div_ceil(8);
+        WeightTrace::sequential(nnz * 2 + bitmap)
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::rm_stc(shape)
+    }
+
+    /// Gather/union index matching burns extra energy per operand — the
+    /// reason RM-STC's EDP trails TB-STC even at similar speed
+    /// (Fig. 6(d), §VII-C1).
+    fn mac_energy_multiplier(&self) -> f64 {
+        2.1
+    }
+}

@@ -1,0 +1,64 @@
+//! NVIDIA Sparse Tensor Core: 2:4 / 4:8 tile sparsity only — a 50 %
+//! density floor regardless of the requested target.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// The NVIDIA STC baseline.
+pub struct Stc;
+
+impl ArchModel for Stc {
+    fn arch(&self) -> Arch {
+        Arch::Stc
+    }
+
+    fn display_name(&self) -> &'static str {
+        "STC"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "stc"
+    }
+
+    fn summary(&self) -> &'static str {
+        "NVIDIA Sparse Tensor Core; 4:8 tiles, density floored at 50%"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::TileNm
+    }
+
+    /// Uniform 4:8 work: nothing to balance.
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::Direct,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// STC executes its 4:8 mask; slots = nnz of the 50 % mask (the mask
+    /// was already projected at 50 % by layer construction).
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: b.nnz,
+            nonempty_rows: b.nonempty_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    /// 4:8 values + 2-bit position metadata, perfectly aligned.
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        let nnz = layer.sampled().count_nonzeros() as u64;
+        WeightTrace::sequential(nnz * 2 + nnz / 4)
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::nvidia_stc(shape)
+    }
+}

@@ -1,0 +1,82 @@
+//! TB-STC: this paper. TBS pattern, DDC storage consumed through the
+//! adaptive codec, and the §VI hierarchical sparsity-aware scheduling.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ddc_or_dense_trace, ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::memory::FormatOverride;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// The TB-STC architecture (paper).
+pub struct TbStc;
+
+impl ArchModel for TbStc {
+    fn arch(&self) -> Arch {
+        Arch::TbStc
+    }
+
+    fn display_name(&self) -> &'static str {
+        "TB-STC"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "tb-stc"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["tbstc"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "This paper: TBS pattern, DDC + codec, hierarchical scheduling"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::Tbs
+    }
+
+    /// The §VI hierarchical scheduling (Fig. 11).
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::SparsityAware,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// Nnz-proportional. The per-original-row counts are the
+    /// computation-format row occupancy (elements group by reduction row
+    /// in both block dimensions), which is what the naive intra policy
+    /// pays per-row for.
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: b.nnz,
+            nonempty_rows: b.nonempty_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    /// Dual-dimensional compression; non-prunable layers run dense rows.
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        ddc_or_dense_trace(layer)
+    }
+
+    fn dense_info_stream(&self, layer: &SparseLayer, fmt: FormatOverride) -> bool {
+        layer.tbs().is_none() && fmt == FormatOverride::Native
+    }
+
+    fn consumes_ddc(&self) -> bool {
+        true
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::tb_stc(shape)
+    }
+
+    fn has_hierarchical_scheduling(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,74 @@
+//! Dense Tensor Core: every slot issues, dense row-major weight stream.
+
+use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
+use tbstc_sparsity::PatternKind;
+
+use crate::arch::Arch;
+use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::compute::SchedulePolicy;
+use crate::layer::SparseLayer;
+use crate::memory::FormatOverride;
+use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+
+/// The dense baseline (NVIDIA Tensor Core without sparsity support).
+pub struct Tc;
+
+impl ArchModel for Tc {
+    fn arch(&self) -> Arch {
+        Arch::Tc
+    }
+
+    fn display_name(&self) -> &'static str {
+        "TC"
+    }
+
+    fn canonical_name(&self) -> &'static str {
+        "tc"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Dense Tensor Core; executes every MAC slot, streams full rows"
+    }
+
+    fn native_pattern(&self) -> PatternKind {
+        PatternKind::Dense
+    }
+
+    /// Uniform work: nothing to balance.
+    fn native_schedule(&self) -> SchedulePolicy {
+        SchedulePolicy {
+            inter: InterBlockPolicy::Direct,
+            intra: IntraBlockPolicy::Balanced,
+        }
+    }
+
+    /// Dense: every lane slot issues.
+    fn block_work(&self, b: &BlockStats) -> BlockWork {
+        BlockWork {
+            slots: b.dense_slots,
+            nonempty_rows: b.block_rows,
+            independent_dim: b.independent_dim,
+        }
+    }
+
+    /// Dense rows, 2 bytes per element, sequential row requests.
+    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+        let w = layer.sampled();
+        let row_bytes = w.cols() as u64 * 2;
+        WeightTrace {
+            requests: (0..w.rows() as u64)
+                .map(|r| (r * row_bytes, row_bytes))
+                .collect(),
+            stored_bytes: row_bytes * w.rows() as u64,
+        }
+    }
+
+    /// The dense matrix *is* the information content, whatever the format.
+    fn dense_info_stream(&self, _layer: &SparseLayer, _fmt: FormatOverride) -> bool {
+        true
+    }
+
+    fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
+        components::tensor_core(shape)
+    }
+}

@@ -1,43 +1,20 @@
-//! Per-architecture compute-cycle models.
+//! The compute-cycle model: block walking, scheduling, utilization.
 //!
 //! Each architecture turns the sampled pruned weights into a list of
 //! per-block [`BlockWork`] items reflecting its dataflow's structural
 //! constraints, then runs them through the scheduler model. The
-//! constraints (documented per match arm in [`block_works`]) are where the
-//! baselines' compute differences come from:
-//!
-//! * **TC** executes every slot densely;
-//! * **STC** executes at 4:8 density — the mask was already projected at
-//!   50 %, so its slots equal its nnz;
-//! * **VEGETA / HighLight** can pack multiple rows of the *same* ratio
-//!   into one SIMD issue, but rows of different `N` need separate issues
-//!   (their B-select logic is per-ratio), so a block costs
-//!   `Σ_N ceil(rows_N · N / width)` issues — the row-heterogeneity
-//!   penalty of one-dimensional patterns (challenge 3);
-//! * **RM-STC** is nnz-proportional with a row-merge efficiency factor
-//!   and stream merging (that is what "row-merge dataflow" does);
-//! * **TB-STC** is nnz-proportional; its intra/inter-block scheduling
-//!   (Fig. 11) recovers the imbalance, and the ablation switches it off;
-//! * **SGCN** is element-granular CSR processing: nnz-proportional with a
-//!   gather-efficiency factor plus a per-row frontend overhead — great at
-//!   extreme sparsity, wasteful in the 30–90 % band (Fig. 15(d)).
+//! constraints live with the architectures — [`block_works`] gathers the
+//! per-block [`BlockStats`] and each [`crate::archs::ArchModel`] prices
+//! them: TC densely, STC at its 4:8 floor, VEGETA/HighLight with their
+//! one-dimensional lockstep/ratio-grouping penalties, RM-STC/SGCN
+//! nnz-proportionally with their efficiency factors, and TB-STC (plus the
+//! FAN ablation) nnz-proportionally with hierarchical scheduling.
 
 use crate::arch::Arch;
+use crate::archs::{self, BlockStats};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
 use crate::sched::{self, BlockWork, InterBlockPolicy, IntraBlockPolicy};
-
-/// Row-merge packing efficiency of RM-STC's unstructured dataflow
-/// (merge bubbles between rows; its speedup loss vs TB-STC is small —
-/// paper: 1.06×).
-const RM_STC_EFFICIENCY: f64 = 0.94;
-/// Extra pipeline occupancy of SIGMA's FAN (deeper forwarding network).
-const FAN_OVERHEAD: f64 = 1.12;
-/// SGCN's element-granular gather efficiency at DNN-range sparsity.
-const SGCN_EFFICIENCY: f64 = 0.7;
-/// HighLight's two-level metadata intersection overhead per element
-/// cluster (hierarchical coordinate decoding on the datapath).
-const HIGHLIGHT_INTERSECT_OVERHEAD: f64 = 1.06;
 
 /// The compute-side result for one layer (already scaled to real size).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,28 +41,7 @@ pub struct SchedulePolicy {
 impl SchedulePolicy {
     /// The policy an architecture ships with.
     pub fn native(arch: Arch) -> Self {
-        match arch {
-            // TB-STC's hierarchical scheduling; RM-STC's row-merge
-            // dataflow achieves the same stream merging for unstructured
-            // work; the FAN ablation keeps TB-STC's scheduler.
-            Arch::TbStc | Arch::DvpeFan | Arch::RmStc | Arch::Sgcn => SchedulePolicy {
-                inter: InterBlockPolicy::SparsityAware,
-                intra: IntraBlockPolicy::Balanced,
-            },
-            // VEGETA/HighLight ship one-dimensional workload balancing
-            // (row-wise reordering, paper §I challenge 3), modelled as
-            // balanced placement; their ratio-grouping penalty lives in
-            // the slot counts instead.
-            Arch::Vegeta | Arch::Highlight => SchedulePolicy {
-                inter: InterBlockPolicy::SparsityAware,
-                intra: IntraBlockPolicy::Balanced,
-            },
-            // Uniform patterns have nothing to balance.
-            Arch::Tc | Arch::Stc => SchedulePolicy {
-                inter: InterBlockPolicy::Direct,
-                intra: IntraBlockPolicy::Balanced,
-            },
-        }
+        archs::model(arch).native_schedule()
     }
 
     /// The non-scheduled ablation point (Fig. 16(b) "w/o scheduling").
@@ -101,6 +57,7 @@ impl SchedulePolicy {
 /// walking the sampled weights in 8×8 blocks.
 pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
     use tbstc_sparsity::SparsityDim;
+    let model = archs::model(arch);
     let w = layer.sampled();
     let m = 8usize;
     let (rows, cols) = w.shape();
@@ -139,101 +96,20 @@ pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
                 })
                 .unwrap_or(false);
 
-            let work = match arch {
-                // Dense: every lane slot issues.
-                Arch::Tc => BlockWork {
-                    slots: dense_slots(rows, cols, r0, c0, m),
-                    nonempty_rows: m.min(rows.saturating_sub(r0)),
-                    independent_dim,
-                },
-                // STC executes its 4:8 mask; slots = nnz of the 50% mask.
-                Arch::Stc => BlockWork {
-                    slots: nnz,
-                    nonempty_rows: nonempty,
-                    independent_dim,
-                },
-                // VEGETA's vertical SIMD has two one-dimensional
-                // constraints: adjacent row pairs run in lockstep
-                // (2 × max per pair) and rows of different ratios need
-                // separate B-select issues. Uniform ratios satisfy both
-                // for free; heterogeneous blocks pay the binding one —
-                // the challenge-3 imbalance.
-                Arch::Vegeta => BlockWork {
-                    slots: lockstep_slots(&row_nnz, 4).max(ratio_grouped_slots(&row_nnz, m)),
-                    nonempty_rows: nonempty,
-                    independent_dim,
-                },
-                // HighLight's uniform hierarchical ratio keeps rows
-                // homogeneous (small grouping penalty) but pays two-level
-                // metadata intersection on every cluster.
-                Arch::Highlight => BlockWork {
-                    slots: (ratio_grouped_slots(&row_nnz, m) as f64 * HIGHLIGHT_INTERSECT_OVERHEAD)
-                        .ceil() as usize,
-                    nonempty_rows: nonempty,
-                    independent_dim,
-                },
-                Arch::RmStc => BlockWork {
-                    slots: ((nnz as f64) / RM_STC_EFFICIENCY).ceil() as usize,
-                    nonempty_rows: nonempty,
-                    independent_dim,
-                },
-                Arch::Sgcn => BlockWork {
-                    slots: ((nnz as f64) / SGCN_EFFICIENCY).ceil() as usize,
-                    nonempty_rows: nonempty,
-                    independent_dim,
-                },
-                // TB-STC (and the FAN ablation): nnz-proportional. The
-                // per-original-row counts are the computation-format row
-                // occupancy (elements group by reduction row in both block
-                // dimensions), which is what the naive intra policy pays
-                // per-row for.
-                Arch::TbStc | Arch::DvpeFan => {
-                    let slots = if arch == Arch::DvpeFan {
-                        ((nnz as f64) * FAN_OVERHEAD).ceil() as usize
-                    } else {
-                        nnz
-                    };
-                    BlockWork {
-                        slots,
-                        nonempty_rows: nonempty,
-                        independent_dim,
-                    }
-                }
+            let block_rows = m.min(rows.saturating_sub(r0));
+            let block_cols = m.min(cols.saturating_sub(c0));
+            let stats = BlockStats {
+                row_nnz,
+                nnz,
+                nonempty_rows: nonempty,
+                independent_dim,
+                dense_slots: block_rows * block_cols,
+                block_rows,
             };
-            works.push(work);
+            works.push(model.block_work(&stats));
         }
     }
     works
-}
-
-/// Slots a lockstep SIMD engine needs: adjacent groups of `group` rows
-/// run together, each costing `group × max(row nnz)`.
-fn lockstep_slots(row_nnz: &[usize; 8], group: usize) -> usize {
-    row_nnz
-        .chunks(group)
-        .map(|g| g.len() * g.iter().copied().max().unwrap_or(0))
-        .sum()
-}
-
-/// Slots a ratio-grouped SIMD engine needs for one block: rows sharing a
-/// non-zero count pack into common issues; each distinct count needs its
-/// own issues (`width` lanes each).
-fn ratio_grouped_slots(row_nnz: &[usize; 8], width: usize) -> usize {
-    let mut issues = 0usize;
-    for ratio in 1..=width {
-        let rows = row_nnz.iter().filter(|&&c| c == ratio).count();
-        if rows > 0 {
-            issues += (rows * ratio).div_ceil(width);
-        }
-    }
-    issues * width
-}
-
-/// Dense slots of a (possibly edge-clipped) block.
-fn dense_slots(rows: usize, cols: usize, r0: usize, c0: usize, m: usize) -> usize {
-    let h = m.min(rows.saturating_sub(r0));
-    let w = m.min(cols.saturating_sub(c0));
-    h * w
 }
 
 /// Runs the compute model for a layer on an architecture.
@@ -243,6 +119,7 @@ pub fn simulate_compute(
     cfg: &HwConfig,
     policy: SchedulePolicy,
 ) -> ComputeResult {
+    let model = archs::model(arch);
     let works = block_works(arch, layer);
     let lanes = arch.lanes(cfg.pe);
     let width = cfg.lane_width();
@@ -250,12 +127,7 @@ pub fn simulate_compute(
 
     let mut sampled_cycles =
         sched::schedule_stream(&works, layer.sn, pes, width, policy.inter, policy.intra);
-    // SGCN pays a per-row frontend setup (CSR row decode), amortized over
-    // the layer: one slot-cycle per non-empty row of the weight stream.
-    if arch == Arch::Sgcn {
-        let rows: u64 = works.iter().map(|w| w.nonempty_rows as u64).sum();
-        sampled_cycles += rows.div_ceil(pes as u64);
-    }
+    sampled_cycles += model.extra_compute_cycles(&works, pes);
 
     let scale = layer.weight_scale() * layer.col_scale();
     let cycles = (sampled_cycles as f64 * scale).ceil() as u64;
@@ -426,29 +298,6 @@ mod tests {
         let tb = run(Arch::TbStc, 0.75);
         let fan = run(Arch::DvpeFan, 0.75);
         assert!(fan.cycles >= tb.cycles);
-    }
-
-    #[test]
-    fn ratio_grouping_penalizes_mixed_rows() {
-        // Uniform rows (all N=2): 2 issues = 16 slots = nnz.
-        let uniform = ratio_grouped_slots(&[2; 8], 8);
-        assert_eq!(uniform, 16);
-        // Mixed rows {8,4,2,1,1,0,0,0}: each ratio its own issues.
-        let mixed = ratio_grouped_slots(&[8, 4, 2, 1, 1, 0, 0, 0], 8);
-        assert!(mixed > 16, "mixed rows need more slots: {mixed}");
-    }
-
-    #[test]
-    fn lockstep_free_on_uniform_rows() {
-        assert_eq!(lockstep_slots(&[4; 8], 2), 32); // = nnz
-        assert_eq!(lockstep_slots(&[4; 8], 4), 32);
-        // Heterogeneous neighbours pad to the group max.
-        let mixed = lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 2);
-        let nnz = 8 + 1 + 4 + 2 + 2 + 1;
-        assert!(mixed > nnz, "{mixed} > {nnz}");
-        assert_eq!(mixed, 2 * (8 + 4 + 2 + 1));
-        // Wider lockstep pads at least as much.
-        assert!(lockstep_slots(&[8, 1, 4, 0, 2, 2, 1, 0], 4) >= mixed);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod archs;
 pub mod builder;
 pub mod compute;
 pub mod config;
@@ -53,7 +54,8 @@ pub mod result;
 pub mod sched;
 pub mod schedunit;
 
-pub use arch::Arch;
+pub use arch::{Arch, ParseArchError};
+pub use archs::{ArchModel, REGISTRY};
 pub use builder::LayerSim;
 pub use config::HwConfig;
 pub use layer::SparseLayer;

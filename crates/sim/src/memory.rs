@@ -1,16 +1,15 @@
-//! Per-architecture memory-traffic models.
+//! The memory-traffic model: weight/activation/output streams and DRAM
+//! replay.
 //!
 //! Weight (A-matrix) traffic depends on the storage format each
-//! architecture uses — this is where the paper's challenge 2 lives:
-//!
-//! | Arch | Format | Behaviour |
-//! |---|---|---|
-//! | TC | dense rows | contiguous, maximal bytes |
-//! | STC | 4:8 values + 2-bit metadata | contiguous, fixed 50 % |
-//! | VEGETA / HighLight | SDC (max-row aligned) | contiguous but padded |
-//! | RM-STC | bitmap + value stream | contiguous, bitmap overhead |
-//! | TB-STC | DDC | contiguous, minimal |
-//! | SGCN | CSR stream | contiguous rows, per-element indices |
+//! architecture uses — this is where the paper's challenge 2 lives. The
+//! format behaviour itself is owned by the architectures: the native
+//! branch of [`a_trace`] asks the registered
+//! [`crate::archs::ArchModel::weight_trace`] for the sampled stream
+//! (dense rows for TC, 4:8 metadata for STC, grouped/whole-matrix SDC for
+//! VEGETA/HighLight, bitmap for RM-STC, DDC for TB-STC, CSR for SGCN),
+//! while the explicit [`FormatOverride`]s (codec ablation, quantization
+//! study) are applied here, uniformly.
 //!
 //! Activation (B) and output (D) traffic are identical across
 //! architectures (dense streams), so format differences show up purely in
@@ -18,9 +17,10 @@
 //! layer size.
 
 use tbstc_dram::{DramConfig, DramModel};
-use tbstc_formats::{Csr, Ddc, Sdc};
+use tbstc_formats::{Csr, Sdc};
 
 use crate::arch::Arch;
+use crate::archs::{self, WeightTrace};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
 
@@ -83,9 +83,9 @@ pub fn simulate_memory(
     };
 
     // --- Weight stream: replay the sampled trace, scale up. ---
-    let (trace, _stored_sampled): (Vec<(u64, u64)>, u64) = a_trace(arch, layer, fmt);
+    let trace = a_trace(arch, layer, fmt);
     let mut dram = DramModel::new(dram_cfg);
-    let a_res = dram.replay(trace.iter().copied());
+    let a_res = dram.replay(trace.requests.iter().copied());
     let ws = layer.weight_scale();
     let a_cycles = (a_res.cycles as f64 * ws).ceil() as u64;
     let a_energy = a_res.energy_pj * ws;
@@ -129,14 +129,10 @@ pub fn simulate_memory(
 
 /// The information content of the sampled weight stream: the bytes any
 /// format must move at minimum (values + one index per non-zero; the full
-/// matrix for dense).
+/// matrix when the architecture streams dense rows for this layer/format).
 fn info_bytes(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> f64 {
     let w = layer.sampled();
-    if arch == Arch::Tc
-        || (layer.tbs().is_none()
-            && fmt == FormatOverride::Native
-            && matches!(arch, Arch::TbStc | Arch::DvpeFan))
-    {
+    if archs::model(arch).dense_info_stream(layer, fmt) {
         return w.len() as f64 * 2.0;
     }
     if fmt == FormatOverride::Int8 {
@@ -145,107 +141,23 @@ fn info_bytes(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> f64 {
     w.count_nonzeros() as f64 * 3.0
 }
 
-/// Builds the sampled weight-stream trace for an architecture (requests as
-/// `(addr, bytes)`), plus the stored byte count.
-fn a_trace(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> (Vec<(u64, u64)>, u64) {
+/// Builds the sampled weight-stream trace for an architecture: the
+/// override formats here, the native format from the registered model.
+fn a_trace(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> WeightTrace {
     let w = layer.sampled();
-    let to_pairs = |t: tbstc_formats::AccessTrace| -> (Vec<(u64, u64)>, u64) {
-        let useful = t.total_bytes();
-        (
-            t.requests().iter().map(|r| (r.addr, r.bytes)).collect(),
-            useful,
-        )
-    };
-
     match fmt {
-        FormatOverride::Sdc => return to_pairs(Sdc::encode(w).access_trace()),
-        FormatOverride::Csr => return to_pairs(Csr::encode(w).block_access_trace(8, 8)),
+        FormatOverride::Sdc => WeightTrace::from_access_trace(Sdc::encode(w).access_trace()),
+        FormatOverride::Csr => {
+            WeightTrace::from_access_trace(Csr::encode(w).block_access_trace(8, 8))
+        }
         FormatOverride::Int8 => {
             // DDC layout with 1-byte values: info words + nnz × 1.5 bytes.
             let blocks = (w.rows().div_ceil(8) * w.cols().div_ceil(8)) as u64;
             let bytes = blocks * 2 + (w.count_nonzeros() as u64 * 3).div_ceil(2);
-            return (chunked_stream(bytes), bytes);
+            WeightTrace::sequential(bytes)
         }
-        FormatOverride::Native => {}
+        FormatOverride::Native => archs::model(arch).weight_trace(layer),
     }
-
-    match arch {
-        // Dense rows, 2 bytes per element, sequential row requests.
-        Arch::Tc => {
-            let row_bytes = w.cols() as u64 * 2;
-            let trace: Vec<(u64, u64)> = (0..w.rows() as u64)
-                .map(|r| (r * row_bytes, row_bytes))
-                .collect();
-            let useful = row_bytes * w.rows() as u64;
-            (trace, useful)
-        }
-        // 4:8 values + 2-bit position metadata, perfectly aligned.
-        Arch::Stc => {
-            let nnz = w.count_nonzeros() as u64;
-            let bytes = nnz * 2 + nnz / 4;
-            (chunked_stream(bytes), bytes)
-        }
-        // Single-dimensional compression aligned per co-scheduled 8-row
-        // group (VEGETA pads each group to its own max row population —
-        // less redundant than whole-matrix alignment, still padded on
-        // heterogeneous rows).
-        Arch::Vegeta => grouped_sdc_trace(w, 8),
-        // HighLight's uniform hierarchical ratio keeps rows homogeneous:
-        // whole-matrix SDC alignment pads almost nothing.
-        Arch::Highlight => to_pairs(Sdc::encode(w).access_trace()),
-        // Bitmap + packed values (RM-STC's row-merge consumes streams).
-        Arch::RmStc => {
-            let nnz = w.count_nonzeros() as u64;
-            let bitmap = (w.len() as u64).div_ceil(8);
-            let bytes = nnz * 2 + bitmap;
-            (chunked_stream(bytes), bytes)
-        }
-        // CSR stream with per-element indices.
-        Arch::Sgcn => to_pairs(Csr::encode(w).streaming_trace()),
-        // Dual-dimensional compression; non-prunable layers run dense rows.
-        Arch::TbStc | Arch::DvpeFan => match layer.tbs() {
-            Some(tbs) => to_pairs(Ddc::encode(w, tbs).access_trace()),
-            None => {
-                let bytes = w.len() as u64 * 2;
-                (chunked_stream(bytes), bytes)
-            }
-        },
-    }
-}
-
-/// SDC aligned per `group`-row window: each window stores its rows padded
-/// to the window's max population (value + 1-byte index per slot),
-/// sequentially.
-fn grouped_sdc_trace(w: &tbstc_matrix::Matrix, group: usize) -> (Vec<(u64, u64)>, u64) {
-    let mut trace = Vec::new();
-    let mut addr = 0u64;
-    for g0 in (0..w.rows()).step_by(group) {
-        let rows = (g0..(g0 + group).min(w.rows())).collect::<Vec<_>>();
-        let max_nnz = rows
-            .iter()
-            .map(|&r| w.row(r).iter().filter(|&&x| x != 0.0).count())
-            .max()
-            .unwrap_or(0) as u64;
-        let bytes = rows.len() as u64 * max_nnz * 3; // fp16 value + index
-        if bytes > 0 {
-            trace.push((addr, bytes));
-            addr += bytes;
-        }
-    }
-    (trace, addr)
-}
-
-/// A sequential stream of `bytes` split into row-buffer-friendly chunks.
-fn chunked_stream(bytes: u64) -> Vec<(u64, u64)> {
-    const CHUNK: u64 = 256;
-    let mut out = Vec::with_capacity((bytes / CHUNK + 1) as usize);
-    let mut addr = 0;
-    while addr < bytes {
-        let len = CHUNK.min(bytes - addr);
-        out.push((addr, len));
-        addr += len;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -368,14 +280,6 @@ mod tests {
         let rb = simulate_memory(Arch::TbStc, &lb, &cfg, FormatOverride::Native);
         let ratio = rb.a_bytes / rs.a_bytes;
         assert!((3.5..4.5).contains(&ratio), "{ratio}");
-    }
-
-    #[test]
-    fn chunked_stream_covers_exactly() {
-        let t = chunked_stream(1000);
-        let total: u64 = t.iter().map(|&(_, b)| b).sum();
-        assert_eq!(total, 1000);
-        assert!(t.windows(2).all(|w| w[1].0 == w[0].0 + w[0].1));
     }
 }
 

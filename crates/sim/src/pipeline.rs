@@ -144,7 +144,7 @@ pub fn simulate_model_layer(
 /// (scaled to real size). Only DDC-consuming architectures convert, and
 /// only independent-dimension blocks need it (Fig. 9(a) vs 9(b)).
 fn codec_cycles(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> u64 {
-    if !matches!(arch, Arch::TbStc | Arch::DvpeFan)
+    if !crate::archs::model(arch).consumes_ddc()
         || !matches!(fmt, FormatOverride::Native | FormatOverride::Int8)
     {
         return 0;

@@ -1,0 +1,104 @@
+//! Repo lint: variant-level dispatch over `Arch` (match arms or
+//! or-patterns naming a variant) is only allowed inside
+//! `crates/sim/src/archs/` — everywhere else must go through the
+//! registry. The CI "Arch dispatch lint" grep step enforces the same
+//! rule outside `cargo test`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const VARIANTS: [&str; 8] = [
+    "Tc",
+    "Stc",
+    "Vegeta",
+    "Highlight",
+    "RmStc",
+    "TbStc",
+    "DvpeFan",
+    "Sgcn",
+];
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Does this line dispatch on an `Arch` variant? True when `Arch::<V>` is
+/// followed (after whitespace) by `=>` or a `|` or-pattern separator.
+fn dispatches(line: &str) -> bool {
+    for v in VARIANTS {
+        let needle = format!("Arch::{v}");
+        let mut from = 0;
+        while let Some(i) = line[from..].find(&needle) {
+            let after = &line[from + i + needle.len()..];
+            // Don't let `TbStc` match inside `TbStcSomething`.
+            let clean_end = after
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            let rest = after.trim_start();
+            if clean_end && (rest.starts_with("=>") || rest.starts_with('|')) {
+                return true;
+            }
+            from += i + needle.len();
+        }
+    }
+    false
+}
+
+#[test]
+fn arch_dispatch_lint() {
+    // crates/sim/tests -> crates/sim -> crates -> workspace root
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let crates = workspace.join("crates");
+    assert!(crates.is_dir(), "no crates/ at {}", crates.display());
+
+    let mut offenders = Vec::new();
+    for crate_dir in fs::read_dir(&crates).expect("read crates/").flatten() {
+        let src = crate_dir.path().join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files);
+        for file in files {
+            if file.starts_with(crates.join("sim/src/archs")) {
+                continue;
+            }
+            let text = fs::read_to_string(&file).expect("read source file");
+            for (no, line) in text.lines().enumerate() {
+                if dispatches(line) {
+                    offenders.push(format!("{}:{}: {}", file.display(), no + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "Arch variant dispatch outside crates/sim/src/archs/ — route through \
+         the ArchModel registry instead:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn lint_pattern_catches_dispatch_shapes() {
+    assert!(dispatches("Arch::Tc => BlockWork {"));
+    assert!(dispatches("    Arch::TbStc | Arch::DvpeFan => {"));
+    assert!(dispatches("matches!(arch, Arch::TbStc | Arch::DvpeFan)"));
+    // Non-dispatch uses stay legal.
+    assert!(!dispatches("let a = Arch::TbStc;"));
+    assert!(!dispatches("[Arch::Tc, Arch::Stc]"));
+    assert!(!dispatches("arch == Arch::Sgcn"));
+    assert!(!dispatches("Arch::TbStcLike => x"));
+}

@@ -1,0 +1,22 @@
+//! Keeps the README "Architectures" table honest: it must contain,
+//! verbatim, the table rendered from the architecture registry. When an
+//! `ArchModel` identity changes, re-paste the output of
+//! `archs::architecture_table_markdown()` into README.md.
+
+use std::path::Path;
+
+#[test]
+fn readme_architecture_table_matches_registry() {
+    let readme_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("README.md");
+    let readme = std::fs::read_to_string(&readme_path).expect("read README.md");
+    let table = tbstc_sim::archs::architecture_table_markdown();
+    assert!(
+        readme.contains(&table),
+        "README.md's Architectures table is out of sync with the registry.\n\
+         Replace it with:\n\n{table}"
+    );
+}
