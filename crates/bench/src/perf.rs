@@ -9,8 +9,10 @@
 //! against `tbstc-serve` adds end-to-end server throughput and the cache
 //! hit rate. A per-architecture `simulate_layer` sweep times the full
 //! pipeline once per registry entry, so registry-dispatch regressions show
-//! up per baseline. The report is written as JSON (hand-rolled; the
-//! workspace is offline and carries no serde) to `BENCH_PR4.json`.
+//! up per baseline. A full `tbstc-lint` workspace run is timed so the
+//! static-analysis pass stays fast enough for CI and pre-commit use. The
+//! report is written as JSON (hand-rolled; the workspace is offline and
+//! carries no serde) to `BENCH_PR5.json`.
 
 use std::time::Instant;
 
@@ -61,7 +63,7 @@ pub struct ServeStats {
     pub cache_hit_rate: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR4.json`.
+/// The harness output, serialized to `BENCH_PR5.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -84,6 +86,8 @@ pub struct PerfReport {
     pub simulate_layer_by_arch: Vec<(&'static str, Timing)>,
     /// Whether the parallel GEMM reproduced the serial result bit for bit.
     pub parallel_gemm_bit_identical: bool,
+    /// Full `tbstc-lint` run over every workspace source file.
+    pub lint: Timing,
     /// Loopback server throughput and cache behaviour.
     pub serve: ServeStats,
 }
@@ -104,7 +108,7 @@ impl PerfReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"bench\": \"PR4 registry hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"parallel_gemm_bit_identical\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"PR5 lint + registry hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
@@ -113,6 +117,7 @@ impl PerfReport {
             timing(&self.sparsify),
             timing(&self.simulate_layer),
             self.parallel_gemm_bit_identical,
+            timing(&self.lint),
             self.serve.requests,
             self.serve.throughput_rps,
             self.serve.cache_hit_rate,
@@ -457,6 +462,22 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
     );
     let parallel_gemm_bit_identical = serial == parallel;
 
+    // A full static-analysis pass over the workspace's own sources. The
+    // bench crate sits at crates/bench, so the root is two levels up.
+    let lint_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    let lint = time_us(cfg.iters, || {
+        std::hint::black_box(tbstc_lint::lint_workspace(&tbstc_lint::LintOptions {
+            root: lint_root.clone(),
+            rules: None,
+            baseline: None,
+        }))
+        .ok();
+    });
+
     let serve = measure_serve(cfg.seed);
 
     PerfReport {
@@ -469,6 +490,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         simulate_layer,
         simulate_layer_by_arch,
         parallel_gemm_bit_identical,
+        lint,
         serve,
     }
 }
@@ -493,6 +515,7 @@ mod tests {
             simulate_layer: t,
             simulate_layer_by_arch: vec![("tc", t), ("tb-stc", t)],
             parallel_gemm_bit_identical: true,
+            lint: t,
             serve: ServeStats {
                 requests: 12,
                 throughput_rps: 80.0,
@@ -504,6 +527,7 @@ mod tests {
         assert!(json.contains("\"simulate_layer_by_arch_us\""));
         assert!(json.contains("\"tb-stc\":"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
+        assert!(json.contains("\"lint_workspace_us\""));
         assert!(json.contains("\"serve_requests\": 12"));
         assert!(json.contains("\"serve_cache_hit_rate\": 0.750"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -520,6 +544,11 @@ mod tests {
             .iter()
             .all(|(_, t)| t.best_us > 0.0));
         assert!(r.parallel_gemm_bit_identical);
+        assert!(
+            r.lint.best_us > 0.0 && r.lint.best_us < 2e6,
+            "full lint run must stay under 2 s, got {} us",
+            r.lint.best_us
+        );
         assert_eq!(r.serve.requests, 12);
         assert!(r.serve.throughput_rps > 0.0);
         assert!(

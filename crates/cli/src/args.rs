@@ -55,7 +55,9 @@ impl ParsedArgs {
                 return Err(ArgError("empty option name".into()));
             }
             let value = match it.peek() {
-                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                Some(next) if !next.starts_with("--") => {
+                    it.next().unwrap_or_else(|| "true".to_string())
+                }
                 _ => "true".to_string(),
             };
             if options.insert(key.clone(), value).is_some() {

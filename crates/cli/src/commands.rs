@@ -29,7 +29,9 @@ USAGE:
                      [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
                      [--oneshot --job FILE]
   tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR4.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR5.json]
+  tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
+                     [--rules a,b] [--root DIR]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
@@ -58,8 +60,17 @@ body the server returns, instead of the human tables.
 
 `perf` times the numeric hot paths (train step old vs new kernels,
 Algorithm-1 sparsify, layer simulation) plus the serve loopback
-(throughput and cache hit-rate) and writes a JSON report to --out.
---jobs caps the GEMM worker pool (sets TBSTC_JOBS).
+(throughput and cache hit-rate) and the workspace lint pass, and
+writes a JSON report to --out. --jobs caps the GEMM worker pool
+(sets TBSTC_JOBS).
+
+`lint` runs the workspace's own static analyzer (tbstc-lint) over
+crates/*/src: panic-surface, determinism, lock-discipline,
+arch-dispatch, and crate-hygiene rules with file:line:col output.
+Errors always fail; warnings fail only with --deny-warnings (CI's
+mode). Silence a finding in place with a
+`// tbstc-lint: allow(<rule>) — reason` comment, or grandfather it
+with --update-baseline (rewrites lint-baseline.txt at the root).
 ";
 
 /// Dispatches a parsed command line.
@@ -76,6 +87,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "serve" => serve(args),
         "submit" => submit(args),
         "perf" => perf(args),
+        "lint" => lint(args),
         "table3" => Ok(table3()),
         "models" => Ok(models()),
         other => Err(ArgError(format!(
@@ -376,10 +388,9 @@ fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
     )
     .ok();
     for (job, res) in jobs.iter().zip(&report.results).skip(models.len()) {
-        let mi = models
-            .iter()
-            .position(|m| *m == job.model)
-            .expect("model in list");
+        let Some(mi) = models.iter().position(|m| *m == job.model) else {
+            continue; // grid jobs come from `models`; nothing to anchor otherwise
+        };
         let dense = &report.results[mi];
         writeln!(
             out,
@@ -541,7 +552,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let iters: usize = args.num_or("iters", 20)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
-    let out_path = args.str_or("out", "BENCH_PR4.json");
+    let out_path = args.str_or("out", "BENCH_PR5.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -588,6 +599,12 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     .ok();
     writeln!(
         out,
+        "  lint workspace  : {:>9.1} us (full static-analysis pass)",
+        report.lint.best_us
+    )
+    .ok();
+    writeln!(
+        out,
         "  serve loopback  : {:>9.1} req/s over {} submissions ({:.0}% cache hits)",
         report.serve.throughput_rps,
         report.serve.requests,
@@ -596,6 +613,59 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     .ok();
     writeln!(out, "  report written to {out_path}").ok();
     Ok(out)
+}
+
+fn lint(args: &ParsedArgs) -> Result<String, ArgError> {
+    let root = match args.options.get("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            // Prefer the invocation directory when it looks like a
+            // workspace; fall back to this crate's own checkout so the
+            // binary works from anywhere in CI.
+            let cwd = std::env::current_dir().map_err(|e| ArgError(e.to_string()))?;
+            if cwd.join("crates").is_dir() {
+                cwd
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+            }
+        }
+    };
+    let rules = args
+        .options
+        .get("rules")
+        .map(|r| r.split(',').map(|s| s.trim().to_string()).collect());
+    let opts = tbstc_lint::LintOptions {
+        root: root.clone(),
+        rules,
+        baseline: None,
+    };
+    let report = tbstc_lint::lint_workspace(&opts).map_err(ArgError)?;
+
+    if args.str_or("update-baseline", "false") == "true" {
+        let text = tbstc_lint::render_baseline(&report, &|rel| {
+            std::fs::read_to_string(root.join(rel)).ok()
+        });
+        let path = root.join(tbstc_lint::BASELINE_FILE);
+        std::fs::write(&path, text)
+            .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+        return Ok(format!(
+            "baseline rewritten: {} entries in {}\n",
+            report.findings.len() + report.baselined.len(),
+            path.display()
+        ));
+    }
+
+    let deny = args.str_or("deny-warnings", "false") == "true";
+    let rendered = if args.str_or("json", "false") == "true" {
+        tbstc_lint::render_json(&report)
+    } else {
+        tbstc_lint::render_human(&report, deny)
+    };
+    if report.fails(deny) {
+        Err(ArgError(format!("\n{rendered}")))
+    } else {
+        Ok(rendered)
+    }
 }
 
 fn table3() -> String {

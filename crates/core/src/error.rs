@@ -21,6 +21,9 @@ pub enum Error {
     Io(String),
     /// An HTTP request/response violated the protocol subset we speak.
     Http(String),
+    /// An internal invariant failed (poisoned lock, panicking job);
+    /// the serve layer maps this to HTTP 500 instead of aborting.
+    Internal(String),
 }
 
 impl From<std::io::Error> for Error {
@@ -40,6 +43,7 @@ impl std::fmt::Display for Error {
             Error::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
             Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::Http(msg) => write!(f, "http error: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -214,7 +214,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), Error> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), Error> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -250,7 +250,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, Error> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.depth += 1;
         let mut out = Vec::new();
         self.skip_ws();
@@ -276,7 +276,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, Error> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.depth += 1;
         let mut out = BTreeMap::new();
         self.skip_ws();
@@ -289,7 +289,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             out.insert(key, val);
@@ -307,7 +307,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {

@@ -1,0 +1,446 @@
+//! A token-level lexer for Rust source, built for linting rather than
+//! compilation.
+//!
+//! The lexer's one job is to be *right about what is code and what is
+//! not*: raw strings (`r#"…"#`, any number of hashes, with `b`/`br`
+//! prefixes), nested block comments (`/* /* */ */`), char literals vs.
+//! lifetimes (`'a'` vs `'a`), doc comments, and `//` sequences inside
+//! string literals must never confuse a rule into flagging text that the
+//! compiler would treat as data. Everything else — numbers, identifiers,
+//! punctuation — is lexed loosely; rules match token *sequences*, not
+//! grammar.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character literal: `'x'`, `'\n'`, `'\''`.
+    CharLit,
+    /// A string literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#`.
+    StrLit,
+    /// A numeric literal (lexed loosely: `0xFF`, `1_000`, `1.5e-3`).
+    Num,
+    /// `// …` to end of line. `is_doc` marks `///` and `//!`.
+    LineComment,
+    /// `/* … */`, nesting tracked. `is_doc` marks `/**` and `/*!`.
+    BlockComment,
+    /// `::`, `=>`, or a single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+    /// Whether a comment token is a doc comment (`///`, `//!`, `/**`,
+    /// `/*!`). Always `false` for non-comments.
+    pub is_doc: bool,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals and
+/// comments extend to end-of-input (lint input may be mid-edit), and
+/// bytes the lexer does not understand become single-char `Punct`s.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let (kind, is_doc) = self.next_kind();
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+                is_doc,
+            });
+        }
+        out
+    }
+
+    fn next_kind(&mut self) -> (TokKind, bool) {
+        let b = self.peek(0);
+        // Comments first: they swallow arbitrary text.
+        if b == b'/' && self.peek(1) == b'/' {
+            return self.line_comment();
+        }
+        if b == b'/' && self.peek(1) == b'*' {
+            return self.block_comment();
+        }
+        // Raw strings and raw identifiers share the `r`/`br` prefix.
+        if (b == b'r' && matches!(self.peek(1), b'"' | b'#'))
+            || (b == b'b' && self.peek(1) == b'r' && matches!(self.peek(2), b'"' | b'#'))
+        {
+            if let Some(kind) = self.raw_string_or_ident() {
+                return (kind, false);
+            }
+        }
+        if b == b'"' || (b == b'b' && self.peek(1) == b'"') {
+            if b == b'b' {
+                self.bump();
+            }
+            return (self.quoted_string(), false);
+        }
+        if b == b'\'' {
+            return (self.char_or_lifetime(), false);
+        }
+        if b.is_ascii_digit() {
+            return (self.number(), false);
+        }
+        if b == b'_' || b.is_ascii_alphabetic() {
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+            return (TokKind::Ident, false);
+        }
+        // Multi-char puncts the rules care about; everything else single.
+        if (b == b':' && self.peek(1) == b':') || (b == b'=' && self.peek(1) == b'>') {
+            self.bump();
+            self.bump();
+            return (TokKind::Punct, false);
+        }
+        self.bump();
+        (TokKind::Punct, false)
+    }
+
+    fn line_comment(&mut self) -> (TokKind, bool) {
+        // `///` and `//!` are docs, but `////…` is a plain comment.
+        let is_doc = (self.peek(2) == b'/' && self.peek(3) != b'/') || self.peek(2) == b'!';
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        (TokKind::LineComment, is_doc)
+    }
+
+    fn block_comment(&mut self) -> (TokKind, bool) {
+        // `/**` (not `/***` or the empty `/**/`) and `/*!` are docs.
+        let is_doc = (self.peek(2) == b'*' && self.peek(3) != b'*' && self.peek(3) != b'/')
+            || self.peek(2) == b'!';
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        (TokKind::BlockComment, is_doc)
+    }
+
+    /// Lexes `r"…"`, `r#…#"…"#…#`, `br"…"` — or backtracks to a raw
+    /// identifier (`r#match`) when the hashes are not followed by a quote.
+    fn raw_string_or_ident(&mut self) -> Option<TokKind> {
+        let rollback = (self.pos, self.line, self.col);
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r#ident` — rewind and let the ident path lex it whole.
+            (self.pos, self.line, self.col) = rollback;
+            if hashes >= 1 {
+                self.bump(); // r
+                self.bump(); // #
+                while {
+                    let c = self.peek(0);
+                    c == b'_' || c.is_ascii_alphanumeric()
+                } {
+                    self.bump();
+                }
+                return Some(TokKind::Ident);
+            }
+            return None;
+        }
+        self.bump(); // opening quote
+        loop {
+            if self.pos >= self.src.len() {
+                break; // unterminated: extend to EOF
+            }
+            if self.bump() == b'"' {
+                let mut closing = 0usize;
+                while closing < hashes && self.peek(0) == b'#' {
+                    closing += 1;
+                    self.bump();
+                }
+                if closing == hashes {
+                    break;
+                }
+            }
+        }
+        Some(TokKind::StrLit)
+    }
+
+    fn quoted_string(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump(); // escaped char, including \" and \\
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokKind::StrLit
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): after the quote,
+    /// an escape is always a char; otherwise it is a char only when a
+    /// closing quote follows exactly one character later.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump(); // `'\u{1F600}'`-style escapes
+            }
+            self.bump();
+            return TokKind::CharLit;
+        }
+        // Multibyte UTF-8 chars: find where the next char ends.
+        let mut len = 1usize;
+        while len < 4 && (self.peek(len) & 0b1100_0000) == 0b1000_0000 {
+            len += 1;
+        }
+        if self.peek(len) == b'\'' {
+            for _ in 0..=len {
+                self.bump();
+            }
+            return TokKind::CharLit;
+        }
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.bump();
+        }
+        TokKind::Lifetime
+    }
+
+    fn number(&mut self) -> TokKind {
+        self.bump();
+        loop {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump(); // `1.5`, but not `1..n` or `1.method()`
+            } else if (c == b'+' || c == b'-')
+                && matches!(self.src.get(self.pos - 1), Some(b'e' | b'E'))
+            {
+                self.bump(); // `1e-3`
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("let x = a.unwrap();");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn double_colon_and_fat_arrow_are_single_tokens() {
+        let ks = kinds("Arch::Tc => 1");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["Arch", "::", "Tc", "=>", "1"]);
+    }
+
+    #[test]
+    fn raw_string_with_unwrap_inside_is_one_string() {
+        let src = r##"let s = r#"x.unwrap() // not code"#; s"##;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("unwrap")));
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Ident).count(),
+            3, // let, s, s — and no `unwrap`
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let ks = kinds("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts.first().copied(), Some("a"));
+        assert_eq!(texts.last().copied(), Some("b"));
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for lit in ["'\\''", "'\\\\'", "'\\n'", "'\\u{1F600}'"] {
+            let ks = kinds(lit);
+            assert_eq!(ks.len(), 1, "{lit}");
+            assert_eq!(ks[0].0, TokKind::CharLit, "{lit}");
+        }
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let ks = kinds(r#"let url = "https://example.com"; x"#);
+        assert!(ks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(ks.iter().any(|(_, t)| t.contains("example.com")));
+        assert_eq!(ks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// not doc\n/** blockdoc */ /* plain */");
+        let docs: Vec<bool> = toks.iter().map(|t| t.is_doc).collect();
+        assert_eq!(docs, [true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ks = kinds("let r#match = 1;");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn byte_and_hashed_raw_strings() {
+        for src in [
+            "br#\"//bytes \\ \"#",
+            "r\"plain raw \\ \"",
+            "r##\"has \"# inside\"##",
+            "b\"bytes\\\"more\"",
+        ] {
+            let ks = kinds(src);
+            assert_eq!(ks.len(), 1, "{src} -> {ks:?}");
+            assert_eq!(ks[0].0, TokKind::StrLit, "{src}");
+        }
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_loop() {
+        for src in ["\"open", "r#\"open", "/* open /* deeper", "'"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  bb\n\tc");
+        let pos: Vec<(u32, u32)> = toks.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(pos, [(1, 1), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn numbers_lex_loosely() {
+        for src in ["0xFF", "1_000", "1.5e-3", "3usize", "1e6"] {
+            let ks = kinds(src);
+            assert_eq!(ks.len(), 1, "{src} -> {ks:?}");
+            assert_eq!(ks[0].0, TokKind::Num, "{src}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `tbstc-lint` — the workspace's own static-analysis engine.
+//!
+//! The repo's core guarantees — bit-reproducible results, a panic-free
+//! serve request path, contained `unsafe` — were previously enforced by
+//! a CI `grep` and convention. This crate replaces both with a real
+//! (if small) analyzer: a token-level Rust [`lexer`] that cannot be
+//! fooled by raw strings, nested block comments, or `//` inside string
+//! literals, and an [`engine`] that runs five [`rules`] over every
+//! `crates/*/src/**/*.rs` file, producing `file:line:col` diagnostics
+//! with severities, inline `// tbstc-lint: allow(<rule>)` suppressions,
+//! and a checked-in baseline for grandfathered findings.
+//!
+//! The crate has zero dependencies (it hand-rolls its JSON output) so
+//! every other crate — including `tbstc-bench`, which times it — can
+//! depend on it without cycles.
+//!
+//! Run it as `tbstc-cli lint [--deny-warnings] [--json]`; see DESIGN.md
+//! §10 for the rule-authoring guide.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{
+    lint_source, lint_workspace, render_baseline, render_human, render_json, Finding, LintOptions,
+    LintReport, Severity, BASELINE_FILE,
+};

@@ -1,0 +1,432 @@
+//! The five workspace rules. Each rule is a pure function over a
+//! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
+//! exclusion, suppressions, and the baseline afterwards, so rules here
+//! report every syntactic match they see.
+
+use crate::engine::{FileCtx, Finding, Severity};
+use crate::lexer::{TokKind, Token};
+
+/// A named check with a fixed severity story (rules may emit both
+/// severities; the table's `check` decides per finding).
+pub struct Rule {
+    /// Kebab-case rule name, used in diagnostics, `allow(...)`, and the
+    /// baseline file.
+    pub name: &'static str,
+    /// The check itself.
+    pub check: fn(&FileCtx<'_>, &mut Vec<Finding>),
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule {
+        name: "panic-surface",
+        check: panic_surface,
+    },
+    Rule {
+        name: "determinism",
+        check: determinism,
+    },
+    Rule {
+        name: "lock-discipline",
+        check: lock_discipline,
+    },
+    Rule {
+        name: "arch-dispatch",
+        check: arch_dispatch,
+    },
+    Rule {
+        name: "crate-hygiene",
+        check: crate_hygiene,
+    },
+];
+
+fn finding(
+    rule: &'static str,
+    severity: Severity,
+    ctx: &FileCtx<'_>,
+    t: &Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        severity,
+        path: ctx.rel_path.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+// --- panic-surface ------------------------------------------------------
+
+/// Keywords that may legally precede `[` without it being an index
+/// expression (array literals and the like).
+const PRE_BRACKET_KEYWORDS: &[&str] = &[
+    "return", "break", "else", "in", "mut", "ref", "const", "static", "as", "move", "yield",
+];
+
+/// `.unwrap()` / `.expect()` / `panic!`-family macros anywhere, plus
+/// slice indexing on the serve request path. Warning severity: existing
+/// debt is baselined, new debt fails `--deny-warnings`.
+fn panic_surface(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            let name = ctx.text(t);
+            if (name == "unwrap" || name == "expect")
+                && i >= 1
+                && ctx.code_text(i - 1) == "."
+                && ctx.code_text(i + 1) == "("
+            {
+                // `.lock().unwrap()` belongs to lock-discipline; don't
+                // double-report.
+                let after_lock = i >= 4
+                    && ctx.code_is_ident(i - 4, "lock")
+                    && ctx.code_text(i - 3) == "("
+                    && ctx.code_text(i - 2) == ")";
+                if !after_lock {
+                    out.push(finding(
+                        "panic-surface",
+                        Severity::Warning,
+                        ctx,
+                        t,
+                        format!(
+                            ".{name}() can panic; return a typed error, use \
+                             unwrap_or_else, or suppress with a reason"
+                        ),
+                    ));
+                }
+            }
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && ctx.code_text(i + 1) == "!"
+            {
+                out.push(finding(
+                    "panic-surface",
+                    Severity::Warning,
+                    ctx,
+                    t,
+                    format!("{name}! aborts the worker; return a typed error instead"),
+                ));
+            }
+        }
+        // Index expressions only on the serve request path: `expr[...]`
+        // where the previous code token ends an expression.
+        if ctx.crate_name == "serve" && t.kind == TokKind::Punct && ctx.text(t) == "[" && i >= 1 {
+            let prev = &code[i - 1];
+            let prev_text = ctx.text(prev);
+            let indexes = match prev.kind {
+                TokKind::Ident => !PRE_BRACKET_KEYWORDS.contains(&prev_text),
+                TokKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+                _ => false,
+            };
+            if indexes {
+                out.push(finding(
+                    "panic-surface",
+                    Severity::Warning,
+                    ctx,
+                    t,
+                    "slice indexing can panic on the request path; use .get(..) \
+                     and map None to an HTTP error"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// --- determinism --------------------------------------------------------
+
+/// Hash-ordered containers and wall-clock/entropy sources. Warnings:
+/// call sites where ordering provably never escapes carry a suppression
+/// explaining why.
+fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match ctx.text(t) {
+            name @ ("HashMap" | "HashSet") => out.push(finding(
+                "determinism",
+                Severity::Warning,
+                ctx,
+                t,
+                format!(
+                    "{name} iteration order is nondeterministic; use BTree{} or \
+                     suppress with a reason why ordering never reaches output",
+                    &name[4..]
+                ),
+            )),
+            "SystemTime" if ctx.code_text(i + 1) == "::" && ctx.code_is_ident(i + 2, "now") => out
+                .push(finding(
+                    "determinism",
+                    Severity::Warning,
+                    ctx,
+                    t,
+                    "SystemTime::now() makes results time-dependent; thread a \
+                     clock or timestamp in from the caller"
+                        .to_string(),
+                )),
+            name @ ("thread_rng" | "from_entropy") => out.push(finding(
+                "determinism",
+                Severity::Warning,
+                ctx,
+                t,
+                format!("{name} draws unseeded entropy; derive the RNG from an explicit seed"),
+            )),
+            _ => {}
+        }
+    }
+}
+
+// --- lock-discipline ----------------------------------------------------
+
+/// Blocking calls that must not run while a `MutexGuard` is live.
+const IO_IDENTS: &[&str] = &[
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "recv",
+    "recv_timeout",
+    "sync_all",
+    "sync_data",
+    "copy",
+    "accept",
+];
+
+/// (a) `.lock().unwrap()` / `.lock().expect()` anywhere — an error:
+/// poisoning must be handled (recover or surface HTTP 500), never
+/// propagated as a panic. (b) In `crates/serve`/`crates/runner`, a
+/// heuristic: an identifier bound from a `.lock()` call is treated as a
+/// live guard until its scope closes or it is `drop`ped; `.`-method I/O
+/// or channel calls inside that window are warnings.
+fn lock_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && ctx.text(t) == "lock"
+            && i >= 1
+            && ctx.code_text(i - 1) == "."
+            && ctx.code_text(i + 1) == "("
+            && ctx.code_text(i + 2) == ")"
+            && ctx.code_text(i + 3) == "."
+            && (ctx.code_is_ident(i + 4, "unwrap") || ctx.code_is_ident(i + 4, "expect"))
+        {
+            out.push(finding(
+                "lock-discipline",
+                Severity::Error,
+                ctx,
+                t,
+                ".lock().unwrap()/.expect() panics on poison; recover with \
+                 unwrap_or_else(PoisonError::into_inner) or map to an error"
+                    .to_string(),
+            ));
+        }
+    }
+
+    if ctx.crate_name != "serve" && ctx.crate_name != "runner" {
+        return;
+    }
+
+    struct Guard {
+        name: String,
+        depth: i32,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < code.len() {
+        let text = ctx.code_text(i);
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            "let" if code[i].kind == TokKind::Ident => {
+                // Scan the statement for a `.lock()` call; bind the first
+                // ident after `let` (skipping `mut`) as a guard if found.
+                let mut name = None;
+                let mut k = i + 1;
+                if ctx.code_is_ident(k, "mut") {
+                    k += 1;
+                }
+                if code.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+                    name = Some(ctx.code_text(k).to_string());
+                }
+                let mut nest = 0i32;
+                let mut locks = false;
+                let mut j = i + 1;
+                while j < code.len() {
+                    match ctx.code_text(j) {
+                        "{" | "(" | "[" => nest += 1,
+                        "}" | ")" | "]" => nest -= 1,
+                        ";" if nest <= 0 => break,
+                        "lock" if ctx.code_text(j.wrapping_sub(1)) == "." => locks = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if locks {
+                    if let Some(name) = name {
+                        guards.push(Guard { name, depth });
+                    }
+                }
+            }
+            "drop" if ctx.code_text(i + 1) == "(" => {
+                let dropped = ctx.code_text(i + 2).to_string();
+                guards.retain(|g| g.name != dropped);
+            }
+            _ => {
+                let t = &code[i];
+                if t.kind == TokKind::Ident
+                    && IO_IDENTS.contains(&text)
+                    && i >= 1
+                    && ctx.code_text(i - 1) == "."
+                    && ctx.code_text(i + 1) == "("
+                {
+                    if let Some(g) = guards.last() {
+                        out.push(finding(
+                            "lock-discipline",
+                            Severity::Warning,
+                            ctx,
+                            t,
+                            format!(
+                                ".{text}() while `{}` holds a lock guard blocks every \
+                                 other thread on that mutex; drop the guard first",
+                                g.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+// --- arch-dispatch ------------------------------------------------------
+
+/// The `Arch` enum's variants, mirrored from `crates/core`.
+const ARCH_VARIANTS: &[&str] = &[
+    "Tc",
+    "Stc",
+    "Vegeta",
+    "Highlight",
+    "RmStc",
+    "TbStc",
+    "DvpeFan",
+    "Sgcn",
+];
+
+/// Variant-level dispatch on `Arch` (a match arm or or-pattern naming a
+/// variant) outside `crates/sim/src/archs/` — everything else must go
+/// through the `ArchModel` registry so adding a baseline stays a
+/// one-module change. Error severity: this is the PR 4 CI grep, upgraded.
+fn arch_dispatch(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel_path.starts_with("crates/sim/src/archs/") {
+        return;
+    }
+    for (i, t) in ctx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.text(t) != "Arch" || ctx.code_text(i + 1) != "::" {
+            continue;
+        }
+        let variant = ctx.code_text(i + 2);
+        if !ARCH_VARIANTS.contains(&variant) {
+            continue;
+        }
+        let next = ctx.code_text(i + 3);
+        if next == "=>" || next == "|" {
+            out.push(finding(
+                "arch-dispatch",
+                Severity::Error,
+                ctx,
+                t,
+                format!(
+                    "dispatch on Arch::{variant} outside crates/sim/src/archs/; \
+                     route through the ArchModel registry"
+                ),
+            ));
+        }
+    }
+}
+
+// --- crate-hygiene ------------------------------------------------------
+
+/// Crate roots must pin down `unsafe`: `#![forbid(unsafe_code)]` or
+/// `#![deny(unsafe_code)]` at the top, and any `unsafe` keyword that
+/// does appear (under a scoped `#[allow]`) needs a `SAFETY:` comment
+/// within the five preceding lines.
+fn crate_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_crate_root {
+        let has_attr = has_unsafe_code_attr(ctx);
+        if !has_attr {
+            let at = ctx.code.first().cloned().unwrap_or(Token {
+                kind: TokKind::Punct,
+                start: 0,
+                end: 0,
+                line: 1,
+                col: 1,
+                is_doc: false,
+            });
+            out.push(finding(
+                "crate-hygiene",
+                Severity::Error,
+                ctx,
+                &at,
+                "crate root lacks #![forbid(unsafe_code)] (or #![deny(unsafe_code)] \
+                 when a module legitimately needs unsafe)"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // Comment lines that carry a SAFETY: justification (block comments
+    // cover every line they span).
+    let mut safety_lines: Vec<u32> = Vec::new();
+    for t in ctx.tokens {
+        if t.is_comment() && ctx.text(t).contains("SAFETY:") {
+            let span = ctx.text(t).matches('\n').count() as u32;
+            safety_lines.extend(t.line..=t.line + span);
+        }
+    }
+    for t in ctx.code {
+        if t.kind == TokKind::Ident && ctx.text(t) == "unsafe" {
+            let justified = safety_lines.iter().any(|&l| l <= t.line && l + 5 >= t.line);
+            if !justified {
+                out.push(finding(
+                    "crate-hygiene",
+                    Severity::Error,
+                    ctx,
+                    t,
+                    "unsafe without a SAFETY: comment in the preceding five lines".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Looks for the inner attribute `#![forbid(unsafe_code)]` /
+/// `#![deny(unsafe_code)]` anywhere in the file (crate roots put it at
+/// the top, but position is not what matters).
+fn has_unsafe_code_attr(ctx: &FileCtx<'_>) -> bool {
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if ctx.code_text(i) == "#"
+            && ctx.code_text(i + 1) == "!"
+            && ctx.code_text(i + 2) == "["
+            && (ctx.code_is_ident(i + 3, "forbid") || ctx.code_is_ident(i + 3, "deny"))
+            && ctx.code_text(i + 4) == "("
+            && ctx.code_is_ident(i + 5, "unsafe_code")
+            && ctx.code_text(i + 6) == ")"
+            && ctx.code_text(i + 7) == "]"
+        {
+            return true;
+        }
+    }
+    false
+}

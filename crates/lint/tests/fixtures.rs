@@ -1,0 +1,350 @@
+//! Fixture tests: seed one violation of each rule into a source snippet
+//! and assert the engine reports it at the right `file:line`, and that
+//! suppressions, test-code exclusion, and the baseline behave.
+
+use tbstc_lint::engine::{lint_source_rules, LintOptions};
+use tbstc_lint::{lint_source, lint_workspace, Finding, Severity};
+
+fn rules_at(findings: &[Finding], rule: &str) -> Vec<(u32, u32)> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.line, f.col))
+        .collect()
+}
+
+// --- panic-surface ------------------------------------------------------
+
+#[test]
+fn panic_surface_flags_unwrap_expect_and_macros() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a == 0 { panic!(\"boom\"); }
+    b
+}
+";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    assert_eq!(rules_at(&fs, "panic-surface"), [(2, 15), (3, 15), (4, 17)]);
+    assert!(fs.iter().all(|f| f.severity == Severity::Warning));
+}
+
+#[test]
+fn panic_surface_ignores_strings_comments_and_tests() {
+    let src = "\
+// a comment saying .unwrap() is bad
+fn f() -> &'static str {
+    \"call .unwrap() here\"
+}
+/// Docs may say panic! freely.
+fn g() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+    assert!(lint_source("crates/core/src/f.rs", src).is_empty());
+}
+
+#[test]
+fn panic_surface_indexing_only_fires_in_serve() {
+    let src = "\
+fn head(buf: &[u8], pos: usize) -> &[u8] {
+    &buf[..pos]
+}
+";
+    let serve = lint_source("crates/serve/src/f.rs", src);
+    assert_eq!(rules_at(&serve, "panic-surface"), [(2, 9)]);
+    assert!(lint_source("crates/core/src/f.rs", src).is_empty());
+
+    // Array literals and attributes are not index expressions.
+    let ok = "\
+#[derive(Clone)]
+struct S;
+fn g() -> [u8; 2] {
+    let a = [1u8, 2];
+    a
+}
+";
+    assert!(lint_source("crates/serve/src/g.rs", ok).is_empty());
+}
+
+// --- determinism --------------------------------------------------------
+
+#[test]
+fn determinism_flags_hash_containers_and_clock() {
+    let src = "\
+use std::collections::HashMap;
+fn f() {
+    let t = std::time::SystemTime::now();
+    let _ = (t, HashMap::<u32, u32>::new());
+}
+";
+    let fs = lint_source("crates/runner/src/f.rs", src);
+    let lines: Vec<u32> = fs
+        .iter()
+        .filter(|f| f.rule == "determinism")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(lines, [1, 3, 4]);
+}
+
+// --- lock-discipline ----------------------------------------------------
+
+#[test]
+fn lock_discipline_flags_lock_unwrap_as_error() {
+    let src = "\
+use std::sync::Mutex;
+fn f(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    let hits: Vec<&Finding> = fs.iter().filter(|f| f.rule == "lock-discipline").collect();
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].line, hits[0].severity), (3, Severity::Error));
+    // The unwrap itself is not double-reported by panic-surface.
+    assert!(rules_at(&fs, "panic-surface").is_empty());
+}
+
+#[test]
+fn lock_discipline_flags_guard_across_io_in_serve_only() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u32>, out: &mut dyn std::io::Write) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    out.write_all(b\"x\").ok();
+    drop(g);
+    out.write_all(b\"y\").ok();
+}
+";
+    let serve = lint_source("crates/serve/src/f.rs", src);
+    assert_eq!(rules_at(&serve, "lock-discipline"), [(3, 9)]);
+    // Outside serve/runner the guard heuristic is off.
+    assert!(rules_at(&lint_source("crates/sim/src/f.rs", src), "lock-discipline").is_empty());
+    // Scope exit also releases the guard.
+    let scoped = "\
+fn f(m: &std::sync::Mutex<u32>, out: &mut dyn std::io::Write) {
+    {
+        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = *g;
+    }
+    out.write_all(b\"y\").ok();
+}
+";
+    assert!(rules_at(
+        &lint_source("crates/serve/src/f.rs", scoped),
+        "lock-discipline"
+    )
+    .is_empty());
+}
+
+// --- arch-dispatch ------------------------------------------------------
+
+#[test]
+fn arch_dispatch_catches_dispatch_shapes() {
+    let flagged = [
+        "fn f(a: Arch) { match a { Arch::Tc => {} _ => {} } }",
+        "fn f(a: Arch) -> bool { matches!(a, Arch::TbStc | Arch::DvpeFan) }",
+    ];
+    for src in flagged {
+        let fs = lint_source("crates/runner/src/f.rs", src);
+        assert!(
+            fs.iter()
+                .any(|f| f.rule == "arch-dispatch" && f.severity == Severity::Error),
+            "expected a finding in {src:?}"
+        );
+    }
+    let legal = [
+        "fn f() { let a = Arch::TbStc; }",
+        "fn f() -> [Arch; 2] { [Arch::Tc, Arch::Stc] }",
+        "fn f(arch: Arch) -> bool { arch == Arch::Sgcn }",
+        "fn f(a: X) { match a { Arch::TbStcLike => {} } }",
+    ];
+    for src in legal {
+        let fs = lint_source("crates/runner/src/f.rs", src);
+        assert!(
+            rules_at(&fs, "arch-dispatch").is_empty(),
+            "false positive in {src:?}: {fs:?}"
+        );
+    }
+    // The archs/ directory itself is exempt.
+    let fs = lint_source(
+        "crates/sim/src/archs/tc.rs",
+        "fn f(a: Arch) { match a { Arch::Tc => {} _ => {} } }",
+    );
+    assert!(rules_at(&fs, "arch-dispatch").is_empty());
+}
+
+// --- crate-hygiene ------------------------------------------------------
+
+#[test]
+fn crate_hygiene_requires_forbid_unsafe_in_roots() {
+    let bare = "pub fn f() {}\n";
+    let fs = lint_source("crates/demo/src/lib.rs", bare);
+    assert_eq!(rules_at(&fs, "crate-hygiene"), [(1, 1)]);
+    // Non-root modules don't need the attribute.
+    assert!(lint_source("crates/demo/src/util.rs", bare).is_empty());
+    // Either forbid or deny satisfies the rule.
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(unsafe_code)]"] {
+        let src = format!("{attr}\npub fn f() {{}}\n");
+        assert!(lint_source("crates/demo/src/lib.rs", &src).is_empty());
+    }
+}
+
+#[test]
+fn crate_hygiene_requires_safety_comment_on_unsafe() {
+    let bad = "\
+#![deny(unsafe_code)]
+#[allow(unsafe_code)]
+fn f() {
+    unsafe { core::hint::unreachable_unchecked() }
+}
+";
+    let fs = lint_source("crates/demo/src/lib.rs", bad);
+    assert_eq!(rules_at(&fs, "crate-hygiene"), [(4, 5)]);
+
+    let good = "\
+#![deny(unsafe_code)]
+#[allow(unsafe_code)]
+fn f() {
+    // SAFETY: provably unreachable, guarded above.
+    unsafe { core::hint::unreachable_unchecked() }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", good).is_empty());
+}
+
+// --- suppressions & rule filtering --------------------------------------
+
+#[test]
+fn trailing_suppression_silences_its_line_only() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // tbstc-lint: allow(panic-surface) — fixture
+    x.unwrap() + a
+}
+";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    assert_eq!(rules_at(&fs, "panic-surface"), [(3, 7)]);
+}
+
+#[test]
+fn standalone_suppression_covers_next_code_line() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // tbstc-lint: allow(panic-surface) — fixture justification
+    x.unwrap()
+}
+";
+    assert!(lint_source("crates/core/src/f.rs", src).is_empty());
+}
+
+#[test]
+fn suppression_must_name_the_right_rule() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // tbstc-lint: allow(determinism) — wrong rule
+}
+";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    assert_eq!(rules_at(&fs, "panic-surface").len(), 1);
+}
+
+#[test]
+fn multi_rule_suppression_and_counting() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    // tbstc-lint: allow(panic-surface, determinism) — fixture
+    *m.get(&0).unwrap()
+}
+";
+    let (fs, suppressed) = lint_source_rules("crates/core/src/f.rs", src, None);
+    // The HashMap mentions on lines 1–2 are still flagged; line 4's
+    // unwrap is suppressed.
+    assert_eq!(rules_at(&fs, "determinism"), [(1, 23), (2, 10)]);
+    assert!(rules_at(&fs, "panic-surface").is_empty());
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn rule_filter_restricts_output() {
+    let src = "\
+use std::collections::HashMap;
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let only = vec!["determinism".to_string()];
+    let (fs, _) = lint_source_rules("crates/core/src/f.rs", src, Some(&only));
+    assert!(fs.iter().all(|f| f.rule == "determinism"));
+    assert_eq!(fs.len(), 1);
+}
+
+// --- workspace driver & baseline ----------------------------------------
+
+#[test]
+fn workspace_driver_applies_baseline_and_reports_stale() {
+    let dir = std::env::temp_dir().join(format!("tbstc-lint-fixture-{}", std::process::id()));
+    let src_dir = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n//! Demo.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("lint-baseline.txt"),
+        "# comment\n\
+         panic-surface\tcrates/demo/src/lib.rs\tpub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         panic-surface\tcrates/demo/src/gone.rs\tstale entry\n",
+    )
+    .unwrap();
+
+    let report = lint_workspace(&LintOptions {
+        root: dir.clone(),
+        rules: None,
+        baseline: None,
+    })
+    .unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.baselined.len(), 1);
+    assert_eq!(report.stale_baseline.len(), 1);
+    assert!(report.stale_baseline[0].contains("gone.rs"));
+    assert!(!report.fails(true));
+
+    // Without the baseline the same finding fails --deny-warnings.
+    std::fs::remove_file(dir.join("lint-baseline.txt")).unwrap();
+    let report = lint_workspace(&LintOptions {
+        root: dir.clone(),
+        rules: None,
+        baseline: None,
+    })
+    .unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].line, 3);
+    assert!(report.fails(true));
+    assert!(!report.fails(false)); // warnings pass without --deny-warnings
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_output_is_well_formed_enough_to_grep() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    let report = tbstc_lint::LintReport {
+        findings: fs,
+        ..Default::default()
+    };
+    let json = tbstc_lint::render_json(&report);
+    assert!(json.contains("\"schema\":\"tbstc-lint.v1\""));
+    assert!(json.contains("\"rule\":\"panic-surface\""));
+    assert!(json.contains("\"line\":1"));
+    let human = tbstc_lint::render_human(&report, true);
+    assert!(human.contains("crates/core/src/f.rs:1:"));
+    assert!(human.contains("warning[panic-surface]"));
+}

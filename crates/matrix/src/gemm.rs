@@ -94,6 +94,8 @@ pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Panics when `A.cols() != B.rows()`; use [`try_matmul`] to handle the
 /// error instead.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    // tbstc-lint: allow(panic-surface) — documented panicking wrapper
+    // over try_matmul.
     try_matmul(a, b).expect("matmul dimension mismatch")
 }
 
@@ -215,6 +217,8 @@ pub fn try_matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Panics when `A.cols() != B.cols()`; use [`try_matmul_transb`] to handle
 /// the error instead.
 pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    // tbstc-lint: allow(panic-surface) — documented panicking wrapper
+    // over try_matmul_transb.
     try_matmul_transb(a, b).expect("matmul_transb dimension mismatch")
 }
 
@@ -352,6 +356,8 @@ pub fn try_matmul_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Panics when `A.rows() != B.rows()`; use [`try_matmul_at_b`] to handle
 /// the error instead.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    // tbstc-lint: allow(panic-surface) — documented panicking wrapper
+    // over try_matmul_at_b.
     try_matmul_at_b(a, b).expect("matmul_at_b dimension mismatch")
 }
 

@@ -12,7 +12,7 @@
 //! panels; `tbstc-runner` re-exports everything here unchanged.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker count (like `make -jN`).
@@ -62,7 +62,9 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let out = timed(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                // Poison here only means another worker panicked while
+                // writing a *different* slot; this slot's write is whole.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
             });
         }
     });
@@ -70,7 +72,9 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // tbstc-lint: allow(panic-surface) — scope() already
+                // propagated any worker panic; an empty slot is a logic bug.
                 .expect("worker exited before filling its slot")
         })
         .collect()

@@ -1,24 +1,37 @@
 //! Keyed result cache shared across runner invocations.
 
+// tbstc-lint: allow(determinism) — the memo is a lookup table, never
+// iterated for output: `entries()` callers sort before serializing.
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A thread-safe memo table: every key computes once, repeats are served
 /// from the cache. Hit/miss counters make cache behaviour observable in
 /// sweep reports.
 #[derive(Debug, Default)]
 pub struct Memo<K, R> {
+    // tbstc-lint: allow(determinism) — see module note.
     map: Mutex<HashMap<K, R>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
+    /// Locks the table, recovering from poison: entries are inserted
+    /// whole under the lock, so a panicking holder can at worst lose its
+    /// own pending insert — stale-but-consistent is exactly what a cache
+    /// is allowed to be.
+    // tbstc-lint: allow(determinism) — see module note.
+    fn map(&self) -> MutexGuard<'_, HashMap<K, R>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty cache.
     pub fn new() -> Self {
         Memo {
+            // tbstc-lint: allow(determinism) — see module note.
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -27,7 +40,7 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
 
     /// Looks `key` up, counting a hit or miss.
     pub fn get(&self, key: &K) -> Option<R> {
-        let found = self.map.lock().expect("memo poisoned").get(key).cloned();
+        let found = self.map().get(key).cloned();
         let counter = if found.is_some() {
             &self.hits
         } else {
@@ -40,12 +53,12 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
     /// Looks `key` up without touching the hit/miss counters (for
     /// assembly passes that already accounted for the lookup).
     pub fn peek(&self, key: &K) -> Option<R> {
-        self.map.lock().expect("memo poisoned").get(key).cloned()
+        self.map().get(key).cloned()
     }
 
     /// Checks membership without touching the hit/miss counters.
     pub fn contains(&self, key: &K) -> bool {
-        self.map.lock().expect("memo poisoned").contains_key(key)
+        self.map().contains_key(key)
     }
 
     /// Bulk-adjusts the counters: used by batch runners that classify a
@@ -57,12 +70,12 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
 
     /// Stores a computed result.
     pub fn insert(&self, key: K, result: R) {
-        self.map.lock().expect("memo poisoned").insert(key, result);
+        self.map().insert(key, result);
     }
 
     /// Cached entry count.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("memo poisoned").len()
+        self.map().len()
     }
 
     /// Whether the cache is empty.
@@ -82,15 +95,13 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
 
     /// Drops all entries (counters keep running).
     pub fn clear(&self) {
-        self.map.lock().expect("memo poisoned").clear();
+        self.map().clear();
     }
 
     /// A snapshot of every cached entry (iteration order unspecified —
     /// persistence layers sort before writing).
     pub fn entries(&self) -> Vec<(K, R)> {
-        self.map
-            .lock()
-            .expect("memo poisoned")
+        self.map()
             .iter()
             .map(|(k, r)| (k.clone(), r.clone()))
             .collect()
@@ -100,7 +111,7 @@ impl<K: Eq + Hash + Clone, R: Clone> Memo<K, R> {
     /// store). Counters are untouched: preloaded entries count as hits
     /// only when a later lookup finds them.
     pub fn preload(&self, entries: impl IntoIterator<Item = (K, R)>) {
-        let mut map = self.map.lock().expect("memo poisoned");
+        let mut map = self.map();
         for (k, r) in entries {
             map.insert(k, r);
         }

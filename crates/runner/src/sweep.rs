@@ -180,6 +180,7 @@ impl SweepRunner {
             .results
             .into_iter()
             .next()
+            // tbstc-lint: allow(panic-surface) — one job in, one result out.
             .expect("one job in, one result out")
     }
 
@@ -196,6 +197,7 @@ impl SweepRunner {
             .results
             .into_iter()
             .next()
+            // tbstc-lint: allow(panic-surface) — one job in, one result out.
             .expect("one job in, one result out")
     }
 

@@ -99,7 +99,7 @@ impl Request {
             if n == 0 {
                 return Err(Error::Http("connection closed mid-body".into()));
             }
-            body.extend_from_slice(&chunk[..n]);
+            body.extend_from_slice(filled(&chunk, n)?);
         }
         body.truncate(content_length);
 
@@ -117,12 +117,11 @@ impl Request {
 fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), Error> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     loop {
-        if let Some(pos) = find_terminator(&buf) {
-            let head = std::str::from_utf8(&buf[..pos])
+        if let Some((head, rest)) = split_head(&buf) {
+            let head = std::str::from_utf8(head)
                 .map_err(|_| Error::Http("non-utf8 request head".into()))?
                 .to_string();
-            let body = buf[pos + 4..].to_vec();
-            return Ok((head, body));
+            return Ok((head, rest.to_vec()));
         }
         if buf.len() > MAX_HEAD_BYTES {
             return Err(Error::Http(format!(
@@ -139,12 +138,27 @@ fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), Error> {
             }
             return Err(Error::Http("connection closed mid-head".into()));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(filled(&chunk, n)?);
     }
 }
 
-fn find_terminator(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Splits `buf` at the `\r\n\r\n` head terminator into (head bytes,
+/// remaining bytes), when the terminator has arrived.
+fn split_head(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    let pos = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    Some((buf.get(..pos)?, buf.get(pos + 4..)?))
+}
+
+/// The first `n` bytes of a read buffer. `Read::read` promises `n` never
+/// exceeds the buffer, but this transport faces the network — an error
+/// beats a panic if that promise is ever broken.
+fn filled(chunk: &[u8], n: usize) -> Result<&[u8], Error> {
+    chunk.get(..n).ok_or_else(|| {
+        Error::Io(format!(
+            "read reported {n} bytes into a {}-byte buffer",
+            chunk.len()
+        ))
+    })
 }
 
 /// An HTTP response under construction.
@@ -286,9 +300,10 @@ pub fn request(
     stream
         .read_to_end(&mut raw)
         .map_err(|e| Error::Io(e.to_string()))?;
-    let pos = find_terminator(&raw).ok_or_else(|| Error::Http("response has no head".into()))?;
-    let head = std::str::from_utf8(&raw[..pos])
-        .map_err(|_| Error::Http("non-utf8 response head".into()))?;
+    let (head, rest) =
+        split_head(&raw).ok_or_else(|| Error::Http("response has no head".into()))?;
+    let head =
+        std::str::from_utf8(head).map_err(|_| Error::Http("non-utf8 response head".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines
         .next()
@@ -305,7 +320,7 @@ pub fn request(
                 .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         })
         .collect();
-    let body = String::from_utf8(raw[pos + 4..].to_vec())
+    let body = String::from_utf8(rest.to_vec())
         .map_err(|_| Error::Http("non-utf8 response body".into()))?;
     Ok(ClientResponse {
         status,

@@ -28,6 +28,8 @@ pub struct Metrics {
     pub jobs_bad: AtomicU64,
     /// Jobs rejected 429 (admission queue full).
     pub jobs_rejected: AtomicU64,
+    /// Jobs answered 500 (panicking execution or poisoned state).
+    pub jobs_failed: AtomicU64,
     /// Jobs served verbatim from the on-disk result cache.
     pub disk_hits: AtomicU64,
     /// Jobs that had to execute (disk-cache misses).
@@ -56,6 +58,7 @@ impl Metrics {
             jobs_ok: AtomicU64::new(0),
             jobs_bad: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
@@ -71,7 +74,9 @@ impl Metrics {
             .iter()
             .position(|&b| seconds <= b)
             .unwrap_or(LATENCY_BUCKETS_S.len());
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.latency_buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.latency_sum_us
             .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
@@ -124,6 +129,7 @@ impl Metrics {
                 ("outcome=\"ok\"", load(&self.jobs_ok)),
                 ("outcome=\"bad_request\"", load(&self.jobs_bad)),
                 ("outcome=\"rejected\"", load(&self.jobs_rejected)),
+                ("outcome=\"internal_error\"", load(&self.jobs_failed)),
             ],
         );
         counter(
@@ -182,13 +188,18 @@ impl Metrics {
              # TYPE tbstc_job_latency_seconds histogram\n",
         );
         let mut cumulative = 0u64;
-        for (i, bound) in LATENCY_BUCKETS_S.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+        for (bucket, bound) in self.latency_buckets.iter().zip(&LATENCY_BUCKETS_S) {
+            cumulative += bucket.load(Ordering::Relaxed);
             out.push_str(&format!(
                 "tbstc_job_latency_seconds_bucket{{le=\"{bound}\"}} {cumulative}\n"
             ));
         }
-        cumulative += self.latency_buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed);
+        // The zip above stops at the named buckets; the one extra slot
+        // is the overflow bucket.
+        cumulative += self
+            .latency_buckets
+            .last()
+            .map_or(0, |b| b.load(Ordering::Relaxed));
         out.push_str(&format!(
             "tbstc_job_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
         ));

@@ -13,7 +13,7 @@
 //! Cheap endpoints (`/metrics`, `/healthz`) bypass the queue entirely, so
 //! observability survives saturation.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug, Default)]
 struct QueueState {
@@ -32,6 +32,19 @@ pub struct AdmissionQueue {
 }
 
 impl AdmissionQueue {
+    /// Locks the state, recovering from poison: the counters are updated
+    /// atomically under the lock (no invariant can be left half-written),
+    /// so a panicking holder never invalidates them — and `Ticket::drop`
+    /// must release its slot even mid-unwind or capacity would leak.
+    fn guard(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Waits on the condvar, recovering from poison for the same reason.
+    fn wait<'g>(&self, g: MutexGuard<'g, QueueState>) -> MutexGuard<'g, QueueState> {
+        self.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A queue admitting at most `capacity` unfinished jobs, executing at
     /// most `workers` of them concurrently. Both are clamped to ≥ 1.
     pub fn new(capacity: usize, workers: usize) -> AdmissionQueue {
@@ -56,7 +69,7 @@ impl AdmissionQueue {
     /// Tries to admit a job. `None` means the queue is full (or closed
     /// for shutdown) — reject with 429, no state was taken.
     pub fn try_enter(&self) -> Option<Ticket<'_>> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.guard();
         if s.closed || s.waiting + s.executing >= self.capacity {
             return None;
         }
@@ -69,28 +82,28 @@ impl AdmissionQueue {
 
     /// `(waiting, executing)` right now.
     pub fn depth(&self) -> (usize, usize) {
-        let s = self.state.lock().expect("queue poisoned");
+        let s = self.guard();
         (s.waiting, s.executing)
     }
 
     /// Whether no admitted job remains (drained).
     pub fn is_idle(&self) -> bool {
-        let s = self.state.lock().expect("queue poisoned");
+        let s = self.guard();
         s.waiting == 0 && s.executing == 0
     }
 
     /// Stops admitting new jobs; jobs already admitted keep their slots
     /// and run to completion (the graceful-shutdown drain).
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.guard().closed = true;
         self.cv.notify_all();
     }
 
     /// Blocks until every admitted job has finished.
     pub fn wait_idle(&self) {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.guard();
         while s.waiting + s.executing > 0 {
-            s = self.cv.wait(s).expect("queue poisoned");
+            s = self.wait(s);
         }
     }
 }
@@ -106,9 +119,9 @@ pub struct Ticket<'q> {
 impl Ticket<'_> {
     /// Waits for a worker slot, then transitions waiting → executing.
     pub fn begin(&mut self) {
-        let mut s = self.queue.state.lock().expect("queue poisoned");
+        let mut s = self.queue.guard();
         while s.executing >= self.queue.workers {
-            s = self.queue.cv.wait(s).expect("queue poisoned");
+            s = self.queue.wait(s);
         }
         s.waiting -= 1;
         s.executing += 1;
@@ -121,7 +134,7 @@ impl Ticket<'_> {
 
 impl Drop for Ticket<'_> {
     fn drop(&mut self) {
-        let mut s = self.queue.state.lock().expect("queue poisoned");
+        let mut s = self.queue.guard();
         if self.executing {
             s.executing -= 1;
         } else {

@@ -16,12 +16,13 @@
 //! [`Handle::shutdown`]) closes admission, drains in-flight jobs, flushes
 //! the memo cache to `memo.jsonl`, and only then returns.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -82,10 +83,11 @@ pub struct State {
     queue: AdmissionQueue,
     store: ResultStore,
     /// One engine per platform bandwidth (bit pattern of the GB/s value),
-    /// because `SweepRunner` binds its `HwConfig`.
-    engines: Mutex<HashMap<u64, Arc<SweepRunner>>>,
+    /// because `SweepRunner` binds its `HwConfig`. Keyed by a `BTreeMap`
+    /// so memo flushes walk engines in a stable order.
+    engines: Mutex<BTreeMap<u64, Arc<SweepRunner>>>,
     /// Persisted memo entries not yet claimed by an engine.
-    preload: Mutex<HashMap<u64, Vec<(SimJob, ModelResult)>>>,
+    preload: Mutex<BTreeMap<u64, Vec<(SimJob, ModelResult)>>>,
     shutdown: AtomicBool,
     connections: AtomicUsize,
 }
@@ -93,7 +95,7 @@ pub struct State {
 impl State {
     fn new(cfg: ServeConfig) -> Result<State, Error> {
         let store = ResultStore::open(cfg.cache_dir.clone())?;
-        let mut preload: HashMap<u64, Vec<(SimJob, ModelResult)>> = HashMap::new();
+        let mut preload: BTreeMap<u64, Vec<(SimJob, ModelResult)>> = BTreeMap::new();
         let persisted = store.load_memo();
         let preloaded = persisted.len();
         for entry in persisted {
@@ -109,7 +111,7 @@ impl State {
             queue: AdmissionQueue::new(cfg.queue_capacity, cfg.job_workers),
             metrics: Metrics::new(),
             store,
-            engines: Mutex::new(HashMap::new()),
+            engines: Mutex::new(BTreeMap::new()),
             preload: Mutex::new(preload),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
@@ -117,20 +119,42 @@ impl State {
         })
     }
 
-    fn engine_for(&self, bandwidth_gbps: f64) -> Arc<SweepRunner> {
+    /// Locks the engine table on the request path. Poison (a panic while
+    /// inserting) surfaces as [`Error::Internal`] — an HTTP 500 — rather
+    /// than unwinding the whole worker.
+    fn engines_checked(&self) -> Result<MutexGuard<'_, BTreeMap<u64, Arc<SweepRunner>>>, Error> {
+        self.engines
+            .lock()
+            .map_err(|_| Error::Internal("engine table poisoned".into()))
+    }
+
+    /// Locks the engine table off the request path (metrics scrapes, the
+    /// shutdown flush), recovering from poison: the map is only ever
+    /// inserted into, so a panicking holder cannot leave it inconsistent,
+    /// and observability must survive a wounded worker.
+    fn engines_recovered(&self) -> MutexGuard<'_, BTreeMap<u64, Arc<SweepRunner>>> {
+        self.engines.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Same recovery story for the unclaimed-preload table.
+    fn preload_recovered(&self) -> MutexGuard<'_, BTreeMap<u64, Vec<(SimJob, ModelResult)>>> {
+        self.preload.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn engine_for(&self, bandwidth_gbps: f64) -> Result<Arc<SweepRunner>, Error> {
         let bits = bandwidth_gbps.to_bits();
-        let mut engines = self.engines.lock().expect("engines poisoned");
-        Arc::clone(engines.entry(bits).or_insert_with(|| {
+        let mut engines = self.engines_checked()?;
+        Ok(Arc::clone(engines.entry(bits).or_insert_with(|| {
             let engine = SweepRunner::new(HwConfig::with_bandwidth_gbps(bandwidth_gbps));
-            if let Some(entries) = self.preload.lock().expect("preload poisoned").remove(&bits) {
+            if let Some(entries) = self.preload_recovered().remove(&bits) {
                 engine.preload_models(entries);
             }
             Arc::new(engine)
-        }))
+        })))
     }
 
     fn memo_totals(&self) -> (u64, u64) {
-        let engines = self.engines.lock().expect("engines poisoned");
+        let engines = self.engines_recovered();
         engines.values().fold((0, 0), |(h, m), e| {
             let (eh, em) = e.cache_stats();
             (h + eh, m + em)
@@ -138,7 +162,7 @@ impl State {
     }
 
     fn memo_entries(&self) -> Vec<MemoEntry> {
-        let engines = self.engines.lock().expect("engines poisoned");
+        let engines = self.engines_recovered();
         let mut out = Vec::new();
         for (&bits, engine) in engines.iter() {
             let bandwidth_gbps = f64::from_bits(bits);
@@ -154,7 +178,7 @@ impl State {
             );
         }
         // Entries still waiting for an engine survive restarts too.
-        for (&bits, entries) in self.preload.lock().expect("preload poisoned").iter() {
+        for (&bits, entries) in self.preload_recovered().iter() {
             let bandwidth_gbps = f64::from_bits(bits);
             out.extend(entries.iter().cloned().map(|(job, result)| MemoEntry {
                 bandwidth_gbps,
@@ -379,7 +403,13 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
         }
         Err(_) => return, // transport error; nothing to answer
     };
-    let response = route(state, &request);
+    // A panic anywhere in routing or job execution answers 500 and keeps
+    // the worker alive; the connection counter decrement in the accept
+    // loop stays reachable.
+    let response = catch_unwind(AssertUnwindSafe(|| route(state, &request))).unwrap_or_else(|_| {
+        state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        Response::new(500).json(error_body("internal error: request handler panicked"))
+    });
     let _ = response.write_to(&mut stream);
 }
 
@@ -404,9 +434,13 @@ fn route(state: &State, request: &Request) -> Response {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             Response::new(200).text("ok\n")
         }
-        ("GET", path) if path.starts_with("/v1/jobs/") => {
+        ("GET", path)
+            if path
+                .strip_prefix("/v1/jobs/")
+                .is_some_and(|k| !k.is_empty()) =>
+        {
             state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
-            let key = &path["/v1/jobs/".len()..];
+            let key = path.strip_prefix("/v1/jobs/").unwrap_or_default();
             match state.store.get(key) {
                 Some(body) => Response::new(200)
                     .header("X-Cache", "hit")
@@ -472,14 +506,30 @@ fn handle_job(state: &State, request: &Request) -> Response {
     if state.cfg.hold_ms > 0 {
         thread::sleep(Duration::from_millis(state.cfg.hold_ms));
     }
-    let engine = state.engine_for(spec.bandwidth_gbps());
+    let engine = match state.engine_for(spec.bandwidth_gbps()) {
+        Ok(engine) => engine,
+        Err(e) => {
+            state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::new(500).json(error_body(&e.to_string()));
+        }
+    };
     let compute_started = Instant::now();
-    let response_body = format!("{}\n", spec.execute(&engine));
+    // Simulation code validates its inputs, but a panic in it must cost
+    // one request, not the worker: scoped-thread panics propagate here at
+    // scope exit, where catch_unwind turns them into a 500.
+    let executed = catch_unwind(AssertUnwindSafe(|| format!("{}\n", spec.execute(&engine))));
     state.metrics.busy_us.fetch_add(
         compute_started.elapsed().as_micros() as u64,
         Ordering::Relaxed,
     );
     drop(ticket);
+    let response_body = match executed {
+        Ok(body) => body,
+        Err(_) => {
+            state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return Response::new(500).json(error_body("internal error: job execution panicked"));
+        }
+    };
 
     if let Err(e) = state.store.put(&key, &response_body) {
         eprintln!("tbstc-serve: warning: cannot cache job {key}: {e}");

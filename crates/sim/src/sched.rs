@@ -120,6 +120,8 @@ pub fn schedule_stream(
                 (0..pes).map(|p| Reverse((0u64, p))).collect();
             for _ in 0..cols {
                 for w in blocks {
+                    // tbstc-lint: allow(panic-surface) — heap was seeded
+                    // with one entry per PE and pes > 0.
                     let Reverse((load, p)) = heap.pop().expect("pes > 0");
                     let add = match intra {
                         IntraBlockPolicy::Balanced => w.slots as u64,

@@ -1,88 +1,42 @@
 //! Repo lint: variant-level dispatch over `Arch` (match arms or
 //! or-patterns naming a variant) is only allowed inside
 //! `crates/sim/src/archs/` — everywhere else must go through the
-//! registry. The CI "Arch dispatch lint" grep step enforces the same
-//! rule outside `cargo test`.
+//! registry. The rule itself lives in `tbstc-lint` (`arch-dispatch`);
+//! this test drives it over the workspace and pins the shapes it must
+//! and must not flag. CI runs the same engine via
+//! `tbstc-cli lint --deny-warnings`.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use tbstc_lint::{lint_source, lint_workspace, LintOptions};
 
-const VARIANTS: [&str; 8] = [
-    "Tc",
-    "Stc",
-    "Vegeta",
-    "Highlight",
-    "RmStc",
-    "TbStc",
-    "DvpeFan",
-    "Sgcn",
-];
-
-/// Collects every `.rs` file under `dir`, recursively.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Does this line dispatch on an `Arch` variant? True when `Arch::<V>` is
-/// followed (after whitespace) by `=>` or a `|` or-pattern separator.
-fn dispatches(line: &str) -> bool {
-    for v in VARIANTS {
-        let needle = format!("Arch::{v}");
-        let mut from = 0;
-        while let Some(i) = line[from..].find(&needle) {
-            let after = &line[from + i + needle.len()..];
-            // Don't let `TbStc` match inside `TbStcSomething`.
-            let clean_end = after
-                .chars()
-                .next()
-                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
-            let rest = after.trim_start();
-            if clean_end && (rest.starts_with("=>") || rest.starts_with('|')) {
-                return true;
-            }
-            from += i + needle.len();
-        }
-    }
-    false
+/// Findings the `arch-dispatch` rule produces for an inline snippet,
+/// pretending it lives outside the exempt `crates/sim/src/archs/` tree.
+fn dispatches(snippet: &str) -> bool {
+    lint_source("crates/demo/src/lib.rs", snippet)
+        .iter()
+        .any(|f| f.rule == "arch-dispatch")
 }
 
 #[test]
-fn arch_dispatch_lint() {
+fn workspace_is_free_of_arch_dispatch() {
     // crates/sim/tests -> crates/sim -> crates -> workspace root
     let workspace = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("workspace root");
-    let crates = workspace.join("crates");
-    assert!(crates.is_dir(), "no crates/ at {}", crates.display());
+    assert!(
+        workspace.join("crates").is_dir(),
+        "no crates/ under {}",
+        workspace.display()
+    );
 
-    let mut offenders = Vec::new();
-    for crate_dir in fs::read_dir(&crates).expect("read crates/").flatten() {
-        let src = crate_dir.path().join("src");
-        let mut files = Vec::new();
-        rust_files(&src, &mut files);
-        for file in files {
-            if file.starts_with(crates.join("sim/src/archs")) {
-                continue;
-            }
-            let text = fs::read_to_string(&file).expect("read source file");
-            for (no, line) in text.lines().enumerate() {
-                if dispatches(line) {
-                    offenders.push(format!("{}:{}: {}", file.display(), no + 1, line.trim()));
-                }
-            }
-        }
-    }
+    let report = lint_workspace(&LintOptions {
+        root: workspace.to_path_buf(),
+        rules: Some(vec!["arch-dispatch".to_string()]),
+        baseline: None,
+    })
+    .expect("lint run");
+    let offenders: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
     assert!(
         offenders.is_empty(),
         "Arch variant dispatch outside crates/sim/src/archs/ — route through \
@@ -92,13 +46,30 @@ fn arch_dispatch_lint() {
 }
 
 #[test]
-fn lint_pattern_catches_dispatch_shapes() {
-    assert!(dispatches("Arch::Tc => BlockWork {"));
-    assert!(dispatches("    Arch::TbStc | Arch::DvpeFan => {"));
-    assert!(dispatches("matches!(arch, Arch::TbStc | Arch::DvpeFan)"));
+fn lint_rule_catches_dispatch_shapes() {
+    assert!(dispatches(
+        "fn f(w: Work) -> B { match w.arch { Arch::Tc => BlockWork { n: 1 }, _ => b() } }"
+    ));
+    assert!(dispatches(
+        "fn f(a: Arch) -> bool { matches!(a, Arch::TbStc | Arch::DvpeFan) }"
+    ));
     // Non-dispatch uses stay legal.
-    assert!(!dispatches("let a = Arch::TbStc;"));
-    assert!(!dispatches("[Arch::Tc, Arch::Stc]"));
-    assert!(!dispatches("arch == Arch::Sgcn"));
-    assert!(!dispatches("Arch::TbStcLike => x"));
+    assert!(!dispatches("fn f() -> Arch { Arch::TbStc }"));
+    assert!(!dispatches("const ALL: [Arch; 2] = [Arch::Tc, Arch::Stc];"));
+    assert!(!dispatches("fn f(a: Arch) -> bool { a == Arch::Sgcn }"));
+    assert!(!dispatches(
+        "fn f(x: Ext) -> u8 { match x { Arch::TbStcLike => 1 } }"
+    ));
+}
+
+#[test]
+fn archs_modules_are_exempt() {
+    let flagged = lint_source(
+        "crates/sim/src/archs/tb_stc.rs",
+        "fn f(a: Arch) -> bool { matches!(a, Arch::TbStc | Arch::DvpeFan) }",
+    );
+    assert!(
+        flagged.iter().all(|f| f.rule != "arch-dispatch"),
+        "crates/sim/src/archs/ must stay exempt"
+    );
 }

@@ -141,6 +141,56 @@ fn full_queue_rejects_with_429_without_dropping_in_flight_work() {
 }
 
 #[test]
+fn malformed_specs_get_400_and_the_server_keeps_serving() {
+    let dir = tmp_dir("badspec");
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+
+    // A gallery of malformed submissions: broken JSON, a non-object, a
+    // missing discriminant, an unknown type, an out-of-range sparsity and
+    // an unknown architecture. Every one must be a clean 400 — never a
+    // dropped connection or a crashed worker.
+    let bad_specs = [
+        r#"{"type":"simulate","#,
+        r#"[1,2,3]"#,
+        r#"{"arch":"tb-stc","model":{"kind":"gcn","nodes":64,"features":16}}"#,
+        r#"{"type":"frobnicate"}"#,
+        r#"{"type":"simulate","arch":"tb-stc",
+            "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":7.5}"#,
+        r#"{"type":"simulate","arch":"not-an-arch",
+            "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":0.5}"#,
+    ];
+    for spec in bad_specs {
+        let resp = request(&addr, "POST", "/v1/jobs", Some(spec)).unwrap();
+        assert_eq!(resp.status, 400, "spec {spec:?} got: {}", resp.body);
+        assert!(
+            resp.body.contains("error"),
+            "400 body names the problem: {}",
+            resp.body
+        );
+    }
+
+    // The server is still healthy: the very next valid job computes.
+    let ok = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap();
+    assert_eq!(ok.status, 200, "server survives malformed specs");
+    assert_eq!(ok.header("x-cache"), Some("miss"));
+
+    let metrics = request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        metrics.body.contains(&format!(
+            "tbstc_jobs_total{{outcome=\"bad_request\"}} {}",
+            bad_specs.len()
+        )),
+        "every malformed spec is counted: {}",
+        metrics.body
+    );
+    assert!(metrics.body.contains("tbstc_jobs_total{outcome=\"ok\"} 1"));
+
+    running.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_jobs_cache_and_memo_persists_across_restart() {
     let dir = tmp_dir("sweep");
     let sweep_job = r#"{"type":"sweep","archs":["tb-stc","stc"],
