@@ -7,9 +7,8 @@
 use tbstc::matrix::quant::QuantizedMatrix;
 use tbstc::models::{bert_base, resnet50};
 use tbstc::prelude::*;
-use tbstc::sim::compute::SchedulePolicy;
 use tbstc::sim::memory::FormatOverride;
-use tbstc::sim::pipeline::simulate_layer_with;
+use tbstc::sim::pipeline::{simulate_layer_with, SimOptions};
 use tbstc::train::oneshot::SyntheticLlm;
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
@@ -38,8 +37,7 @@ fn main() {
                 Arch::TbStc,
                 &layer,
                 &cfg,
-                SchedulePolicy::native(Arch::TbStc),
-                FormatOverride::Int8,
+                &SimOptions::with_format(FormatOverride::Int8),
             );
             per_model.push(fp16.cycles as f64 / int8.cycles as f64);
         }

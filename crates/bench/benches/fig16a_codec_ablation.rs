@@ -7,9 +7,8 @@
 
 use tbstc::models::resnet50;
 use tbstc::prelude::*;
-use tbstc::sim::compute::SchedulePolicy;
 use tbstc::sim::memory::{simulate_memory, FormatOverride};
-use tbstc::sim::pipeline::simulate_layer_with;
+use tbstc::sim::pipeline::{simulate_layer_with, SimOptions};
 use tbstc_bench::{banner, geomean, paper_vs_measured, section};
 
 fn main() {
@@ -35,15 +34,8 @@ fn main() {
             .sparsity(0.75)
             .seed(1000 + i as u64)
             .build(&cfg);
-        let run = |fmt| {
-            simulate_layer_with(
-                Arch::TbStc,
-                &layer,
-                &cfg,
-                SchedulePolicy::native(Arch::TbStc),
-                fmt,
-            )
-        };
+        let run =
+            |fmt| simulate_layer_with(Arch::TbStc, &layer, &cfg, &SimOptions::with_format(fmt));
         let native = run(FormatOverride::Native);
         let sdc = run(FormatOverride::Sdc);
         let csr = run(FormatOverride::Csr);

@@ -9,10 +9,15 @@
 //! against `tbstc-serve` adds end-to-end server throughput and the cache
 //! hit rate. A per-architecture `simulate_layer` sweep times the full
 //! pipeline once per registry entry, so registry-dispatch regressions show
-//! up per baseline. A full `tbstc-lint` workspace run is timed so the
-//! static-analysis pass stays fast enough for CI and pre-commit use. The
-//! report is written as JSON (hand-rolled; the workspace is offline and
-//! carries no serde) to `BENCH_PR5.json`.
+//! up per baseline. The simulation measurements run on a pre-built
+//! [`SparseLayer`] (every measurement gets a warm-up call before timing),
+//! so they isolate the simulation core from weight generation and
+//! pruning; sparsification has its own measurement, and the
+//! `BlockPlan` build cost is reported separately as `plan_build_us`. A
+//! full `tbstc-lint` workspace run is timed so the static-analysis pass
+//! stays fast enough for CI and pre-commit use. The report is written as
+//! JSON (hand-rolled; the workspace is offline and carries no serde) to
+//! `BENCH_PR6.json`.
 
 use std::time::Instant;
 
@@ -63,7 +68,7 @@ pub struct ServeStats {
     pub cache_hit_rate: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR5.json`.
+/// The harness output, serialized to `BENCH_PR6.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -79,7 +84,11 @@ pub struct PerfReport {
     pub train_speedup: f64,
     /// Algorithm-1 TBS sparsification of a 128×128 matrix at 75 %.
     pub sparsify: Timing,
-    /// Full per-layer simulation (sparsify + encode + compute + memory).
+    /// `BlockPlan::build` alone on the simulation layer (the one-pass
+    /// occupancy scan every `simulate_layer` call starts with).
+    pub plan_build: Timing,
+    /// Full per-layer simulation (plan + compute + memory + codec) on a
+    /// pre-built pruned layer.
     pub simulate_layer: Timing,
     /// The same per-layer simulation, once per registered architecture
     /// (canonical name, timing) in registry order.
@@ -108,13 +117,14 @@ impl PerfReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"bench\": \"PR5 lint + registry hot-path + serve perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
+            "{{\n  \"bench\": \"PR6 BlockPlan batched sim core + SimOptions perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"plan_build_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
             timing(&self.train_step_new),
             self.train_speedup,
             timing(&self.sparsify),
+            timing(&self.plan_build),
             timing(&self.simulate_layer),
             self.parallel_gemm_bit_identical,
             timing(&self.lint),
@@ -410,7 +420,10 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         std::hint::black_box(TbsPattern::sparsify(&w, 0.75, &TbsConfig::paper_default()));
     });
 
-    // Full layer pipeline on a BERT-sized FFN slice.
+    // Full layer pipeline on a BERT-sized FFN slice. The layer is built
+    // (weights + pruning) once outside the timed region: the measurement
+    // isolates the simulation core — plan, compute, memory, codec — which
+    // is what serving and sweeps pay per request on memoized layers.
     let shape = LayerShape {
         name: "perf-ffn".into(),
         m: 256,
@@ -420,27 +433,33 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         prunable: true,
     };
     let hw = HwConfig::paper_default();
-    let sim = LayerSim::new(&shape)
+    let layer = LayerSim::new(&shape)
         .arch(Arch::TbStc)
         .sparsity(0.75)
-        .seed(cfg.seed);
+        .seed(cfg.seed)
+        .build(&hw);
+    let plan_build = time_us(cfg.iters, || {
+        std::hint::black_box(tbstc::sim::BlockPlan::build(&layer));
+    });
     let simulate_layer = time_us(cfg.iters, || {
-        std::hint::black_box(sim.run(&hw));
+        std::hint::black_box(tbstc::sim::simulate_layer(Arch::TbStc, &layer, &hw));
     });
 
-    // The same layer once per registered architecture: per-baseline
-    // dispatch cost through the ArchModel registry.
+    // The same layer once per registered architecture (each pruned with
+    // its native pattern, pre-built): per-baseline simulation cost
+    // through the ArchModel registry.
     let simulate_layer_by_arch = Arch::ALL
         .iter()
         .map(|&arch| {
-            let sim = LayerSim::new(&shape)
+            let layer = LayerSim::new(&shape)
                 .arch(arch)
                 .sparsity(0.75)
-                .seed(cfg.seed);
+                .seed(cfg.seed)
+                .build(&hw);
             (
                 arch.canonical_name(),
                 time_us(cfg.iters, || {
-                    std::hint::black_box(sim.run(&hw));
+                    std::hint::black_box(tbstc::sim::simulate_layer(arch, &layer, &hw));
                 }),
             )
         })
@@ -487,6 +506,7 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         train_step_old,
         train_step_new,
         sparsify,
+        plan_build,
         simulate_layer,
         simulate_layer_by_arch,
         parallel_gemm_bit_identical,
@@ -512,6 +532,7 @@ mod tests {
             train_step_new: t,
             train_speedup: 1.0,
             sparsify: t,
+            plan_build: t,
             simulate_layer: t,
             simulate_layer_by_arch: vec![("tc", t), ("tb-stc", t)],
             parallel_gemm_bit_identical: true,
@@ -524,6 +545,7 @@ mod tests {
         };
         let json = r.to_json();
         assert!(json.contains("\"train_speedup\": 1.000"));
+        assert!(json.contains("\"plan_build_us\""));
         assert!(json.contains("\"simulate_layer_by_arch_us\""));
         assert!(json.contains("\"tb-stc\":"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));

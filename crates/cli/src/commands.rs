@@ -29,7 +29,7 @@ USAGE:
                      [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
                      [--oneshot --job FILE]
   tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR5.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR6.json]
   tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
                      [--rules a,b] [--root DIR]
   tbstc-cli table3
@@ -552,7 +552,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let iters: usize = args.num_or("iters", 20)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
-    let out_path = args.str_or("out", "BENCH_PR5.json");
+    let out_path = args.str_or("out", "BENCH_PR6.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -583,6 +583,12 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
         out,
         "  sparsify 128x128: {:>9.1} us",
         report.sparsify.best_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "  plan build      : {:>9.1} us",
+        report.plan_build.best_us
     )
     .ok();
     writeln!(

@@ -5,7 +5,7 @@
 //! a CI `grep` and convention. This crate replaces both with a real
 //! (if small) analyzer: a token-level Rust [`lexer`] that cannot be
 //! fooled by raw strings, nested block comments, or `//` inside string
-//! literals, and an [`engine`] that runs five [`rules`] over every
+//! literals, and an [`engine`] that runs six [`rules`] over every
 //! `crates/*/src/**/*.rs` file, producing `file:line:col` diagnostics
 //! with severities, inline `// tbstc-lint: allow(<rule>)` suppressions,
 //! and a checked-in baseline for grandfathered findings.

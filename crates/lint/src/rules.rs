@@ -1,4 +1,4 @@
-//! The five workspace rules. Each rule is a pure function over a
+//! The six workspace rules. Each rule is a pure function over a
 //! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
 //! exclusion, suppressions, and the baseline afterwards, so rules here
 //! report every syntactic match they see.
@@ -37,6 +37,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "crate-hygiene",
         check: crate_hygiene,
+    },
+    Rule {
+        name: "hot-path-alloc",
+        check: hot_path_alloc,
     },
 ];
 
@@ -406,6 +410,69 @@ fn crate_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     "unsafe without a SAFETY: comment in the preceding five lines".to_string(),
                 ));
             }
+        }
+    }
+}
+
+// --- hot-path-alloc -----------------------------------------------------
+
+/// Files on the simulator's measured hot path, where incremental `Vec`
+/// growth shows up directly in the perf-harness numbers.
+const HOT_PATHS: &[&str] = &["crates/sim/src/plan.rs", "crates/matrix/src/gemm.rs"];
+
+/// `Vec::new()` anywhere (warning; pre-existing debt lives in the
+/// baseline), plus — in the [`HOT_PATHS`] files only — `.push(...)` onto
+/// a local bound from `Vec::new()`, i.e. growth with no reserved
+/// capacity. Turbofish spellings (`Vec::<T>::new()`) are not matched;
+/// the workspace does not use them.
+fn hot_path_alloc(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let hot = HOT_PATHS.contains(&ctx.rel_path);
+    // Locals bound `let [mut] name = Vec::new()` (or reassigned from
+    // one); pushes onto these are growth with no up-front reservation.
+    // tbstc-lint: allow(hot-path-alloc) — a file binds a handful of vecs at most
+    let mut uncapped: Vec<String> = Vec::new();
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match ctx.text(t) {
+            "Vec" if ctx.code_text(i + 1) == "::" && ctx.code_is_ident(i + 2, "new") => {
+                out.push(finding(
+                    "hot-path-alloc",
+                    Severity::Warning,
+                    ctx,
+                    t,
+                    "Vec::new() grows by reallocating; size it with \
+                     Vec::with_capacity, or suppress with a reason the \
+                     length is unknowable"
+                        .to_string(),
+                ));
+                if hot && i >= 2 && ctx.code_text(i - 1) == "=" {
+                    if let Some(name) = code.get(i - 2).filter(|p| p.kind == TokKind::Ident) {
+                        uncapped.push(ctx.text(name).to_string());
+                    }
+                }
+            }
+            "push"
+                if hot && i >= 2 && ctx.code_text(i - 1) == "." && ctx.code_text(i + 1) == "(" =>
+            {
+                let recv = &code[i - 2];
+                if recv.kind == TokKind::Ident && uncapped.iter().any(|n| n == ctx.text(recv)) {
+                    out.push(finding(
+                        "hot-path-alloc",
+                        Severity::Warning,
+                        ctx,
+                        t,
+                        format!(
+                            ".push() onto `{}` (bound from Vec::new) may reallocate \
+                             on the hot path; reserve with with_capacity first",
+                            ctx.text(recv)
+                        ),
+                    ));
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -218,6 +218,66 @@ fn f() {
     assert!(lint_source("crates/demo/src/lib.rs", good).is_empty());
 }
 
+// --- hot-path-alloc -----------------------------------------------------
+
+#[test]
+fn hot_path_alloc_flags_vec_new_everywhere() {
+    let src = "fn f() -> Vec<u32> { let v = Vec::new(); v }\n";
+    let fs = lint_source("crates/core/src/f.rs", src);
+    assert_eq!(rules_at(&fs, "hot-path-alloc").len(), 1);
+    // with_capacity is the fix, not a finding; `Vec<u32>` in a type
+    // position is not a constructor.
+    let ok = "fn f() -> Vec<u32> { Vec::with_capacity(8) }\n";
+    assert!(lint_source("crates/core/src/f.rs", ok).is_empty());
+}
+
+#[test]
+fn hot_path_alloc_flags_uncapped_push_on_hot_paths_only() {
+    let src = "\
+fn f(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    for i in 0..n {
+        v.push(i as u32);
+    }
+    v
+}
+";
+    let hot = lint_source("crates/sim/src/plan.rs", src);
+    assert_eq!(rules_at(&hot, "hot-path-alloc"), [(2, 17), (4, 11)]);
+    // Off the hot path only the Vec::new itself is reported.
+    assert_eq!(
+        rules_at(
+            &lint_source("crates/sim/src/compute.rs", src),
+            "hot-path-alloc"
+        )
+        .len(),
+        1
+    );
+    // A with_capacity binding pushes freely even on the hot path.
+    let ok = "\
+fn f(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    for i in 0..n {
+        v.push(i as u32);
+    }
+    v
+}
+";
+    assert!(lint_source("crates/matrix/src/gemm.rs", ok).is_empty());
+}
+
+#[test]
+fn hot_path_alloc_suppression_carries_reason() {
+    let src = "\
+fn f() -> Vec<u32> {
+    // tbstc-lint: allow(hot-path-alloc) — output length is input-dependent
+    let v = Vec::new();
+    v
+}
+";
+    assert!(lint_source("crates/sim/src/plan.rs", src).is_empty());
+}
+
 // --- suppressions & rule filtering --------------------------------------
 
 #[test]

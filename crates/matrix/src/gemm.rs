@@ -38,6 +38,10 @@ impl GemmScratch {
 const TILE_J: usize = 32;
 /// Column-panel width packed per pass of `Aᵀ·B`.
 const PANEL_O: usize = 32;
+/// Sub-tile width of the ragged column tails and the f16 kernel: narrow
+/// enough to fit any tail, wide enough that the independent accumulation
+/// chains still vectorize.
+const TAIL_J: usize = 8;
 /// Below this many scalar MACs the kernels stay serial: thread spawn and
 /// join overhead would dominate.
 const PAR_MIN_MACS: usize = 1 << 21;
@@ -130,9 +134,10 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 ///
 /// Full [`TILE_J`]-wide column tiles accumulate into a stack array (the
 /// lanes are independent chains, so the loop vectorizes without reordering
-/// any element's sum); the ragged remainder falls back to in-place axpy.
-/// Per element, products are added in ascending `p` with `±0` multipliers
-/// skipped — exactly [`try_matmul`]'s arithmetic.
+/// any element's sum); the ragged remainder runs the same shape at
+/// [`TAIL_J`] width, with a scalar loop for the final sub-[`TAIL_J`]
+/// columns. Per element, products are added in ascending `p` with `±0`
+/// multipliers skipped — exactly [`try_matmul`]'s arithmetic.
 fn accumulate_row(mult: &[f32], b: &Matrix, orow: &mut [f32]) {
     let n = orow.len();
     debug_assert_eq!(n, b.cols());
@@ -151,6 +156,20 @@ fn accumulate_row(mult: &[f32], b: &Matrix, orow: &mut [f32]) {
         }
         orow[j0..j0 + TILE_J].copy_from_slice(&acc);
         j0 += TILE_J;
+    }
+    while j0 + TAIL_J <= n {
+        let mut acc = [0.0f32; TAIL_J];
+        for (p, &av) in mult.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let lanes = &b.row(p)[j0..j0 + TAIL_J];
+            for (acc_l, &bv) in acc.iter_mut().zip(lanes) {
+                *acc_l += av * bv;
+            }
+        }
+        orow[j0..j0 + TAIL_J].copy_from_slice(&acc);
+        j0 += TAIL_J;
     }
     if j0 < n {
         for (p, &av) in mult.iter().enumerate() {
@@ -425,6 +444,13 @@ pub fn try_spmm(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix> {
 /// Computes `A × B` with every product and accumulation rounded through
 /// binary16, emulating the FP16 DVPE datapath.
 ///
+/// Both operands are rounded through binary16 once up front
+/// (`F16::round_trip` is pure, so hoisting it out of the inner loop is
+/// bit-identical to rounding at each use) and the columns run in
+/// [`TAIL_J`]-wide lane groups — independent accumulation chains, each
+/// still rounding every product and every partial sum in ascending-`p`
+/// order.
+///
 /// # Errors
 ///
 /// Returns [`DimError`] when `A.cols() != B.rows()`.
@@ -436,17 +462,32 @@ pub fn try_matmul_f16(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             rhs: b.shape(),
         });
     }
-    let (m, _) = a.shape();
+    let (m, k) = a.shape();
     let n = b.cols();
+    let ra: Vec<f32> = a.as_slice().iter().map(|&v| F16::round_trip(v)).collect();
+    let rb: Vec<f32> = b.as_slice().iter().map(|&v| F16::round_trip(v)).collect();
     let mut d = Matrix::zeros(m, n);
     for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..a.cols() {
-                let prod = F16::round_trip(F16::round_trip(a[(i, p)]) * F16::round_trip(b[(p, j)]));
-                acc = F16::round_trip(acc + prod);
+        let arow = &ra[i * k..(i + 1) * k];
+        let drow = d.row_mut(i);
+        let mut j0 = 0;
+        while j0 + TAIL_J <= n {
+            let mut acc = [0.0f32; TAIL_J];
+            for (p, &av) in arow.iter().enumerate() {
+                let lanes = &rb[p * n + j0..p * n + j0 + TAIL_J];
+                for (acc_l, &bv) in acc.iter_mut().zip(lanes) {
+                    *acc_l = F16::round_trip(*acc_l + F16::round_trip(av * bv));
+                }
             }
-            d[(i, j)] = acc;
+            drow[j0..j0 + TAIL_J].copy_from_slice(&acc);
+            j0 += TAIL_J;
+        }
+        for (j, out) in drow.iter_mut().enumerate().skip(j0) {
+            let mut acc = 0.0f32;
+            for (p, &av) in arow.iter().enumerate() {
+                acc = F16::round_trip(acc + F16::round_trip(av * rb[p * n + j]));
+            }
+            *out = acc;
         }
     }
     Ok(d)

@@ -434,6 +434,10 @@ fn route(state: &State, request: &Request) -> Response {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             Response::new(200).text("ok\n")
         }
+        ("GET", "/v1/archs") => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            Response::new(200).json(archs_body())
+        }
         ("GET", path)
             if path
                 .strip_prefix("/v1/jobs/")
@@ -458,6 +462,31 @@ fn route(state: &State, request: &Request) -> Response {
             Response::new(405).json(error_body("method not allowed"))
         }
     }
+}
+
+/// Renders the architecture catalog: one entry per registered
+/// [`tbstc::sim::ArchModel`], with its canonical name, aliases, lane
+/// count at the paper-default PE array, and native scheduling policy.
+fn archs_body() -> String {
+    let cfg = HwConfig::paper_default();
+    let entries: Vec<Json> = tbstc::sim::REGISTRY
+        .iter()
+        .map(|model| {
+            let policy = model.native_schedule();
+            Json::obj([
+                ("name", Json::str(model.canonical_name())),
+                ("display", Json::str(model.display_name())),
+                (
+                    "aliases",
+                    Json::Arr(model.aliases().iter().map(|&a| Json::str(a)).collect()),
+                ),
+                ("lanes", Json::Int(model.arch().lanes(cfg.pe) as i64)),
+                ("inter_block", Json::str(format!("{:?}", policy.inter))),
+                ("intra_block", Json::str(format!("{:?}", policy.intra))),
+            ])
+        })
+        .collect();
+    format!("{}\n", Json::obj([("archs", Json::Arr(entries))]))
 }
 
 fn handle_job(state: &State, request: &Request) -> Response {
@@ -582,6 +611,32 @@ mod tests {
 
         let missing = crate::http::request(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(missing.status, 404);
+
+        let cache_dir = running.handle().state().store.dir().to_path_buf();
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn archs_catalog_lists_registry() {
+        let server = Server::bind(test_cfg("archs")).unwrap();
+        let running = server.spawn().unwrap();
+        let addr = running.addr.to_string();
+
+        let resp = crate::http::request(&addr, "GET", "/v1/archs", None).unwrap();
+        assert_eq!(resp.status, 200);
+        let parsed = Json::parse(resp.body.trim()).unwrap();
+        let archs = parsed.get("archs").and_then(Json::as_arr).unwrap();
+        assert_eq!(archs.len(), tbstc::sim::REGISTRY.len());
+        for (entry, model) in archs.iter().zip(tbstc::sim::REGISTRY) {
+            assert_eq!(
+                entry.get("name").and_then(Json::as_str),
+                Some(model.canonical_name())
+            );
+            assert!(entry.get("lanes").and_then(Json::as_u64).unwrap() > 0);
+            assert!(entry.get("inter_block").and_then(Json::as_str).is_some());
+            assert!(entry.get("intra_block").and_then(Json::as_str).is_some());
+        }
 
         let cache_dir = running.handle().state().store.dir().to_path_buf();
         running.shutdown_and_join();

@@ -10,6 +10,7 @@ use crate::arch::Arch;
 use crate::archs::{ratio_grouped_slots, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// HighLight's two-level metadata intersection overhead per element
@@ -59,8 +60,28 @@ impl ArchModel for Highlight {
         }
     }
 
+    /// Ratio pricing reads the packed `row_nnz` column straight off the
+    /// plan.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        let mut works = Vec::with_capacity(plan.len());
+        for ((i, &rows), &indep) in plan
+            .nonempty_rows()
+            .iter()
+            .enumerate()
+            .zip(plan.independent_dim())
+        {
+            works.push(BlockWork {
+                slots: (ratio_grouped_slots(plan.row_nnz(i), 8) as f64 * INTERSECT_OVERHEAD).ceil()
+                    as usize,
+                nonempty_rows: rows,
+                independent_dim: indep,
+            });
+        }
+        works
+    }
+
     /// Homogeneous rows: whole-matrix SDC alignment pads almost nothing.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+    fn weight_trace(&self, layer: &SparseLayer, _plan: &BlockPlan) -> WeightTrace {
         WeightTrace::from_access_trace(Sdc::encode(layer.sampled()).access_trace())
     }
 

@@ -29,6 +29,7 @@ use crate::arch::Arch;
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
+use crate::plan::BlockPlan;
 use crate::sched::BlockWork;
 
 /// Per-block statistics of the sampled pruned weights, as walked in 8×8
@@ -125,6 +126,20 @@ pub trait ArchModel: Sync {
     /// gather efficiency, density floors) are modelled.
     fn block_work(&self, block: &BlockStats) -> BlockWork;
 
+    /// Prices a whole [`BlockPlan`] in one array pass. The contract: the
+    /// result must equal `plan.stats(i)` fed through [`Self::block_work`]
+    /// for every block `i`, in block order — the batched and scalar paths
+    /// are interchangeable (`batch_parity` tests pin this per
+    /// architecture). The default loops the scalar path; architectures
+    /// override it with a tight pass over the plan's flat columns.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        let mut works = Vec::with_capacity(plan.len());
+        for i in 0..plan.len() {
+            works.push(self.block_work(&plan.stats(i)));
+        }
+        works
+    }
+
     /// Extra sampled compute cycles outside the block schedule (e.g.
     /// SGCN's per-row CSR frontend decode), given the block work list and
     /// the PE count.
@@ -136,8 +151,10 @@ pub trait ArchModel: Sync {
     // --- Memory format & codec ------------------------------------------
 
     /// The sampled weight-stream trace of the architecture's native
-    /// storage format.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace;
+    /// storage format. `plan` carries the occupancy statistics (total
+    /// non-zeros, per-row totals) so formats sized by occupancy need not
+    /// re-count the matrix.
+    fn weight_trace(&self, layer: &SparseLayer, plan: &BlockPlan) -> WeightTrace;
 
     /// Whether the weight stream degenerates to a dense row stream for
     /// this layer/format, making the full matrix the information content
@@ -236,6 +253,26 @@ pub fn architecture_table_markdown() -> String {
         ));
     }
     out
+}
+
+/// Zips a plan's occupancy columns into [`BlockWork`]s for
+/// nnz-proportional dataflows, with `slots_of` mapping each block's
+/// non-zero count to issued slots — the shared batched pass behind the
+/// STC / RM-STC / TB-STC / DVPE+FAN / SGCN overrides.
+pub(crate) fn nnz_proportional_batch(
+    plan: &BlockPlan,
+    slots_of: impl Fn(usize) -> usize,
+) -> Vec<BlockWork> {
+    plan.nnz()
+        .iter()
+        .zip(plan.nonempty_rows())
+        .zip(plan.independent_dim())
+        .map(|((&nnz, &rows), &indep)| BlockWork {
+            slots: slots_of(nnz),
+            nonempty_rows: rows,
+            independent_dim: indep,
+        })
+        .collect()
 }
 
 /// Slots a lockstep SIMD engine needs: adjacent groups of `group` rows

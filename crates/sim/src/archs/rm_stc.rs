@@ -6,9 +6,10 @@ use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
 use crate::arch::Arch;
-use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// Row-merge packing efficiency of RM-STC's unstructured dataflow
@@ -62,11 +63,16 @@ impl ArchModel for RmStc {
         }
     }
 
+    /// Nnz pricing zips the plan's occupancy columns directly.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        nnz_proportional_batch(plan, |nnz| ((nnz as f64) / EFFICIENCY).ceil() as usize)
+    }
+
     /// Bitmap + packed values (the row-merge frontend consumes streams).
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
-        let w = layer.sampled();
-        let nnz = w.count_nonzeros() as u64;
-        let bitmap = (w.len() as u64).div_ceil(8);
+    fn weight_trace(&self, _layer: &SparseLayer, plan: &BlockPlan) -> WeightTrace {
+        let (rows, cols) = plan.sampled_shape();
+        let nnz = plan.total_nnz() as u64;
+        let bitmap = ((rows * cols) as u64).div_ceil(8);
         WeightTrace::sequential(nnz * 2 + bitmap)
     }
 

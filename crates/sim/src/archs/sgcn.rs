@@ -7,9 +7,10 @@ use tbstc_formats::Csr;
 use tbstc_sparsity::PatternKind;
 
 use crate::arch::Arch;
-use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// SGCN's element-granular gather efficiency at DNN-range sparsity.
@@ -56,6 +57,11 @@ impl ArchModel for Sgcn {
         }
     }
 
+    /// Nnz pricing zips the plan's occupancy columns directly.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        nnz_proportional_batch(plan, |nnz| ((nnz as f64) / EFFICIENCY).ceil() as usize)
+    }
+
     /// A per-row frontend setup (CSR row decode), amortized over the
     /// layer: one slot-cycle per non-empty row of the weight stream.
     fn extra_compute_cycles(&self, works: &[BlockWork], pes: usize) -> u64 {
@@ -64,7 +70,7 @@ impl ArchModel for Sgcn {
     }
 
     /// CSR stream with per-element indices.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+    fn weight_trace(&self, layer: &SparseLayer, _plan: &BlockPlan) -> WeightTrace {
         WeightTrace::from_access_trace(Csr::encode(layer.sampled()).streaming_trace())
     }
 

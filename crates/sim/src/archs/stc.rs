@@ -5,9 +5,10 @@ use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
 use crate::arch::Arch;
-use crate::archs::{ArchModel, BlockStats, WeightTrace};
+use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// The NVIDIA STC baseline.
@@ -52,9 +53,14 @@ impl ArchModel for Stc {
         }
     }
 
+    /// Nnz pricing zips the plan's occupancy columns directly.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        nnz_proportional_batch(plan, |nnz| nnz)
+    }
+
     /// 4:8 values + 2-bit position metadata, perfectly aligned.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
-        let nnz = layer.sampled().count_nonzeros() as u64;
+    fn weight_trace(&self, _layer: &SparseLayer, plan: &BlockPlan) -> WeightTrace {
+        let nnz = plan.total_nnz() as u64;
         WeightTrace::sequential(nnz * 2 + nnz / 4)
     }
 

@@ -5,10 +5,13 @@ use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
 use crate::arch::Arch;
-use crate::archs::{ddc_or_dense_trace, ArchModel, BlockStats, WeightTrace};
+use crate::archs::{
+    ddc_or_dense_trace, nnz_proportional_batch, ArchModel, BlockStats, WeightTrace,
+};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// The TB-STC architecture (paper).
@@ -59,8 +62,13 @@ impl ArchModel for TbStc {
         }
     }
 
+    /// Nnz pricing zips the plan's occupancy columns directly.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        nnz_proportional_batch(plan, |nnz| nnz)
+    }
+
     /// Dual-dimensional compression; non-prunable layers run dense rows.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+    fn weight_trace(&self, layer: &SparseLayer, _plan: &BlockPlan) -> WeightTrace {
         ddc_or_dense_trace(layer)
     }
 

@@ -8,6 +8,7 @@ use crate::archs::{ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// The dense baseline (NVIDIA Tensor Core without sparsity support).
@@ -51,8 +52,22 @@ impl ArchModel for Tc {
         }
     }
 
+    /// Dense pricing reads only the geometry columns.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        plan.dense_slots()
+            .iter()
+            .zip(plan.block_rows())
+            .zip(plan.independent_dim())
+            .map(|((&slots, &rows), &indep)| BlockWork {
+                slots,
+                nonempty_rows: rows,
+                independent_dim: indep,
+            })
+            .collect()
+    }
+
     /// Dense rows, 2 bytes per element, sequential row requests.
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
+    fn weight_trace(&self, layer: &SparseLayer, _plan: &BlockPlan) -> WeightTrace {
         let w = layer.sampled();
         let row_bytes = w.cols() as u64 * 2;
         WeightTrace {

@@ -1,13 +1,13 @@
 //! VEGETA: row-wise N:M with per-row ratios on a vertical-SIMD engine.
 
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
-use tbstc_matrix::Matrix;
 use tbstc_sparsity::PatternKind;
 
 use crate::arch::Arch;
 use crate::archs::{lockstep_slots, ratio_grouped_slots, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// The VEGETA baseline.
@@ -57,12 +57,33 @@ impl ArchModel for Vegeta {
         }
     }
 
+    /// Lockstep/ratio pricing reads the packed `row_nnz` column straight
+    /// off the plan.
+    fn block_works_batch(&self, plan: &BlockPlan) -> Vec<BlockWork> {
+        let mut works = Vec::with_capacity(plan.len());
+        for ((i, &rows), &indep) in plan
+            .nonempty_rows()
+            .iter()
+            .enumerate()
+            .zip(plan.independent_dim())
+        {
+            let rn = plan.row_nnz(i);
+            works.push(BlockWork {
+                slots: lockstep_slots(rn, 4).max(ratio_grouped_slots(rn, 8)),
+                nonempty_rows: rows,
+                independent_dim: indep,
+            });
+        }
+        works
+    }
+
     /// Single-dimensional compression aligned per co-scheduled 8-row
     /// group (VEGETA pads each group to its own max row population —
     /// less redundant than whole-matrix alignment, still padded on
-    /// heterogeneous rows).
-    fn weight_trace(&self, layer: &SparseLayer) -> WeightTrace {
-        grouped_sdc_trace(layer.sampled(), 8)
+    /// heterogeneous rows). The per-row populations come off the plan's
+    /// `matrix_row_nnz` column instead of re-counting matrix rows.
+    fn weight_trace(&self, _layer: &SparseLayer, plan: &BlockPlan) -> WeightTrace {
+        grouped_sdc_trace(plan.matrix_row_nnz(), 8)
     }
 
     fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
@@ -72,18 +93,13 @@ impl ArchModel for Vegeta {
 
 /// SDC aligned per `group`-row window: each window stores its rows padded
 /// to the window's max population (value + 1-byte index per slot),
-/// sequentially.
-fn grouped_sdc_trace(w: &Matrix, group: usize) -> WeightTrace {
-    let mut requests = Vec::new();
+/// sequentially. `row_nnz` holds the per-matrix-row non-zero counts.
+fn grouped_sdc_trace(row_nnz: &[usize], group: usize) -> WeightTrace {
+    let mut requests = Vec::with_capacity(row_nnz.len().div_ceil(group));
     let mut addr = 0u64;
-    for g0 in (0..w.rows()).step_by(group) {
-        let rows = (g0..(g0 + group).min(w.rows())).collect::<Vec<_>>();
-        let max_nnz = rows
-            .iter()
-            .map(|&r| w.row(r).iter().filter(|&&x| x != 0.0).count())
-            .max()
-            .unwrap_or(0) as u64;
-        let bytes = rows.len() as u64 * max_nnz * 3; // fp16 value + index
+    for window in row_nnz.chunks(group) {
+        let max_nnz = window.iter().copied().max().unwrap_or(0) as u64;
+        let bytes = window.len() as u64 * max_nnz * 3; // fp16 value + index
         if bytes > 0 {
             requests.push((addr, bytes));
             addr += bytes;

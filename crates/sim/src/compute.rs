@@ -3,17 +3,19 @@
 //! Each architecture turns the sampled pruned weights into a list of
 //! per-block [`BlockWork`] items reflecting its dataflow's structural
 //! constraints, then runs them through the scheduler model. The
-//! constraints live with the architectures — [`block_works`] gathers the
-//! per-block [`BlockStats`] and each [`crate::archs::ArchModel`] prices
-//! them: TC densely, STC at its 4:8 floor, VEGETA/HighLight with their
-//! one-dimensional lockstep/ratio-grouping penalties, RM-STC/SGCN
-//! nnz-proportionally with their efficiency factors, and TB-STC (plus the
-//! FAN ablation) nnz-proportionally with hierarchical scheduling.
+//! constraints live with the architectures — a [`BlockPlan`] gathers the
+//! per-block occupancy columns in one pass over the sampled weights and
+//! each [`crate::archs::ArchModel`] prices them in batch: TC densely, STC
+//! at its 4:8 floor, VEGETA/HighLight with their one-dimensional
+//! lockstep/ratio-grouping penalties, RM-STC/SGCN nnz-proportionally with
+//! their efficiency factors, and TB-STC (plus the FAN ablation)
+//! nnz-proportionally with hierarchical scheduling.
 
 use crate::arch::Arch;
-use crate::archs::{self, BlockStats};
+use crate::archs;
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 use crate::sched::{self, BlockWork, InterBlockPolicy, IntraBlockPolicy};
 
 /// The compute-side result for one layer (already scaled to real size).
@@ -53,74 +55,39 @@ impl SchedulePolicy {
     }
 }
 
-/// Extracts the per-block work list the architecture's dataflow sees,
-/// walking the sampled weights in 8×8 blocks.
+/// Extracts the per-block work list the architecture's dataflow sees.
+///
+/// Convenience wrapper: builds a [`BlockPlan`] and prices it through the
+/// architecture's batched pricing. Callers that already hold a plan (the
+/// [`crate::pipeline`] layer) should call
+/// [`crate::archs::ArchModel::block_works_batch`] directly.
 pub fn block_works(arch: Arch, layer: &SparseLayer) -> Vec<BlockWork> {
-    use tbstc_sparsity::SparsityDim;
-    let model = archs::model(arch);
-    let w = layer.sampled();
-    let m = 8usize;
-    let (rows, cols) = w.shape();
-    let grid_rows = rows.div_ceil(m);
-    let grid_cols = cols.div_ceil(m);
-    let mut works = Vec::with_capacity(grid_rows * grid_cols);
-    // The TBS block list and its grid width are loop-invariant; resolve
-    // them once instead of per block.
-    let tbs_blocks = layer
-        .tbs()
-        .map(|t| (t.blocks(), t.mask().cols().div_ceil(t.config().m)));
-
-    for br in 0..grid_rows {
-        for bc in 0..grid_cols {
-            let (r0, c0) = (br * m, bc * m);
-            // Per-row non-zero counts of this block.
-            let mut row_nnz = [0usize; 8];
-            for (dr, count) in row_nnz.iter_mut().enumerate() {
-                for dc in 0..m {
-                    if let Some(v) = w.get(r0 + dr, c0 + dc) {
-                        if v != 0.0 {
-                            *count += 1;
-                        }
-                    }
-                }
-            }
-            let nnz: usize = row_nnz.iter().sum();
-            let nonempty = row_nnz.iter().filter(|&&c| c > 0).count();
-            // TBS blocks carry their sparsity dimension; everything else
-            // is reduction-dimension by construction.
-            let independent_dim = tbs_blocks
-                .and_then(|(blocks, gc)| {
-                    blocks
-                        .get(br * gc + bc)
-                        .map(|b| b.dim == SparsityDim::Independent)
-                })
-                .unwrap_or(false);
-
-            let block_rows = m.min(rows.saturating_sub(r0));
-            let block_cols = m.min(cols.saturating_sub(c0));
-            let stats = BlockStats {
-                row_nnz,
-                nnz,
-                nonempty_rows: nonempty,
-                independent_dim,
-                dense_slots: block_rows * block_cols,
-                block_rows,
-            };
-            works.push(model.block_work(&stats));
-        }
-    }
-    works
+    archs::model(arch).block_works_batch(&BlockPlan::build(layer))
 }
 
 /// Runs the compute model for a layer on an architecture.
+///
+/// Builds a fresh [`BlockPlan`]; use [`simulate_compute_with_plan`] to
+/// share one plan across the compute and memory models.
 pub fn simulate_compute(
     arch: Arch,
     layer: &SparseLayer,
     cfg: &HwConfig,
     policy: SchedulePolicy,
 ) -> ComputeResult {
+    simulate_compute_with_plan(arch, layer, &BlockPlan::build(layer), cfg, policy)
+}
+
+/// Runs the compute model for a layer using a pre-built [`BlockPlan`].
+pub fn simulate_compute_with_plan(
+    arch: Arch,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
+    cfg: &HwConfig,
+    policy: SchedulePolicy,
+) -> ComputeResult {
     let model = archs::model(arch);
-    let works = block_works(arch, layer);
+    let works = model.block_works_batch(plan);
     let lanes = arch.lanes(cfg.pe);
     let width = cfg.lane_width();
     let pes = lanes / width;
@@ -132,7 +99,7 @@ pub fn simulate_compute(
     let scale = layer.weight_scale() * layer.col_scale();
     let cycles = (sampled_cycles as f64 * scale).ceil() as u64;
 
-    let useful_sampled: u64 = layer.sampled().count_nonzeros() as u64 * layer.sn as u64;
+    let useful_sampled: u64 = plan.total_nnz() as u64 * layer.sn as u64;
     let issued_sampled: u64 = works.iter().map(|w| w.slots as u64).sum::<u64>() * layer.sn as u64;
     let useful_macs = (useful_sampled as f64 * scale) as u64;
     let issued_macs = (issued_sampled as f64 * scale) as u64;

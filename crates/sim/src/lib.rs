@@ -50,6 +50,7 @@ pub mod layer;
 pub mod mbd;
 pub mod memory;
 pub mod pipeline;
+pub mod plan;
 pub mod result;
 pub mod sched;
 pub mod schedunit;
@@ -59,5 +60,6 @@ pub use archs::{ArchModel, REGISTRY};
 pub use builder::LayerSim;
 pub use config::HwConfig;
 pub use layer::SparseLayer;
-pub use pipeline::{simulate_layer, simulate_model};
+pub use pipeline::{simulate_layer, simulate_layer_with, simulate_model, SimOptions};
+pub use plan::BlockPlan;
 pub use result::{CycleBreakdown, LayerResult, ModelResult};

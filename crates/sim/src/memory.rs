@@ -23,12 +23,14 @@ use crate::arch::Arch;
 use crate::archs::{self, WeightTrace};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
+use crate::plan::BlockPlan;
 
 /// Storage-format override for the Fig. 16(a) codec ablation and the
 /// Fig. 15(b) quantization study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FormatOverride {
     /// Use the architecture's native format.
+    #[default]
     Native,
     /// Force single-dimensional compression (row-aligned padding).
     Sdc,
@@ -68,9 +70,23 @@ impl MemoryResult {
 const STREAM_EFFICIENCY: f64 = 0.95;
 
 /// Simulates the memory side of a layer.
+///
+/// Builds a fresh [`BlockPlan`]; use [`simulate_memory_with_plan`] to
+/// share one plan across the compute and memory models.
 pub fn simulate_memory(
     arch: Arch,
     layer: &SparseLayer,
+    cfg: &HwConfig,
+    fmt: FormatOverride,
+) -> MemoryResult {
+    simulate_memory_with_plan(arch, layer, &BlockPlan::build(layer), cfg, fmt)
+}
+
+/// Simulates the memory side of a layer using a pre-built [`BlockPlan`].
+pub fn simulate_memory_with_plan(
+    arch: Arch,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
     cfg: &HwConfig,
     fmt: FormatOverride,
 ) -> MemoryResult {
@@ -83,7 +99,7 @@ pub fn simulate_memory(
     };
 
     // --- Weight stream: replay the sampled trace, scale up. ---
-    let trace = a_trace(arch, layer, fmt);
+    let trace = a_trace(arch, layer, plan, fmt);
     let mut dram = DramModel::new(dram_cfg);
     let a_res = dram.replay(trace.requests.iter().copied());
     let ws = layer.weight_scale();
@@ -93,7 +109,7 @@ pub fn simulate_memory(
     // Bandwidth utilization counts only *information* bytes: format
     // padding (SDC) and burst waste (CSR) both show up as lost
     // utilization — the paper's challenge-2 metric.
-    let info_sampled = info_bytes(arch, layer, fmt);
+    let info_sampled = info_bytes(arch, layer, plan, fmt);
     let a_util = if a_res.cycles == 0 {
         1.0
     } else {
@@ -130,33 +146,35 @@ pub fn simulate_memory(
 /// The information content of the sampled weight stream: the bytes any
 /// format must move at minimum (values + one index per non-zero; the full
 /// matrix when the architecture streams dense rows for this layer/format).
-fn info_bytes(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> f64 {
-    let w = layer.sampled();
+fn info_bytes(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOverride) -> f64 {
     if archs::model(arch).dense_info_stream(layer, fmt) {
-        return w.len() as f64 * 2.0;
+        let (rows, cols) = plan.sampled_shape();
+        return (rows * cols) as f64 * 2.0;
     }
     if fmt == FormatOverride::Int8 {
-        return w.count_nonzeros() as f64 * 2.0; // 1B value + packed index
+        return plan.total_nnz() as f64 * 2.0; // 1B value + packed index
     }
-    w.count_nonzeros() as f64 * 3.0
+    plan.total_nnz() as f64 * 3.0
 }
 
 /// Builds the sampled weight-stream trace for an architecture: the
 /// override formats here, the native format from the registered model.
-fn a_trace(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> WeightTrace {
-    let w = layer.sampled();
+fn a_trace(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOverride) -> WeightTrace {
     match fmt {
-        FormatOverride::Sdc => WeightTrace::from_access_trace(Sdc::encode(w).access_trace()),
+        FormatOverride::Sdc => {
+            WeightTrace::from_access_trace(Sdc::encode(layer.sampled()).access_trace())
+        }
         FormatOverride::Csr => {
-            WeightTrace::from_access_trace(Csr::encode(w).block_access_trace(8, 8))
+            WeightTrace::from_access_trace(Csr::encode(layer.sampled()).block_access_trace(8, 8))
         }
         FormatOverride::Int8 => {
             // DDC layout with 1-byte values: info words + nnz × 1.5 bytes.
-            let blocks = (w.rows().div_ceil(8) * w.cols().div_ceil(8)) as u64;
-            let bytes = blocks * 2 + (w.count_nonzeros() as u64 * 3).div_ceil(2);
+            let (gr, gc) = plan.grid();
+            let blocks = (gr * gc) as u64;
+            let bytes = blocks * 2 + (plan.total_nnz() as u64 * 3).div_ceil(2);
             WeightTrace::sequential(bytes)
         }
-        FormatOverride::Native => archs::model(arch).weight_trace(layer),
+        FormatOverride::Native => archs::model(arch).weight_trace(layer, plan),
     }
 }
 

@@ -12,10 +12,11 @@ use tbstc_models::{LayerShape, Model};
 use tbstc_sparsity::SparsityDim;
 
 use crate::arch::Arch;
-use crate::compute::{simulate_compute, SchedulePolicy};
+use crate::compute::{simulate_compute_with_plan, SchedulePolicy};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
-use crate::memory::{simulate_memory, FormatOverride};
+use crate::memory::{simulate_memory_with_plan, FormatOverride};
+use crate::plan::BlockPlan;
 use crate::result::{CycleBreakdown, LayerResult, ModelResult};
 
 /// Elements the codec ingests per cycle: it is provisioned at twice the
@@ -26,23 +27,64 @@ const CODEC_ELEMS_PER_CYCLE: u64 = 64;
 /// Pipeline-fill latency of the codec at each layer start, cycles.
 const CODEC_FILL_CYCLES: u64 = 8;
 
+/// Simulation knobs for [`simulate_layer_with`].
+///
+/// `Default` (and [`SimOptions::native`]) leaves every knob on the
+/// architecture's native behaviour; the ablation entry points override
+/// one knob at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Scheduling override; `None` resolves to the architecture's
+    /// [`SchedulePolicy::native`] policy (Fig. 16(b) ablation).
+    pub policy: Option<SchedulePolicy>,
+    /// Storage-format override (Fig. 16(a) codec ablation, Fig. 15(b)
+    /// quantization study).
+    pub format: FormatOverride,
+}
+
+impl SimOptions {
+    /// Native scheduling and format — what [`simulate_layer`] uses.
+    pub fn native() -> Self {
+        Self::default()
+    }
+
+    /// Native options with an explicit scheduling policy.
+    pub fn with_policy(policy: SchedulePolicy) -> Self {
+        SimOptions {
+            policy: Some(policy),
+            ..Self::default()
+        }
+    }
+
+    /// Native options with an explicit storage format.
+    pub fn with_format(format: FormatOverride) -> Self {
+        SimOptions {
+            format,
+            ..Self::default()
+        }
+    }
+}
+
 /// Simulates one layer with explicit scheduling and format knobs (the
-/// ablation entry point).
+/// ablation entry point). Builds the layer's [`BlockPlan`] once and
+/// shares it across the compute and memory models.
 pub fn simulate_layer_with(
     arch: Arch,
     layer: &SparseLayer,
     cfg: &HwConfig,
-    policy: SchedulePolicy,
-    fmt: FormatOverride,
+    opts: &SimOptions,
 ) -> LayerResult {
     cfg.validate();
-    let mut comp = simulate_compute(arch, layer, cfg, policy);
+    let plan = BlockPlan::build(layer);
+    let policy = opts.policy.unwrap_or_else(|| SchedulePolicy::native(arch));
+    let fmt = opts.format;
+    let mut comp = simulate_compute_with_plan(arch, layer, &plan, cfg, policy);
     if fmt == FormatOverride::Int8 {
         // Each FP16 multiplier lane executes two int8 MACs per cycle, so
         // int8 weights double compute throughput (Fig. 15(b) "Q+S").
         comp.cycles = comp.cycles.div_ceil(2);
     }
-    let mem = simulate_memory(arch, layer, cfg, fmt);
+    let mem = simulate_memory_with_plan(arch, layer, &plan, cfg, fmt);
     let codec_total = codec_cycles(arch, layer, fmt);
 
     let bottleneck = comp.cycles.max(mem.cycles);
@@ -86,13 +128,7 @@ pub fn simulate_layer_with(
 /// Simulates one layer with the architecture's native scheduling and
 /// format.
 pub fn simulate_layer(arch: Arch, layer: &SparseLayer, cfg: &HwConfig) -> LayerResult {
-    simulate_layer_with(
-        arch,
-        layer,
-        cfg,
-        SchedulePolicy::native(arch),
-        FormatOverride::Native,
-    )
+    simulate_layer_with(arch, layer, cfg, &SimOptions::native())
 }
 
 /// Simulates a whole model at one target sparsity (non-prunable layers run
@@ -157,7 +193,7 @@ fn codec_cycles(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> u64 {
     for info in tbs.blocks() {
         if info.dim == SparsityDim::Independent {
             let (r0, c0) = info.coord.origin(m);
-            indep_elems += mask.block(r0, c0, m, m).count_kept() as u64;
+            indep_elems += mask.block_view(r0, c0, m, m).count_kept() as u64;
         }
     }
     let sampled = indep_elems.div_ceil(CODEC_ELEMS_PER_CYCLE);

@@ -19,9 +19,6 @@
 //! repetitions over PEs, so [`schedule_stream`] schedules the expanded
 //! task list.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 /// How blocks are placed onto PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterBlockPolicy {
@@ -96,14 +93,24 @@ pub fn schedule_stream(
             // Round-robin over the expanded task list; whole cycles per
             // block, no cross-block merging. One pass over the blocks
             // repeated `cols` times is equivalent to accumulating each
-            // block's cost into PE (i + c·B) mod P.
+            // block's cost into PE (i + c·B) mod P. Per-block cycles are
+            // column-invariant, so compute them once and replay.
+            let costs: Vec<u64> = blocks
+                .iter()
+                .map(|w| intra_block_cycles(w, intra, width))
+                .collect();
             let mut load = vec![0u64; pes];
             for pass in 0..cols.min(pes) {
                 // Column tiles rotate across PEs (the output-stationary
                 // mapping shifts by one per column group), so simulate at
                 // most `pes` distinct passes then scale.
-                for (i, w) in blocks.iter().enumerate() {
-                    load[(i + pass) % pes] += intra_block_cycles(w, intra, width);
+                let mut p = pass;
+                for &c in &costs {
+                    load[p] += c;
+                    p += 1;
+                    if p == pes {
+                        p = 0;
+                    }
                 }
             }
             let passes = cols.min(pes) as u64;
@@ -116,27 +123,60 @@ pub fn schedule_stream(
             // early takes the next (block, column) task from the queue, so
             // the scheduler balances across the whole expanded stream and
             // each PE's time is ceil(sum of its slots / width).
-            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-                (0..pes).map(|p| Reverse((0u64, p))).collect();
-            for _ in 0..cols {
-                for w in blocks {
-                    // tbstc-lint: allow(panic-surface) — heap was seeded
-                    // with one entry per PE and pes > 0.
-                    let Reverse((load, p)) = heap.pop().expect("pes > 0");
+            //
+            // Implementation: a flat array min-heap over the fused key
+            // `load · P + pe`. Because `pe < P`, fused-key order is exactly
+            // lexicographic `(load, pe)` order — the same tie-break the
+            // historical `BinaryHeap<Reverse<(u64, usize)>>` used — and all
+            // keys are distinct, so the selected PE is identical at every
+            // step. Loads stay far below 2^56 for any simulated layer, so
+            // the fused product cannot overflow. Per-task add is
+            // column-invariant (precomputed once); a zero add re-inserts an
+            // unchanged key, so those tasks are skipped outright; each real
+            // task is one root replacement (single sift-down) instead of a
+            // pop + push pair.
+            let pes64 = pes as u64;
+            let adds: Vec<u64> = blocks
+                .iter()
+                .map(|w| {
                     let add = match intra {
                         IntraBlockPolicy::Balanced => w.slots as u64,
                         IntraBlockPolicy::Naive => {
                             intra_block_cycles(w, intra, width) * width as u64
                         }
                     };
-                    heap.push(Reverse((load + add, p)));
+                    add * pes64
+                })
+                .collect();
+            let mut heap: Vec<u64> = (0..pes64).collect();
+            for _ in 0..cols {
+                for &add in &adds {
+                    if add == 0 {
+                        continue;
+                    }
+                    let key = heap[0] + add;
+                    let mut i = 0usize;
+                    loop {
+                        let left = 2 * i + 1;
+                        if left >= pes {
+                            break;
+                        }
+                        let right = left + 1;
+                        let child = if right < pes && heap[right] < heap[left] {
+                            right
+                        } else {
+                            left
+                        };
+                        if heap[child] >= key {
+                            break;
+                        }
+                        heap[i] = heap[child];
+                        i = child;
+                    }
+                    heap[i] = key;
                 }
             }
-            let max_slots = heap
-                .into_iter()
-                .map(|Reverse((load, _))| load)
-                .max()
-                .unwrap_or(0);
+            let max_slots = heap.into_iter().map(|k| k / pes64).max().unwrap_or(0);
             max_slots.div_ceil(width as u64)
         }
     }

@@ -69,19 +69,29 @@ impl Mask {
     /// unstructured-pruning projection).
     ///
     /// Ties are broken by position (earlier row-major positions win), which
-    /// keeps the procedure deterministic.
+    /// keeps the procedure deterministic. The ordering `(score desc, index
+    /// asc)` is a strict total order, so the kept *set* is unique — which
+    /// is what lets the selection below replace the historical full sort
+    /// without changing any mask.
     pub fn top_k(scores: &Matrix, k: usize) -> Self {
-        let mut idx: Vec<usize> = (0..scores.len()).collect();
         let data = scores.as_slice();
-        idx.sort_by(|&a, &b| {
-            data[b]
-                .partial_cmp(&data[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        let mut keep = vec![false; scores.len()];
-        for &i in idx.iter().take(k.min(keep.len())) {
-            keep[i] = true;
+        let k = k.min(data.len());
+        let mut keep = vec![false; data.len()];
+        if k == data.len() {
+            keep.iter_mut().for_each(|b| *b = true);
+        } else if k > 0 {
+            let mut idx: Vec<usize> = (0..data.len()).collect();
+            // O(n) selection: after this call, idx[..k] holds exactly the
+            // top-k indices under (score desc, index asc).
+            idx.select_nth_unstable_by(k, |&a, &b| {
+                data[b]
+                    .partial_cmp(&data[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for &i in &idx[..k] {
+                keep[i] = true;
+            }
         }
         Mask {
             rows: scores.rows(),
@@ -159,6 +169,16 @@ impl Mask {
     /// Number of kept positions in column `c`.
     pub fn col_kept(&self, c: usize) -> usize {
         (0..self.rows).filter(|&r| self.get(r, c)).count()
+    }
+
+    /// Borrows row `r` as a slice of keep flags (contiguous, `cols` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[bool] {
+        assert!(r < self.rows, "mask row out of bounds");
+        &self.keep[r * self.cols..(r + 1) * self.cols]
     }
 
     /// The transposed mask.

@@ -195,33 +195,52 @@ impl TbsPattern {
         // Step 3: per block, build both directional candidate sets and keep
         // the one closer (L1/Hamming) to the unstructured mask. The winner
         // is written straight into the full-size mask (out-of-bounds padded
-        // positions dropped); one index buffer and two candidate lists are
-        // reused across every block.
+        // positions dropped). The current block's scores and unstructured
+        // flags are staged into zero-padded contiguous scratch buffers
+        // (refilled from row slices), so the lane sorts and overlap counts
+        // run on flat memory instead of bounds-checked views; one index
+        // buffer and two candidate lists are likewise reused across blocks.
         let mut mask = Mask::none(scores.rows(), scores.cols());
         let mut blocks = Vec::with_capacity(chosen.len());
         let mut idx = Vec::with_capacity(m);
         let mut row_cand: Vec<(usize, usize)> = Vec::with_capacity(m * m);
         let mut col_cand: Vec<(usize, usize)> = Vec::with_capacity(m * m);
+        let mut s_buf = vec![0.0f32; m * m];
+        let mut u_buf = vec![false; m * m];
         for (coord, n) in chosen {
             let (r0, c0) = coord.origin(m);
-            let sv = abs_scores.block_view(r0, c0, m, m);
-            let uv = unstructured.block_view(r0, c0, m, m);
+            let rmax = (r0 + m).min(scores.rows());
+            let cmax = (c0 + m).min(scores.cols());
+            let w = cmax - c0;
+            s_buf.fill(0.0);
+            u_buf.fill(false);
+            let mut un_kept = 0usize;
+            for r in r0..rmax {
+                let dst = (r - r0) * m;
+                s_buf[dst..dst + w].copy_from_slice(&abs_scores.row(r)[c0..cmax]);
+                for (d, &k) in u_buf[dst..dst + w]
+                    .iter_mut()
+                    .zip(&unstructured.row(r)[c0..cmax])
+                {
+                    *d = k;
+                    un_kept += usize::from(k);
+                }
+            }
 
             row_cand.clear();
             col_cand.clear();
             for lane in 0..m {
-                lane_top_n(&sv, lane, n, SparsityDim::Reduction, &mut idx);
+                lane_top_n(&s_buf, m, lane, n, SparsityDim::Reduction, &mut idx);
                 row_cand.extend(idx.iter().map(|&i| (lane, i)));
-                lane_top_n(&sv, lane, n, SparsityDim::Independent, &mut idx);
+                lane_top_n(&s_buf, m, lane, n, SparsityDim::Independent, &mut idx);
                 col_cand.extend(idx.iter().map(|&i| (i, lane)));
             }
 
             // Hamming(A, U) = |A| + |U| − 2|A ∩ U|; every candidate set
             // keeps exactly n·m positions (padding included, matching
             // `nm_block_mask` on a zero-padded block copy).
-            let un_kept = uv.count_kept();
             let overlap =
-                |cand: &[(usize, usize)]| cand.iter().filter(|&&(r, c)| uv.get(r, c)).count();
+                |cand: &[(usize, usize)]| cand.iter().filter(|&&(r, c)| u_buf[r * m + c]).count();
             let ham_row = n * m + un_kept - 2 * overlap(&row_cand);
             let ham_col = n * m + un_kept - 2 * overlap(&col_cand);
             let (dim, winner) = if ham_row <= ham_col {
@@ -362,11 +381,10 @@ impl TbsPattern {
 pub fn nm_block_mask(block_scores: &Matrix, n: usize, dim: SparsityDim) -> Mask {
     let m = block_scores.rows();
     debug_assert_eq!(block_scores.cols(), m, "blocks are square");
-    let view = block_scores.block_view(0, 0, m, m);
     let mut mask = Mask::none(m, m);
     let mut idx = Vec::with_capacity(m);
     for lane in 0..m {
-        lane_top_n(&view, lane, n, dim, &mut idx);
+        lane_top_n(block_scores.as_slice(), m, lane, n, dim, &mut idx);
         for &i in &idx {
             match dim {
                 SparsityDim::Reduction => mask.set(lane, i, true),
@@ -377,23 +395,26 @@ pub fn nm_block_mask(block_scores: &Matrix, n: usize, dim: SparsityDim) -> Mask 
     mask
 }
 
-/// Fills `idx` with the top-`n` in-lane indices of `scores` (ties broken
-/// by lower index, exactly the `nm_block_mask` ordering), reusing `idx`'s
-/// allocation.
-fn lane_top_n(
-    scores: &tbstc_matrix::BlockView<'_>,
-    lane: usize,
-    n: usize,
-    dim: SparsityDim,
-    idx: &mut Vec<usize>,
-) {
-    let m = scores.rows();
+/// Fills `idx` with the top-`n` in-lane indices of the row-major `m × m`
+/// score block `s` (ties broken by lower index, exactly the
+/// `nm_block_mask` ordering), reusing `idx`'s allocation.
+///
+/// The degenerate lanes skip the sort: `n = 0` keeps nothing and `n ≥ m`
+/// keeps every in-lane index, and in both cases the kept *set* — the only
+/// thing callers consume — matches the sorted-then-truncated result.
+fn lane_top_n(s: &[f32], m: usize, lane: usize, n: usize, dim: SparsityDim, idx: &mut Vec<usize>) {
     idx.clear();
+    if n == 0 {
+        return;
+    }
     idx.extend(0..m);
+    if n >= m {
+        return;
+    }
     idx.sort_by(|&a, &b| {
         let (sa, sb) = match dim {
-            SparsityDim::Reduction => (scores.get(lane, a), scores.get(lane, b)),
-            SparsityDim::Independent => (scores.get(a, lane), scores.get(b, lane)),
+            SparsityDim::Reduction => (s[lane * m + a], s[lane * m + b]),
+            SparsityDim::Independent => (s[a * m + lane], s[b * m + lane]),
         };
         sb.partial_cmp(&sa)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -435,13 +456,23 @@ fn adjust_to_target(
     let kept_of = |n: usize| n * m; // each block keeps N per lane × M lanes
     let mut total_kept: i64 = chosen.iter().map(|&(_, n)| kept_of(n) as i64).sum();
     let target = keep_total as i64;
+    if total_kept == target {
+        return;
+    }
 
-    // Score a block's marginal value at candidate step: mean lane score mass
-    // between its current and next N (cheap proxy for importance lost/gained).
-    let block_mass = |coord: BlockCoord| -> f64 {
-        let (r0, c0) = coord.origin(m);
-        abs_scores.block_view(r0, c0, m, m).l1_norm()
-    };
+    // Score a block's marginal value at a candidate step: its importance
+    // mass (cheap proxy for importance lost/gained). Computed once up
+    // front — the greedy loop re-reads every block's mass each iteration.
+    // `BlockView::l1_norm` keeps its per-row partial-sum order, so each
+    // precomputed mass is bit-identical to the on-demand value it replaces
+    // and every strict-inequality tie-break below is unchanged.
+    let masses: Vec<f64> = chosen
+        .iter()
+        .map(|&(coord, _)| {
+            let (r0, c0) = coord.origin(m);
+            abs_scores.block_view(r0, c0, m, m).l1_norm()
+        })
+        .collect();
 
     let step = |n: usize, up: bool| -> Option<usize> {
         let pos = config.n_candidates.iter().position(|&c| c == n)?;
@@ -462,14 +493,14 @@ fn adjust_to_target(
         }
         let up = deficit > 0;
         let mut best: Option<(usize, usize, i64, f64)> = None; // (idx, new_n, delta, mass)
-        for (i, &(coord, n)) in chosen.iter().enumerate() {
+        for (i, &(_, n)) in chosen.iter().enumerate() {
             let Some(new_n) = step(n, up) else { continue };
             let delta = kept_of(new_n) as i64 - kept_of(n) as i64;
             // Only steps that reduce |deficit| are useful.
             if (total_kept + delta - target).abs() >= deficit.abs() {
                 continue;
             }
-            let mass = block_mass(coord);
+            let mass = masses[i];
             let better = match &best {
                 None => true,
                 Some((_, _, _, best_mass)) => {

@@ -8,7 +8,7 @@ use tbstc::matrix::rng::MatrixRng;
 use tbstc::prelude::*;
 use tbstc::sim::compute::{simulate_compute, SchedulePolicy};
 use tbstc::sim::memory::{simulate_memory, FormatOverride};
-use tbstc::sim::pipeline::simulate_layer_with;
+use tbstc::sim::pipeline::{simulate_layer_with, SimOptions};
 
 fn bert_layer() -> tbstc::models::LayerShape {
     tbstc::models::bert_base(128).layers[0].clone()
@@ -195,13 +195,7 @@ fn claim_codec_ablation() {
         .build(&cfg());
     let native = simulate_layer(Arch::TbStc, &layer, &cfg());
     for fmt in [FormatOverride::Sdc, FormatOverride::Csr] {
-        let alt = simulate_layer_with(
-            Arch::TbStc,
-            &layer,
-            &cfg(),
-            SchedulePolicy::native(Arch::TbStc),
-            fmt,
-        );
+        let alt = simulate_layer_with(Arch::TbStc, &layer, &cfg(), &SimOptions::with_format(fmt));
         assert!(
             alt.cycles >= native.cycles,
             "{fmt:?}: {} vs {}",
