@@ -34,7 +34,14 @@ fn bench_sparsify(c: &mut Criterion) {
 
 fn bench_report(c: &mut Criterion) {
     c.bench_function("perf_report_smoke", |b| {
-        b.iter(|| run(black_box(&PerfConfig { iters: 1, seed: 1 })))
+        b.iter(|| {
+            run(black_box(&PerfConfig {
+                iters: 1,
+                seed: 1,
+                loadgen_connections: 4,
+                loadgen_requests: 16,
+            }))
+        })
     });
 }
 

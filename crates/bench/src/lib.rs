@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod perf;
 
 /// Prints a banner naming the experiment being regenerated.

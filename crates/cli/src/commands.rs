@@ -29,7 +29,10 @@ USAGE:
                      [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
                      [--oneshot --job FILE]
   tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR6.json]
+  tbstc-cli loadgen  [--addr HOST:PORT] [--connections 64] [--requests 512]
+                     [--specs 16] [--zipf 1.1] [--seed 1] [--min-rps 0] [--json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR7.json]
+                     [--loadgen-connections 1000] [--loadgen-requests 8000]
   tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
                      [--rules a,b] [--root DIR]
   tbstc-cli table3
@@ -55,18 +58,27 @@ hit), prints the metrics text, and exits — the CI smoke test.
 `submit` posts a job-spec file to a running server and prints the
 response body (stdout) plus cache status (stderr).
 
+`loadgen` drives an event-driven load generator against a server:
+--connections keep-alive connections issue --requests submissions
+with zipfian popularity over --specs distinct job specs, seeded by
+--seed so the sequence replays exactly. Without --addr it boots a
+private server on an ephemeral port first. Reports rps and p50/p99/
+p999 latency; exits nonzero if any request fails or rps falls below
+--min-rps (CI's floor).
+
 `--json` on simulate/sweep emits the same canonical machine-readable
 body the server returns, instead of the human tables.
 
 `perf` times the numeric hot paths (train step old vs new kernels,
 Algorithm-1 sparsify, layer simulation) plus the serve loopback
-(throughput and cache hit-rate) and the workspace lint pass, and
-writes a JSON report to --out. --jobs caps the GEMM worker pool
-(sets TBSTC_JOBS).
+(loadgen-driven throughput, latency percentiles, and cache hit-rate)
+and the workspace lint pass, and writes a JSON report to --out.
+--jobs caps the GEMM worker pool (sets TBSTC_JOBS).
 
 `lint` runs the workspace's own static analyzer (tbstc-lint) over
 crates/*/src: panic-surface, determinism, lock-discipline,
-arch-dispatch, and crate-hygiene rules with file:line:col output.
+arch-dispatch, crate-hygiene, hot-path-alloc, and
+blocking-in-event-loop rules with file:line:col output.
 Errors always fail; warnings fail only with --deny-warnings (CI's
 mode). Silence a finding in place with a
 `// tbstc-lint: allow(<rule>) — reason` comment, or grandfather it
@@ -86,6 +98,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "sweep" => sweep(args),
         "serve" => serve(args),
         "submit" => submit(args),
+        "loadgen" => loadgen(args),
         "perf" => perf(args),
         "lint" => lint(args),
         "table3" => Ok(table3()),
@@ -548,11 +561,112 @@ fn submit(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(resp.body)
 }
 
+/// Drives the event-driven load generator, either against `--addr` or
+/// against a private server booted on an ephemeral port. Fails (exit
+/// nonzero) on any failed request or an rps below `--min-rps`.
+fn loadgen(args: &ParsedArgs) -> Result<String, ArgError> {
+    let connections: usize = args.num_or("connections", 64)?;
+    let requests: usize = args.num_or("requests", 512)?;
+    let specs: usize = args.num_or("specs", 16)?;
+    let zipf: f64 = args.num_or("zipf", 1.1)?;
+    let seed: u64 = args.num_or("seed", 1)?;
+    let min_rps: f64 = args.num_or("min-rps", 0.0)?;
+    if connections == 0 || requests == 0 || specs == 0 {
+        return Err(ArgError(
+            "--connections, --requests, and --specs must be at least 1".into(),
+        ));
+    }
+
+    let load = tbstc_bench::loadgen::LoadgenConfig {
+        addr: args.str_or("addr", ""),
+        connections,
+        requests,
+        distinct_specs: specs,
+        zipf_exponent: zipf,
+        seed,
+        ..tbstc_bench::loadgen::LoadgenConfig::default()
+    };
+
+    // Self-host when no address was given: a private server on an
+    // ephemeral port with a throwaway cache directory.
+    let (report, hosted) = if load.addr.is_empty() {
+        let dir = std::env::temp_dir().join(format!("tbstc-loadgen-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = tbstc_serve::Server::bind(tbstc_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: dir.clone(),
+            quiet: true,
+            queue_capacity: 256, // headroom for the cold burst
+            ..tbstc_serve::ServeConfig::default()
+        })
+        .map_err(|e| ArgError(e.to_string()))?;
+        let running = server.spawn().map_err(|e| ArgError(e.to_string()))?;
+        let report = tbstc_bench::loadgen::run(&tbstc_bench::loadgen::LoadgenConfig {
+            addr: running.addr.to_string(),
+            ..load
+        });
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(&dir);
+        (report.map_err(|e| ArgError(e.to_string()))?, true)
+    } else {
+        (
+            tbstc_bench::loadgen::run(&load).map_err(|e| ArgError(e.to_string()))?,
+            false,
+        )
+    };
+
+    let mut out = String::new();
+    if args.str_or("json", "false") == "true" {
+        out.push_str(&report.to_json());
+    } else {
+        writeln!(
+            out,
+            "loadgen: {} connections, {} requests ({} distinct specs, zipf {zipf}, seed {seed}){}",
+            report.connections,
+            report.completed + report.failed,
+            specs,
+            if hosted { " [self-hosted]" } else { "" }
+        )
+        .ok();
+        writeln!(
+            out,
+            "  completed {} / failed {} in {:.3} s  ->  {:.1} req/s",
+            report.completed, report.failed, report.elapsed_s, report.rps
+        )
+        .ok();
+        writeln!(
+            out,
+            "  latency p50 {:.0} us, p99 {:.0} us, p999 {:.0} us; cache hit rate {:.1}%",
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.hit_rate * 100.0
+        )
+        .ok();
+    }
+    if report.failed > 0 {
+        return Err(ArgError(format!(
+            "loadgen: {} of {} requests failed\n{out}",
+            report.failed,
+            report.completed + report.failed
+        )));
+    }
+    if report.rps < min_rps {
+        return Err(ArgError(format!(
+            "loadgen: {:.1} req/s is below the --min-rps floor of {min_rps}\n{out}",
+            report.rps
+        )));
+    }
+    Ok(out)
+}
+
 fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let iters: usize = args.num_or("iters", 20)?;
     let seed: u64 = args.num_or("seed", 42)?;
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
-    let out_path = args.str_or("out", "BENCH_PR6.json");
+    let loadgen_connections: usize = args.num_or("loadgen-connections", 1000)?;
+    let loadgen_requests: usize = args.num_or("loadgen-requests", 8000)?;
+    let out_path = args.str_or("out", "BENCH_PR7.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -561,7 +675,12 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
         std::env::set_var(tbstc::runner::JOBS_ENV, jobs.to_string());
     }
 
-    let report = tbstc_bench::perf::run(&tbstc_bench::perf::PerfConfig { iters, seed });
+    let report = tbstc_bench::perf::run(&tbstc_bench::perf::PerfConfig {
+        iters,
+        seed,
+        loadgen_connections,
+        loadgen_requests,
+    });
     let json = report.to_json();
     std::fs::write(&out_path, &json)
         .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
@@ -611,10 +730,22 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     .ok();
     writeln!(
         out,
-        "  serve loopback  : {:>9.1} req/s over {} submissions ({:.0}% cache hits)",
+        "  serve loopback  : {:>9.1} req/s over {} submissions ({:.0}% cache hits; p99 {:.0} us, p999 {:.0} us)",
         report.serve.throughput_rps,
         report.serve.requests,
-        report.serve.cache_hit_rate * 100.0
+        report.serve.cache_hit_rate * 100.0,
+        report.serve.p99_us,
+        report.serve.p999_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "  loadgen zipfian : {:>9.1} req/s over {} connections ({} failed; p99 {:.0} us, p999 {:.0} us)",
+        report.loadgen.rps,
+        report.loadgen.connections,
+        report.loadgen.failed,
+        report.loadgen.p99_us,
+        report.loadgen.p999_us
     )
     .ok();
     writeln!(out, "  report written to {out_path}").ok();
@@ -820,7 +951,20 @@ mod tests {
     fn perf_writes_report_and_summary() {
         let path = std::env::temp_dir().join("tbstc_cli_perf_test.json");
         let path_str = path.to_str().unwrap().to_string();
-        let out = run_line(&["perf", "--iters", "1", "--seed", "1", "--out", &path_str]).unwrap();
+        let out = run_line(&[
+            "perf",
+            "--iters",
+            "1",
+            "--seed",
+            "1",
+            "--loadgen-connections",
+            "8",
+            "--loadgen-requests",
+            "64",
+            "--out",
+            &path_str,
+        ])
+        .unwrap();
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("parallel GEMM bit-identical to serial: true"));
         let json = std::fs::read_to_string(&path).unwrap();
@@ -919,11 +1063,68 @@ mod tests {
             out.contains("tbstc_requests_total{endpoint=\"jobs\"} 2"),
             "{out}"
         );
+        // The second submission is served by the in-memory hot tier
+        // sitting above the disk store.
         assert!(
-            out.contains("tbstc_cache_hits_total{tier=\"disk\"} 1"),
+            out.contains("tbstc_cache_hits_total{tier=\"mem\"} 1"),
             "{out}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadgen_self_hosts_and_enforces_floors() {
+        let out = run_line(&[
+            "loadgen",
+            "--connections",
+            "4",
+            "--requests",
+            "32",
+            "--specs",
+            "2",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("completed 32 / failed 0"), "{out}");
+        assert!(out.contains("p999"), "{out}");
+
+        // An absurd rps floor turns the same clean run into a failure.
+        let err = run_line(&[
+            "loadgen",
+            "--connections",
+            "4",
+            "--requests",
+            "32",
+            "--specs",
+            "2",
+            "--seed",
+            "1",
+            "--min-rps",
+            "1000000000",
+        ]);
+        assert!(err.is_err(), "min-rps floor must fail the run");
+
+        // JSON mode emits the machine-readable report.
+        let json = run_line(&[
+            "loadgen",
+            "--connections",
+            "2",
+            "--requests",
+            "8",
+            "--specs",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"p999_us\""), "{json}");
+        assert!(json.contains("\"failed\": 0"), "{json}");
+    }
+
+    #[test]
+    fn loadgen_rejects_zero_knobs() {
+        assert!(run_line(&["loadgen", "--connections", "0"]).is_err());
+        assert!(run_line(&["loadgen", "--requests", "0"]).is_err());
     }
 
     #[test]

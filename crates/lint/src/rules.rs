@@ -1,4 +1,4 @@
-//! The six workspace rules. Each rule is a pure function over a
+//! The seven workspace rules. Each rule is a pure function over a
 //! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
 //! exclusion, suppressions, and the baseline afterwards, so rules here
 //! report every syntactic match they see.
@@ -41,6 +41,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "hot-path-alloc",
         check: hot_path_alloc,
+    },
+    Rule {
+        name: "blocking-in-event-loop",
+        check: blocking_in_event_loop,
     },
 ];
 
@@ -474,6 +478,143 @@ fn hot_path_alloc(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             }
             _ => {}
         }
+    }
+}
+
+// --- blocking-in-event-loop ---------------------------------------------
+
+/// Files that run on the serve event-loop thread, where one blocking
+/// call stalls every connection at once.
+const EVENT_LOOP_PATHS: &[&str] = &["crates/serve/src/event.rs", "crates/serve/src/conn.rs"];
+
+/// Method calls that park the calling thread: loop-until-done I/O,
+/// channel waits, condvar waits, thread parking/joining.
+const EVENT_LOOP_BLOCKING_CALLS: &[&str] = &[
+    "write_all",
+    "write_fmt",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "park",
+    "join",
+];
+
+/// In the [`EVENT_LOOP_PATHS`] files only, all errors: `thread::sleep`,
+/// any [`EVENT_LOOP_BLOCKING_CALLS`] method call (single non-blocking
+/// `.read(..)`/`.write(..)` syscalls after a readiness event are the
+/// only sanctioned I/O), and `.read(..)`/`.write(..)` while a lock
+/// guard is live (the same guard heuristic as `lock-discipline`, but
+/// hardened to an error here: I/O under a lock serializes the loop
+/// against the worker threads).
+fn blocking_in_event_loop(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !EVENT_LOOP_PATHS.contains(&ctx.rel_path) {
+        return;
+    }
+    let code = ctx.code;
+    struct Guard {
+        name: String,
+        depth: i32,
+    }
+    // tbstc-lint: allow(hot-path-alloc) — a file holds a handful of guards at most
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < code.len() {
+        let text = ctx.code_text(i);
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            "let" if code[i].kind == TokKind::Ident => {
+                let mut name = None;
+                let mut k = i + 1;
+                if ctx.code_is_ident(k, "mut") {
+                    k += 1;
+                }
+                if code.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+                    name = Some(ctx.code_text(k).to_string());
+                }
+                let mut nest = 0i32;
+                let mut locks = false;
+                let mut j = i + 1;
+                while j < code.len() {
+                    match ctx.code_text(j) {
+                        "{" | "(" | "[" => nest += 1,
+                        "}" | ")" | "]" => nest -= 1,
+                        ";" if nest <= 0 => break,
+                        "lock" if ctx.code_text(j.wrapping_sub(1)) == "." => locks = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if locks {
+                    if let Some(name) = name {
+                        guards.push(Guard { name, depth });
+                    }
+                }
+            }
+            "drop" if ctx.code_text(i + 1) == "(" => {
+                let dropped = ctx.code_text(i + 2).to_string();
+                guards.retain(|g| g.name != dropped);
+            }
+            "sleep"
+                if ctx.code_text(i.wrapping_sub(1)) == "::"
+                    && ctx.code_is_ident(i.wrapping_sub(2), "thread") =>
+            {
+                out.push(finding(
+                    "blocking-in-event-loop",
+                    Severity::Error,
+                    ctx,
+                    &code[i],
+                    "thread::sleep stalls every connection on the event loop; \
+                     use the poll timeout instead"
+                        .to_string(),
+                ));
+            }
+            _ => {
+                let t = &code[i];
+                let is_method_call = t.kind == TokKind::Ident
+                    && i >= 1
+                    && ctx.code_text(i - 1) == "."
+                    && ctx.code_text(i + 1) == "(";
+                if is_method_call && EVENT_LOOP_BLOCKING_CALLS.contains(&text) {
+                    out.push(finding(
+                        "blocking-in-event-loop",
+                        Severity::Error,
+                        ctx,
+                        t,
+                        format!(
+                            ".{text}() blocks the event-loop thread; do single \
+                             non-blocking reads/writes after a readiness event"
+                        ),
+                    ));
+                }
+                if is_method_call && (text == "read" || text == "write") {
+                    if let Some(g) = guards.last() {
+                        out.push(finding(
+                            "blocking-in-event-loop",
+                            Severity::Error,
+                            ctx,
+                            t,
+                            format!(
+                                ".{text}() while `{}` holds a lock guard serializes \
+                                 the event loop against the workers; drop the guard \
+                                 before touching the socket",
+                                g.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
     }
 }
 

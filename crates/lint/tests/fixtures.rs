@@ -278,6 +278,82 @@ fn f() -> Vec<u32> {
     assert!(lint_source("crates/sim/src/plan.rs", src).is_empty());
 }
 
+// --- blocking-in-event-loop ---------------------------------------------
+
+#[test]
+fn blocking_in_event_loop_flags_sleep_and_blocking_calls() {
+    let src = "\
+fn f(s: &mut std::net::TcpStream, rx: &std::sync::mpsc::Receiver<u8>) {
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    use std::io::Write;
+    s.write_all(b\"x\").ok();
+    let _ = rx.recv();
+}
+";
+    let fs = lint_source("crates/serve/src/event.rs", src);
+    let hits = rules_at(&fs, "blocking-in-event-loop");
+    assert_eq!(hits.len(), 3, "sleep + write_all + recv: {fs:?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "blocking-in-event-loop")
+        .all(|f| f.severity == Severity::Error));
+    // The same code is legal outside the event-loop files (server.rs
+    // worker paths may block).
+    assert!(rules_at(
+        &lint_source("crates/serve/src/server.rs", src),
+        "blocking-in-event-loop"
+    )
+    .is_empty());
+}
+
+#[test]
+fn blocking_in_event_loop_flags_io_under_a_lock_guard() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u32>, s: &mut std::net::TcpStream) {
+    use std::io::Write;
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = s.write(b\"x\");
+    drop(g);
+    let _ = s.write(b\"y\");
+}
+";
+    let fs = lint_source("crates/serve/src/conn.rs", src);
+    assert_eq!(
+        rules_at(&fs, "blocking-in-event-loop"),
+        [(4, 15)],
+        "only the guarded write is an error: {fs:?}"
+    );
+    // A bare non-blocking-style read/write with no guard is the
+    // sanctioned I/O shape.
+    let ok = "\
+fn f(s: &mut std::net::TcpStream) -> std::io::Result<usize> {
+    use std::io::Read;
+    let mut buf = [0u8; 16];
+    s.read(&mut buf)
+}
+";
+    assert!(lint_source("crates/serve/src/conn.rs", ok).is_empty());
+}
+
+#[test]
+fn blocking_in_event_loop_skips_test_code() {
+    let src = "\
+pub fn g() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+";
+    assert!(rules_at(
+        &lint_source("crates/serve/src/event.rs", src),
+        "blocking-in-event-loop"
+    )
+    .is_empty());
+}
+
 // --- suppressions & rule filtering --------------------------------------
 
 #[test]

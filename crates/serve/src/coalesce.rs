@@ -1,0 +1,497 @@
+//! Request coalescing: single-flight per content address, plus
+//! batching of small `simulate` jobs into one engine pass.
+//!
+//! The dispatcher sits between the event loop and the engine:
+//!
+//! * **Single-flight** — a spec is identified by its FNV-1a-128
+//!   content address ([`tbstc::jobspec::JobSpec::cache_key`]). While a
+//!   key is queued or executing, further requests for the same key
+//!   *attach as waiters* instead of taking admission slots; one
+//!   execution fans its response out to every waiter.
+//! * **Batching** — when a worker picks up a job, it drains every other
+//!   queued `simulate` job with the same bandwidth configuration into
+//!   one batch (up to [`MAX_BATCH`]) and warms them through a single
+//!   `SweepRunner::run_models` call, so PR 6's `BlockPlan` batching
+//!   amortizes across independent HTTP requests. Sweeps run singly —
+//!   they are already internally batched.
+//!
+//! Workers are plain threads (this module is *not* on the event loop's
+//! no-blocking path); responses travel back via
+//! [`crate::event::Completions`], which wakes the poll loop.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tbstc::jobspec::JobSpec;
+
+use crate::event::{Completion, Completions, Token};
+use crate::http::Response;
+use crate::queue::{AdmissionQueue, OwnedTicket};
+
+/// Maximum queued `simulate` jobs drained into one engine batch.
+pub const MAX_BATCH: usize = 32;
+
+/// A deduplicated job handed to the executor.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Content address (the single-flight key).
+    pub key: String,
+    /// The canonical spec.
+    pub spec: JobSpec,
+}
+
+/// Executes batches of deduplicated specs. Implemented by the server
+/// (engine + store + metrics) and by test fakes; must return exactly
+/// one response per job, in order.
+pub trait BatchExecutor: Send + Sync {
+    /// Runs `jobs` and returns one response per entry.
+    fn execute(&self, jobs: &[QueuedJob]) -> Vec<Response>;
+}
+
+/// Called once per delivered waiter with the response and the waiter's
+/// queue-to-response latency (the server wires this to metrics).
+pub type FinishFn = dyn Fn(&Response, Duration) + Send + Sync;
+
+/// Outcome of [`Dispatcher::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Admitted as a new job (took an admission slot).
+    Queued,
+    /// Attached to an identical in-flight or queued job — no new slot,
+    /// no new execution.
+    Coalesced,
+    /// Admission queue full or closed: answer 429.
+    Rejected,
+}
+
+#[derive(Debug)]
+struct PendingJob {
+    spec: JobSpec,
+    waiters: Vec<(Token, Instant)>,
+    ticket: OwnedTicket,
+    batchable: bool,
+    bandwidth_bits: u64,
+}
+
+#[derive(Default)]
+struct DispatchState {
+    queued: BTreeMap<String, PendingJob>,
+    /// FIFO pickup order over `queued` keys.
+    order: VecDeque<String>,
+    /// Executing keys → waiters (late arrivals attach here too).
+    inflight: BTreeMap<String, Vec<(Token, Instant)>>,
+    closed: bool,
+}
+
+struct Inner {
+    state: Mutex<DispatchState>,
+    cv: Condvar,
+    executor: Arc<dyn BatchExecutor>,
+    completions: Arc<Completions>,
+    finish: Arc<FinishFn>,
+    hold: Duration,
+}
+
+impl Inner {
+    fn guard(&self) -> MutexGuard<'_, DispatchState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The coalescing dispatcher: owns the worker threads.
+pub struct Dispatcher {
+    inner: Arc<Inner>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Starts `workers` worker threads. `hold` artificially extends
+    /// each pickup (the `--hold-ms` testing knob); `finish` is invoked
+    /// once per delivered waiter.
+    pub fn start(
+        workers: usize,
+        hold: Duration,
+        executor: Arc<dyn BatchExecutor>,
+        completions: Arc<Completions>,
+        finish: Arc<FinishFn>,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(DispatchState::default()),
+            cv: Condvar::new(),
+            executor,
+            completions,
+            finish,
+            hold,
+        });
+        let mut threads = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let inner = Arc::clone(&inner);
+            let handle = thread::Builder::new()
+                .name(format!("tbstc-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .ok();
+            if let Some(handle) = handle {
+                threads.push(handle);
+            }
+        }
+        Self { inner, threads }
+    }
+
+    /// Submits a job from the event loop. Never blocks: either attaches
+    /// to an identical in-flight/queued job, admits a new one, or
+    /// rejects.
+    pub fn submit(
+        &self,
+        queue: &Arc<AdmissionQueue>,
+        key: &str,
+        spec: JobSpec,
+        token: Token,
+        started: Instant,
+    ) -> Enqueue {
+        let mut s = self.inner.guard();
+        if s.closed {
+            return Enqueue::Rejected;
+        }
+        if let Some(waiters) = s.inflight.get_mut(key) {
+            waiters.push((token, started));
+            return Enqueue::Coalesced;
+        }
+        if let Some(pending) = s.queued.get_mut(key) {
+            pending.waiters.push((token, started));
+            return Enqueue::Coalesced;
+        }
+        let Some(ticket) = queue.try_enter_owned() else {
+            return Enqueue::Rejected;
+        };
+        let batchable = matches!(spec, JobSpec::Simulate(_));
+        let bandwidth_bits = spec.bandwidth_gbps().to_bits();
+        s.queued.insert(
+            key.to_string(),
+            PendingJob {
+                spec,
+                waiters: vec![(token, started)],
+                ticket,
+                batchable,
+                bandwidth_bits,
+            },
+        );
+        s.order.push_back(key.to_string());
+        drop(s);
+        self.inner.cv.notify_one();
+        Enqueue::Queued
+    }
+
+    /// Queued + in-flight distinct jobs (for the depth gauge).
+    pub fn depth(&self) -> usize {
+        let s = self.inner.guard();
+        s.queued.len() + s.inflight.len()
+    }
+
+    /// Stops accepting work, wakes the workers, and joins them after
+    /// they finish everything already queued.
+    pub fn close_and_join(self) {
+        {
+            let mut s = self.inner.guard();
+            s.closed = true;
+        }
+        self.inner.cv.notify_all();
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: pick up a batch, execute, deliver, repeat.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let Some(pickup) = next_batch(inner) else {
+            return;
+        };
+        run_batch(inner, pickup);
+    }
+}
+
+struct Pickup {
+    jobs: Vec<QueuedJob>,
+    tickets: Vec<OwnedTicket>,
+}
+
+/// Blocks until work is queued (or the dispatcher closes and drains),
+/// then drains one batch: the FIFO head plus, if it is a `simulate`,
+/// every other queued `simulate` with the same bandwidth bits.
+fn next_batch(inner: &Inner) -> Option<Pickup> {
+    let mut s = inner.guard();
+    let lead_key = loop {
+        if let Some(key) = s.order.pop_front() {
+            break key;
+        }
+        if s.closed {
+            return None;
+        }
+        s = inner.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+    };
+    let Some(lead) = s.queued.remove(&lead_key) else {
+        // Key vanished (should not happen); retry from the top.
+        drop(s);
+        return next_batch(inner);
+    };
+    let mut jobs = Vec::with_capacity(4);
+    let mut tickets = Vec::with_capacity(4);
+    let batch_bits = lead.batchable.then_some(lead.bandwidth_bits);
+    s.inflight.insert(lead_key.clone(), lead.waiters);
+    jobs.push(QueuedJob {
+        key: lead_key,
+        spec: lead.spec,
+    });
+    tickets.push(lead.ticket);
+    if let Some(bits) = batch_bits {
+        let mut keep: VecDeque<String> = VecDeque::with_capacity(s.order.len());
+        while let Some(key) = s.order.pop_front() {
+            if jobs.len() >= MAX_BATCH {
+                keep.push_back(key);
+                continue;
+            }
+            let joins = s
+                .queued
+                .get(&key)
+                .is_some_and(|p| p.batchable && p.bandwidth_bits == bits);
+            if !joins {
+                keep.push_back(key);
+                continue;
+            }
+            let Some(p) = s.queued.remove(&key) else {
+                continue;
+            };
+            s.inflight.insert(key.clone(), p.waiters);
+            jobs.push(QueuedJob { key, spec: p.spec });
+            tickets.push(p.ticket);
+        }
+        s.order = keep;
+    }
+    drop(s);
+    Some(Pickup { jobs, tickets })
+}
+
+/// Executes a pickup and fans responses out to every waiter.
+fn run_batch(inner: &Inner, mut pickup: Pickup) {
+    // Only the lead ticket takes a worker slot: the whole batch is one
+    // engine pass, and follower tickets beginning would deadlock a
+    // single-worker queue against itself.
+    if let Some(lead) = pickup.tickets.first_mut() {
+        lead.begin();
+    }
+    if !inner.hold.is_zero() {
+        thread::sleep(inner.hold);
+    }
+    let mut responses = inner.executor.execute(&pickup.jobs);
+    while responses.len() < pickup.jobs.len() {
+        responses
+            .push(Response::new(500).json("{\"error\":\"executor returned too few responses\"}"));
+    }
+    let mut delivery: Vec<Completion> = Vec::with_capacity(pickup.jobs.len());
+    {
+        let mut s = inner.guard();
+        for (job, response) in pickup.jobs.iter().zip(responses) {
+            let Some(waiters) = s.inflight.remove(&job.key) else {
+                continue;
+            };
+            for (token, started) in waiters {
+                (inner.finish)(&response, started.elapsed());
+                delivery.push(Completion {
+                    token,
+                    response: response.clone(),
+                });
+            }
+        }
+    }
+    inner.completions.push_all(delivery);
+    // Tickets drop here: admission capacity is released only after the
+    // responses are queued for delivery.
+    drop(pickup.tickets);
+    inner.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::waker_pair;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec::from_json(&format!(
+            r#"{{"type":"simulate","arch":"tb-stc","model":{{"kind":"gcn","nodes":64,"features":16}},"sparsity":0.5,"seed":{seed}}}"#
+        ))
+        .expect("valid spec")
+    }
+
+    fn token() -> Token {
+        // Tokens are opaque; any value works here since nothing drains
+        // the completions queue in these tests.
+        Token::test_token(0, 0, 0)
+    }
+
+    /// Executor that blocks until released, recording every call.
+    struct GatedExec {
+        calls: AtomicUsize,
+        batch_sizes: Mutex<Vec<usize>>,
+        gate: Mutex<mpsc::Receiver<()>>,
+    }
+
+    impl BatchExecutor for GatedExec {
+        fn execute(&self, jobs: &[QueuedJob]) -> Vec<Response> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.batch_sizes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(jobs.len());
+            let _ = self
+                .gate
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv_timeout(Duration::from_secs(5));
+            jobs.iter()
+                .map(|j| Response::new(200).text(format!("done:{}\n", j.key)))
+                .collect()
+        }
+    }
+
+    fn harness(
+        workers: usize,
+        capacity: usize,
+    ) -> (
+        Dispatcher,
+        Arc<AdmissionQueue>,
+        Arc<GatedExec>,
+        mpsc::Sender<()>,
+    ) {
+        let (waker, _rx) = waker_pair().expect("waker");
+        let completions = Arc::new(Completions::new(waker));
+        let (gate_tx, gate_rx) = mpsc::channel();
+        let exec = Arc::new(GatedExec {
+            calls: AtomicUsize::new(0),
+            batch_sizes: Mutex::new(Vec::new()),
+            gate: Mutex::new(gate_rx),
+        });
+        let queue = Arc::new(AdmissionQueue::new(capacity, workers));
+        let dispatcher = Dispatcher::start(
+            workers,
+            Duration::ZERO,
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            completions,
+            Arc::new(|_, _| {}),
+        );
+        (dispatcher, queue, exec, gate_tx)
+    }
+
+    fn wait_until(deadline_ms: u64, cond: impl Fn() -> bool) {
+        for _ in 0..deadline_ms {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(cond(), "condition not reached in {deadline_ms}ms");
+    }
+
+    #[test]
+    fn identical_concurrent_specs_execute_exactly_once() {
+        let (dispatcher, queue, exec, gate) = harness(1, 16);
+        // Occupy the single worker with a blocker job.
+        let blocker = spec(999);
+        let key_b = blocker.cache_key();
+        assert_eq!(
+            dispatcher.submit(&queue, &key_b, blocker, token(), Instant::now()),
+            Enqueue::Queued
+        );
+        wait_until(2000, || exec.calls.load(Ordering::SeqCst) == 1);
+
+        // N identical submissions while the worker is busy: one queues,
+        // the rest coalesce onto it.
+        let shared = spec(7);
+        let key_s = shared.cache_key();
+        let n = 8;
+        let mut outcomes = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(dispatcher.submit(&queue, &key_s, spec(7), token(), Instant::now()));
+        }
+        let queued = outcomes.iter().filter(|o| **o == Enqueue::Queued).count();
+        let coalesced = outcomes
+            .iter()
+            .filter(|o| **o == Enqueue::Coalesced)
+            .count();
+        assert_eq!((queued, coalesced), (1, n - 1));
+
+        // Release the blocker, then the shared job.
+        gate.send(()).expect("release blocker");
+        wait_until(2000, || exec.calls.load(Ordering::SeqCst) == 2);
+        gate.send(()).expect("release shared");
+        wait_until(2000, || dispatcher.depth() == 0);
+        // Exactly two executions total: blocker + ONE for the N
+        // identical specs.
+        assert_eq!(exec.calls.load(Ordering::SeqCst), 2);
+        dispatcher.close_and_join();
+        queue.wait_idle();
+    }
+
+    #[test]
+    fn distinct_simulate_jobs_batch_into_one_pickup() {
+        let (dispatcher, queue, exec, gate) = harness(1, 16);
+        let blocker = spec(999);
+        let key_b = blocker.cache_key();
+        dispatcher.submit(&queue, &key_b, blocker, token(), Instant::now());
+        wait_until(2000, || exec.calls.load(Ordering::SeqCst) == 1);
+
+        // Four distinct specs queue behind the blocker.
+        for seed in 0..4 {
+            let s = spec(seed);
+            let key = s.cache_key();
+            assert_eq!(
+                dispatcher.submit(&queue, &key, s, token(), Instant::now()),
+                Enqueue::Queued
+            );
+        }
+        gate.send(()).expect("release blocker");
+        wait_until(2000, || exec.calls.load(Ordering::SeqCst) == 2);
+        gate.send(()).expect("release batch");
+        wait_until(2000, || dispatcher.depth() == 0);
+        let sizes = exec
+            .batch_sizes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        assert_eq!(sizes, vec![1, 4], "four queued jobs must form one batch");
+        dispatcher.close_and_join();
+        queue.wait_idle();
+    }
+
+    #[test]
+    fn full_queue_rejects_new_keys_but_still_coalesces() {
+        let (dispatcher, queue, exec, gate) = harness(1, 1);
+        let a = spec(1);
+        let key_a = a.cache_key();
+        assert_eq!(
+            dispatcher.submit(&queue, &key_a, a, token(), Instant::now()),
+            Enqueue::Queued
+        );
+        wait_until(2000, || exec.calls.load(Ordering::SeqCst) == 1);
+        // Distinct key: no capacity left.
+        let b = spec(2);
+        let key_b = b.cache_key();
+        assert_eq!(
+            dispatcher.submit(&queue, &key_b, b, token(), Instant::now()),
+            Enqueue::Rejected
+        );
+        // Identical key: attaches without needing capacity.
+        assert_eq!(
+            dispatcher.submit(&queue, &key_a, spec(1), token(), Instant::now()),
+            Enqueue::Coalesced
+        );
+        gate.send(()).expect("release");
+        wait_until(2000, || dispatcher.depth() == 0);
+        dispatcher.close_and_join();
+        queue.wait_idle();
+    }
+}

@@ -1,10 +1,13 @@
-//! A minimal HTTP/1.1 server+client transport over `std::net`.
+//! A minimal HTTP/1.1 transport over `std::net`: request/response types,
+//! serialization, and the blocking client.
 //!
 //! The workspace builds offline, so this speaks exactly the protocol
-//! subset the job service needs: one request per connection
-//! (`Connection: close`), `Content-Length` bodies, no chunked encoding,
-//! no TLS. Requests are size-capped before parsing — the listener faces
-//! arbitrary network input.
+//! subset the job service needs: `Content-Length` bodies, no chunked
+//! encoding, no TLS. Requests are size-capped before parsing — the
+//! listener faces arbitrary network input. The server side reads
+//! requests incrementally through [`crate::conn::RequestParser`] (with
+//! keep-alive and pipelining); [`Request::read_from`] remains as the
+//! simple blocking reader the client-side tests use.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -144,7 +147,7 @@ fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), Error> {
 
 /// Splits `buf` at the `\r\n\r\n` head terminator into (head bytes,
 /// remaining bytes), when the terminator has arrived.
-fn split_head(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+pub fn split_head(buf: &[u8]) -> Option<(&[u8], &[u8])> {
     let pos = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     Some((buf.get(..pos)?, buf.get(pos + 4..)?))
 }
@@ -210,24 +213,36 @@ impl Response {
         self.status
     }
 
-    /// Serializes and writes the response.
+    /// Serializes the response to wire bytes. `keep_alive` selects the
+    /// `Connection` header: the event loop keeps connections open unless
+    /// the request asked to close (or a protocol error poisoned the
+    /// stream).
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let reason = reason_phrase(self.status);
+        let mut head = String::with_capacity(128 + self.headers.len() * 32);
+        head.push_str(&format!("HTTP/1.1 {} {}\r\n", self.status, reason));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        ));
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes and writes the response, closing semantics
+    /// (`Connection: close`) — the blocking one-request path.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] on transport failures.
     pub fn write_to(&self, stream: &mut TcpStream) -> Result<(), Error> {
-        let reason = reason_phrase(self.status);
-        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason);
-        for (name, value) in &self.headers {
-            head.push_str(&format!("{name}: {value}\r\n"));
-        }
-        head.push_str(&format!(
-            "Content-Length: {}\r\nConnection: close\r\n\r\n",
-            self.body.len()
-        ));
         stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(&self.body))
+            .write_all(&self.serialize(false))
             .and_then(|()| stream.flush())
             .map_err(|e| Error::Io(e.to_string()))
     }
@@ -241,6 +256,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",

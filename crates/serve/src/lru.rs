@@ -1,0 +1,188 @@
+//! Bounded in-memory hot tier above the on-disk result store.
+//!
+//! Sharded by the first hex nibble of the FNV-1a-128 content address —
+//! [`SHARDS`] independent locks, so the event loop's cache probes and
+//! the workers' inserts contend only within a shard. Each shard is a
+//! small recency-stamped map with oldest-entry eviction; capacity is
+//! counted in entries because result bodies are uniformly small
+//! (simulate ≈ 300 B, sweep grids a few KiB — see DESIGN.md §12 for
+//! the sizing argument).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Number of independent shards (first hex nibble of the key).
+pub const SHARDS: usize = 16;
+
+/// Default total entry capacity across all shards.
+pub const DEFAULT_HOT_CAPACITY: usize = 2048;
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: BTreeMap<String, (u64, String)>,
+}
+
+/// A sharded, bounded, recency-evicting map from content address to
+/// response body.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    /// Creates the cache with `capacity` total entries (rounded up to
+    /// at least one per shard).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        let mut shards = Vec::with_capacity(SHARDS);
+        for _ in 0..SHARDS {
+            shards.push(Mutex::new(Shard::default()));
+        }
+        Self {
+            shards,
+            per_shard,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> Option<&Mutex<Shard>> {
+        let nibble = key
+            .as_bytes()
+            .first()
+            .map(|b| (*b as usize) % SHARDS)
+            .unwrap_or(0);
+        self.shards.get(nibble)
+    }
+
+    /// Looks up `key`, refreshing its recency stamp on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self
+            .shard_of(key)?
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match shard.entries.get_mut(key) {
+            Some((stamp, body)) => {
+                *stamp = now;
+                let body = body.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's oldest entry
+    /// when at capacity.
+    pub fn put(&self, key: &str, body: &str) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let Some(mutex) = self.shard_of(key) else {
+            return;
+        };
+        let mut shard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+        if !shard.entries.contains_key(key) && shard.entries.len() >= self.per_shard {
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                shard.entries.remove(&oldest);
+            }
+        }
+        shard
+            .entries
+            .insert(key.to_string(), (now, body.to_string()));
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for ShardedLru {
+    fn default() -> Self {
+        Self::new(DEFAULT_HOT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_put_hits_and_counts() {
+        let lru = ShardedLru::new(64);
+        assert_eq!(lru.get("aaaa"), None);
+        lru.put("aaaa", "body-a");
+        assert_eq!(lru.get("aaaa").as_deref(), Some("body-a"));
+        let (hits, misses) = lru.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used_within_shard() {
+        // Capacity 16 → one entry per shard; same first nibble keeps
+        // keys in one shard.
+        let lru = ShardedLru::new(16);
+        lru.put("a1", "one");
+        lru.put("a2", "two");
+        assert_eq!(lru.get("a1"), None, "oldest entry must be evicted");
+        assert_eq!(lru.get("a2").as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        let lru = ShardedLru::new(32); // two per shard
+        lru.put("a1", "one");
+        lru.put("a2", "two");
+        assert!(lru.get("a1").is_some()); // refresh a1
+        lru.put("a3", "three"); // evicts a2, not a1
+        assert!(lru.get("a1").is_some());
+        assert_eq!(lru.get("a2"), None);
+        assert!(lru.get("a3").is_some());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let lru = ShardedLru::new(160);
+        for nibble in "0123456789abcdef".chars() {
+            lru.put(&format!("{nibble}key"), "v");
+        }
+        assert_eq!(lru.len(), 16);
+    }
+}

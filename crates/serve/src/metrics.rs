@@ -34,6 +34,15 @@ pub struct Metrics {
     pub disk_hits: AtomicU64,
     /// Jobs that had to execute (disk-cache misses).
     pub disk_misses: AtomicU64,
+    /// Jobs served from the in-memory hot tier (no disk read).
+    pub mem_hits: AtomicU64,
+    /// Distinct executions the engine actually ran.
+    pub jobs_executed: AtomicU64,
+    /// Requests that attached to an identical in-flight job
+    /// (single-flight coalescing) instead of executing.
+    pub jobs_coalesced: AtomicU64,
+    /// Simulate jobs that rode in a multi-job engine batch.
+    pub jobs_batched: AtomicU64,
     /// Microseconds spent executing jobs (for worker utilization).
     pub busy_us: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
@@ -61,6 +70,10 @@ impl Metrics {
             jobs_failed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
+            jobs_batched: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_sum_us: AtomicU64::new(0),
@@ -141,6 +154,7 @@ impl Metrics {
             "tbstc_cache_hits_total",
             "Jobs served from a cache tier without recomputation.",
             &[
+                ("tier=\"mem\"", load(&self.mem_hits)),
                 ("tier=\"disk\"", load(&self.disk_hits)),
                 ("tier=\"memo\"", gauges.memo_hits),
             ],
@@ -152,6 +166,22 @@ impl Metrics {
                 ("tier=\"disk\"", load(&self.disk_misses)),
                 ("tier=\"memo\"", gauges.memo_misses),
             ],
+        );
+        counter(
+            "tbstc_jobs_executed_total",
+            "Distinct executions the engine actually ran (after \
+             single-flight dedup and cache hits).",
+            &[("", load(&self.jobs_executed))],
+        );
+        counter(
+            "tbstc_jobs_coalesced_total",
+            "Requests that shared an identical in-flight execution.",
+            &[("", load(&self.jobs_coalesced))],
+        );
+        counter(
+            "tbstc_jobs_batched_total",
+            "Simulate jobs executed as part of a multi-job engine batch.",
+            &[("", load(&self.jobs_batched))],
         );
 
         let mut gauge = |name: &str, help: &str, v: String| {
@@ -176,6 +206,11 @@ impl Metrics {
             "tbstc_worker_utilization",
             "Fraction of worker capacity spent executing jobs since start.",
             format!("{:.6}", utilization.min(1.0)),
+        );
+        gauge(
+            "tbstc_open_connections",
+            "Live client connections in the event loop.",
+            gauges.open_connections.to_string(),
         );
         gauge(
             "tbstc_uptime_seconds",
@@ -229,6 +264,8 @@ pub struct Gauges {
     pub memo_hits: u64,
     /// Memo-cache misses across all engines.
     pub memo_misses: u64,
+    /// Live client connections in the event loop.
+    pub open_connections: usize,
 }
 
 #[cfg(test)]
@@ -245,16 +282,26 @@ mod tests {
         m.observe_latency(0.2);
         m.observe_latency(120.0); // lands in +Inf
 
+        m.mem_hits.fetch_add(4, Ordering::Relaxed);
+        m.jobs_executed.fetch_add(7, Ordering::Relaxed);
+        m.jobs_coalesced.fetch_add(8, Ordering::Relaxed);
+        m.jobs_batched.fetch_add(9, Ordering::Relaxed);
         let text = m.render(&Gauges {
             queue_depth: 1,
             in_flight: 2,
             job_workers: 4,
             memo_hits: 5,
             memo_misses: 6,
+            open_connections: 11,
         });
         assert!(text.contains("tbstc_requests_total{endpoint=\"jobs\"} 3"));
         assert!(text.contains("tbstc_cache_hits_total{tier=\"disk\"} 1"));
         assert!(text.contains("tbstc_cache_hits_total{tier=\"memo\"} 5"));
+        assert!(text.contains("tbstc_cache_hits_total{tier=\"mem\"} 4"));
+        assert!(text.contains("tbstc_jobs_executed_total 7"));
+        assert!(text.contains("tbstc_jobs_coalesced_total 8"));
+        assert!(text.contains("tbstc_jobs_batched_total 9"));
+        assert!(text.contains("tbstc_open_connections 11"));
         assert!(text.contains("tbstc_queue_depth 1"));
         assert!(text.contains("tbstc_jobs_in_flight 2"));
         assert!(text.contains("tbstc_job_latency_seconds_bucket{le=\"+Inf\"} 3"));

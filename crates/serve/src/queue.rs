@@ -13,7 +13,7 @@
 //! Cheap endpoints (`/metrics`, `/healthz`) bypass the queue entirely, so
 //! observability survives saturation.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug, Default)]
 struct QueueState {
@@ -76,6 +76,22 @@ impl AdmissionQueue {
         s.waiting += 1;
         Some(Ticket {
             queue: self,
+            executing: false,
+        })
+    }
+
+    /// Like [`AdmissionQueue::try_enter`], but the slot is held by an
+    /// owned handle backed by an `Arc`, so it can outlive the admitting
+    /// scope — the coalescing dispatcher stores tickets in its queue
+    /// until a worker picks the job up.
+    pub fn try_enter_owned(self: &Arc<Self>) -> Option<OwnedTicket> {
+        let mut s = self.guard();
+        if s.closed || s.waiting + s.executing >= self.capacity {
+            return None;
+        }
+        s.waiting += 1;
+        Some(OwnedTicket {
+            queue: Arc::clone(self),
             executing: false,
         })
     }
@@ -145,10 +161,46 @@ impl Drop for Ticket<'_> {
     }
 }
 
+/// The owned counterpart of [`Ticket`]: same slot semantics (dropping
+/// releases, even mid-unwind), but holds the queue by `Arc` so it can
+/// be stored — e.g. in the dispatcher's pending-job map.
+#[derive(Debug)]
+pub struct OwnedTicket {
+    queue: Arc<AdmissionQueue>,
+    executing: bool,
+}
+
+impl OwnedTicket {
+    /// Waits for a worker slot, then transitions waiting → executing.
+    pub fn begin(&mut self) {
+        let mut s = self.queue.guard();
+        while s.executing >= self.queue.workers {
+            s = self.queue.wait(s);
+        }
+        s.waiting -= 1;
+        s.executing += 1;
+        self.executing = true;
+        drop(s);
+        self.queue.cv.notify_all();
+    }
+}
+
+impl Drop for OwnedTicket {
+    fn drop(&mut self) {
+        let mut s = self.queue.guard();
+        if self.executing {
+            s.executing -= 1;
+        } else {
+            s.waiting -= 1;
+        }
+        drop(s);
+        self.queue.cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn admits_up_to_capacity_then_rejects() {
@@ -193,6 +245,19 @@ mod tests {
             assert!(q.try_enter().is_none());
         }
         assert!(q.try_enter().is_some(), "slot returned on drop");
+    }
+
+    #[test]
+    fn owned_tickets_share_capacity_and_release_on_drop() {
+        let q = Arc::new(AdmissionQueue::new(2, 1));
+        let a = q.try_enter_owned().expect("first fits");
+        let _b = q.try_enter().expect("borrowed shares the same pool");
+        assert!(q.try_enter_owned().is_none(), "capacity exhausted");
+        drop(a);
+        let mut c = q.try_enter_owned().expect("slot freed");
+        c.begin();
+        assert_eq!(q.depth().1, 1);
+        drop(c);
     }
 
     #[test]

@@ -1,24 +1,31 @@
-//! The job server: accept loop, routing, job execution, graceful drain.
+//! The job server: event-driven front end, routing, coalesced job
+//! execution, graceful drain.
 //!
 //! Request flow for `POST /v1/jobs`:
 //!
-//! 1. parse + validate the [`JobSpec`]; malformed bodies get 400,
-//! 2. derive the content-addressed cache key and probe the on-disk
-//!    store — a hit is answered immediately with `X-Cache: hit` and the
-//!    *exact bytes* of the original response body,
-//! 3. otherwise ask the [`AdmissionQueue`] for a slot — a full queue is
-//!    429 with a `Retry-After` estimate, in-flight work is untouched,
-//! 4. execute on the bandwidth-matched [`SweepRunner`] (itself parallel
-//!    over the `tbstc-matrix` worker pool), persist the body, answer
-//!    `X-Cache: miss`.
+//! 1. the event loop ([`crate::event`]) parses the request
+//!    incrementally off a non-blocking socket (keep-alive and
+//!    pipelining included); malformed specs get 400 *without* closing
+//!    the connection,
+//! 2. derive the content-addressed cache key and probe the caches —
+//!    first the sharded in-memory hot tier ([`crate::lru`],
+//!    `X-Cache-Tier: mem`), then the sharded on-disk store
+//!    (`X-Cache-Tier: disk`); a hit is answered immediately with
+//!    `X-Cache: hit` and the *exact bytes* of the original response,
+//! 3. otherwise hand the spec to the coalescing dispatcher
+//!    ([`crate::coalesce`]): an identical in-flight spec shares its
+//!    execution (single-flight); a full admission queue is 429 with a
+//!    `Retry-After` estimate,
+//! 4. workers drain same-bandwidth `simulate` jobs into one batched
+//!    [`SweepRunner`] pass, persist each body, and answer
+//!    `X-Cache: miss` through the completion queue.
 //!
 //! Shutdown (SIGTERM/ctrl-c via [`crate::signal`], or
-//! [`Handle::shutdown`]) closes admission, drains in-flight jobs, flushes
-//! the memo cache to `memo.jsonl`, and only then returns.
+//! [`Handle::shutdown`]) stops accepting, drains in-flight jobs,
+//! flushes the memo cache to `memo.jsonl`, and only then returns.
 
 use std::collections::BTreeMap;
-use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -31,7 +38,10 @@ use tbstc::prelude::*;
 use tbstc::runner::available_workers;
 use tbstc::sim::{HwConfig, ModelResult};
 
+use crate::coalesce::{BatchExecutor, Dispatcher, Enqueue, FinishFn, QueuedJob};
+use crate::event::{self, Action, Completions, LoopOptions, RouteEvent, Token};
 use crate::http::{Request, Response};
+use crate::lru::ShardedLru;
 use crate::metrics::{Gauges, Metrics};
 use crate::queue::AdmissionQueue;
 use crate::signal;
@@ -74,14 +84,16 @@ impl Default for ServeConfig {
     }
 }
 
-/// Shared server state (metrics, queue, store, engines).
+/// Shared server state (metrics, queue, caches, engines).
 #[derive(Debug)]
 pub struct State {
     cfg: ServeConfig,
     /// Service counters.
     pub metrics: Metrics,
-    queue: AdmissionQueue,
+    queue: Arc<AdmissionQueue>,
     store: ResultStore,
+    /// The bounded in-memory hot tier above the on-disk store.
+    hot: ShardedLru,
     /// One engine per platform bandwidth (bit pattern of the GB/s value),
     /// because `SweepRunner` binds its `HwConfig`. Keyed by a `BTreeMap`
     /// so memo flushes walk engines in a stable order.
@@ -108,9 +120,10 @@ impl State {
             eprintln!("tbstc-serve: reloaded {preloaded} memoized results from disk");
         }
         Ok(State {
-            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.job_workers),
+            queue: Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.job_workers)),
             metrics: Metrics::new(),
             store,
+            hot: ShardedLru::default(),
             engines: Mutex::new(BTreeMap::new()),
             preload: Mutex::new(preload),
             shutdown: AtomicBool::new(false),
@@ -163,7 +176,7 @@ impl State {
 
     fn memo_entries(&self) -> Vec<MemoEntry> {
         let engines = self.engines_recovered();
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(64);
         for (&bits, engine) in engines.iter() {
             let bandwidth_gbps = f64::from_bits(bits);
             out.extend(
@@ -204,6 +217,7 @@ impl State {
             job_workers: self.cfg.job_workers,
             memo_hits,
             memo_misses,
+            open_connections: self.connections.load(Ordering::Relaxed),
         })
     }
 
@@ -318,7 +332,7 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop on this thread until shutdown, then drains
+    /// Runs the event loop on this thread until shutdown, then drains
     /// in-flight jobs and flushes the memo cache.
     pub fn run(self) {
         let state = self.state;
@@ -332,37 +346,73 @@ impl Server {
                 );
             }
         }
-        while !state.shutting_down() {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    state.connections.fetch_add(1, Ordering::SeqCst);
-                    let state = Arc::clone(&state);
-                    thread::spawn(move || {
-                        handle_connection(&state, stream);
-                        state.connections.fetch_sub(1, Ordering::SeqCst);
-                    });
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(15));
-                }
-                Err(e) => {
-                    eprintln!("tbstc-serve: accept failed: {e}");
-                    thread::sleep(Duration::from_millis(50));
-                }
+        let (waker, waker_rx) = match event::waker_pair() {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("tbstc-serve: cannot create event-loop waker: {e}");
+                return;
             }
+        };
+        let completions = Arc::new(Completions::new(waker));
+        let executor: Arc<dyn BatchExecutor> = Arc::new(EngineExecutor {
+            state: Arc::clone(&state),
+        });
+        let finish: Arc<FinishFn> = {
+            let state = Arc::clone(&state);
+            Arc::new(move |response: &Response, waited: Duration| {
+                if response.status() == 200 {
+                    state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                state.metrics.observe_latency(waited.as_secs_f64());
+            })
+        };
+        let dispatcher = Dispatcher::start(
+            state.cfg.job_workers,
+            Duration::from_millis(state.cfg.hold_ms),
+            executor,
+            Arc::clone(&completions),
+            finish,
+        );
+        {
+            let route_state = Arc::clone(&state);
+            let mut route = |ev: RouteEvent, token: Token| -> Action {
+                // A panic anywhere in routing answers 500 and keeps the
+                // event loop alive.
+                catch_unwind(AssertUnwindSafe(|| {
+                    route_event(&route_state, &dispatcher, ev, token)
+                }))
+                .unwrap_or_else(|_| {
+                    route_state
+                        .metrics
+                        .jobs_failed
+                        .fetch_add(1, Ordering::Relaxed);
+                    Action::Reply(
+                        Response::new(500)
+                            .json(error_body("internal error: request handler panicked")),
+                    )
+                })
+            };
+            let shutdown_state = Arc::clone(&state);
+            event::run_loop(
+                &self.listener,
+                &waker_rx,
+                &completions,
+                &|| shutdown_state.shutting_down(),
+                &mut route,
+                &state.connections,
+                &LoopOptions::default(),
+            );
         }
         drop(self.listener);
         state.queue.close();
         if !state.cfg.quiet {
             eprintln!("tbstc-serve: shutting down — draining in-flight jobs");
         }
-        // Drain: every admitted job finishes; lingering connections get a
-        // bounded grace period.
+        // Drain: workers finish everything already queued, then exit.
+        dispatcher.close_and_join();
         state.queue.wait_idle();
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while state.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            thread::sleep(Duration::from_millis(10));
-        }
         state.flush_memo();
         if !state.cfg.quiet {
             eprintln!("tbstc-serve: drained; bye");
@@ -378,7 +428,7 @@ impl Server {
         let addr = self.local_addr()?;
         let handle = self.handle();
         let thread = thread::Builder::new()
-            .name("tbstc-serve-accept".into())
+            .name("tbstc-serve-events".into())
             .spawn(move || self.run())
             .map_err(|e| Error::Io(e.to_string()))?;
         Ok(Running {
@@ -389,54 +439,46 @@ impl Server {
     }
 }
 
-fn handle_connection(state: &State, mut stream: TcpStream) {
-    stream.set_read_timeout(Some(crate::http::IO_TIMEOUT)).ok();
-    stream.set_write_timeout(Some(crate::http::IO_TIMEOUT)).ok();
-    let request = match Request::read_from(&mut stream) {
-        Ok(r) => r,
-        Err(Error::Http(msg)) => {
-            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            let _ = Response::new(400)
-                .json(error_body(&msg))
-                .write_to(&mut stream);
-            return;
-        }
-        Err(_) => return, // transport error; nothing to answer
-    };
-    // A panic anywhere in routing or job execution answers 500 and keeps
-    // the worker alive; the connection counter decrement in the accept
-    // loop stays reachable.
-    let response = catch_unwind(AssertUnwindSafe(|| route(state, &request))).unwrap_or_else(|_| {
-        state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        Response::new(500).json(error_body("internal error: request handler panicked"))
-    });
-    let _ = response.write_to(&mut stream);
-}
-
 fn error_body(msg: &str) -> String {
     format!("{}\n", Json::obj([("error", Json::str(msg))]))
 }
 
-fn route(state: &State, request: &Request) -> Response {
+/// Routes one event-loop event to a response or a dispatcher handoff.
+fn route_event(
+    state: &Arc<State>,
+    dispatcher: &Dispatcher,
+    event: RouteEvent,
+    token: Token,
+) -> Action {
+    match event {
+        RouteEvent::Protocol { status, message } => {
+            state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            Action::Reply(Response::new(status).json(error_body(&message)))
+        }
+        RouteEvent::Request(request) => route(state, dispatcher, &request, token),
+    }
+}
+
+fn route(state: &Arc<State>, dispatcher: &Dispatcher, request: &Request, token: Token) -> Action {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/jobs") => {
             state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
-            handle_job(state, request)
+            handle_job(state, dispatcher, request, token)
         }
         ("GET", "/metrics") => {
             state
                 .metrics
                 .requests_metrics
                 .fetch_add(1, Ordering::Relaxed);
-            Response::new(200).text(state.render_metrics())
+            Action::Reply(Response::new(200).text(state.render_metrics()))
         }
         ("GET", "/healthz") => {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            Response::new(200).text("ok\n")
+            Action::Reply(Response::new(200).text("ok\n"))
         }
         ("GET", "/v1/archs") => {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            Response::new(200).json(archs_body())
+            Action::Reply(Response::new(200).json(archs_body()))
         }
         ("GET", path)
             if path
@@ -445,22 +487,40 @@ fn route(state: &State, request: &Request) -> Response {
         {
             state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
             let key = path.strip_prefix("/v1/jobs/").unwrap_or_default();
-            match state.store.get(key) {
-                Some(body) => Response::new(200)
-                    .header("X-Cache", "hit")
-                    .header("X-Job-Key", key.to_string())
-                    .json(body),
-                None => Response::new(404).json(error_body("no cached result for this key")),
-            }
+            Action::Reply(lookup_cached(state, key))
         }
         ("POST" | "GET", _) => {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            Response::new(404).json(error_body("unknown endpoint"))
+            Action::Reply(Response::new(404).json(error_body("unknown endpoint")))
         }
         _ => {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            Response::new(405).json(error_body("method not allowed"))
+            Action::Reply(Response::new(405).json(error_body("method not allowed")))
         }
+    }
+}
+
+/// `GET /v1/jobs/{key}`: probe hot tier, then disk.
+fn lookup_cached(state: &State, key: &str) -> Response {
+    if let Some(body) = state.hot.get(key) {
+        state.metrics.mem_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::new(200)
+            .header("X-Cache", "hit")
+            .header("X-Cache-Tier", "mem")
+            .header("X-Job-Key", key.to_string())
+            .json(body);
+    }
+    match state.store.get(key) {
+        Some(body) => {
+            state.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+            state.hot.put(key, &body);
+            Response::new(200)
+                .header("X-Cache", "hit")
+                .header("X-Cache-Tier", "disk")
+                .header("X-Job-Key", key.to_string())
+                .json(body)
+        }
+        None => Response::new(404).json(error_body("no cached result for this key")),
     }
 }
 
@@ -489,89 +549,176 @@ fn archs_body() -> String {
     format!("{}\n", Json::obj([("archs", Json::Arr(entries))]))
 }
 
-fn handle_job(state: &State, request: &Request) -> Response {
+fn handle_job(
+    state: &Arc<State>,
+    dispatcher: &Dispatcher,
+    request: &Request,
+    token: Token,
+) -> Action {
     let started = Instant::now();
     let body = match std::str::from_utf8(&request.body) {
         Ok(b) => b,
         Err(_) => {
             state.metrics.jobs_bad.fetch_add(1, Ordering::Relaxed);
-            return Response::new(400).json(error_body("body is not utf-8"));
+            return Action::Reply(Response::new(400).json(error_body("body is not utf-8")));
         }
     };
     let spec = match JobSpec::from_json(body) {
         Ok(s) => s,
         Err(e) => {
             state.metrics.jobs_bad.fetch_add(1, Ordering::Relaxed);
-            return Response::new(400).json(error_body(&e.to_string()));
+            return Action::Reply(Response::new(400).json(error_body(&e.to_string())));
         }
     };
     let key = spec.cache_key();
 
-    // Tier 1: the on-disk response cache — byte-identical across restarts.
-    if let Some(cached) = state.store.get(&key) {
-        state.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+    // Tier 0: the sharded in-memory hot tier — no disk I/O at all.
+    if let Some(cached) = state.hot.get(&key) {
+        state.metrics.mem_hits.fetch_add(1, Ordering::Relaxed);
         state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
         state
             .metrics
             .observe_latency(started.elapsed().as_secs_f64());
-        return Response::new(200)
-            .header("X-Cache", "hit")
-            .header("X-Job-Key", key)
-            .json(cached);
+        return Action::Reply(
+            Response::new(200)
+                .header("X-Cache", "hit")
+                .header("X-Cache-Tier", "mem")
+                .header("X-Job-Key", key)
+                .json(cached),
+        );
     }
 
-    // Tier 2: compute, under admission control.
-    let Some(mut ticket) = state.queue.try_enter() else {
-        state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-        let retry = state.retry_after_secs();
-        return Response::new(429)
-            .header("Retry-After", retry.to_string())
-            .json(error_body(&format!(
-                "admission queue full ({} jobs); retry in ~{retry}s",
-                state.queue.capacity()
-            )));
-    };
-    ticket.begin();
-    if state.cfg.hold_ms > 0 {
-        thread::sleep(Duration::from_millis(state.cfg.hold_ms));
+    // Tier 1: the on-disk response cache — byte-identical across
+    // restarts; promote hits into the hot tier.
+    if let Some(cached) = state.store.get(&key) {
+        state.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+        state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        state.hot.put(&key, &cached);
+        state
+            .metrics
+            .observe_latency(started.elapsed().as_secs_f64());
+        return Action::Reply(
+            Response::new(200)
+                .header("X-Cache", "hit")
+                .header("X-Cache-Tier", "disk")
+                .header("X-Job-Key", key)
+                .json(cached),
+        );
     }
-    let engine = match state.engine_for(spec.bandwidth_gbps()) {
-        Ok(engine) => engine,
-        Err(e) => {
-            state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return Response::new(500).json(error_body(&e.to_string()));
-        }
-    };
-    let compute_started = Instant::now();
-    // Simulation code validates its inputs, but a panic in it must cost
-    // one request, not the worker: scoped-thread panics propagate here at
-    // scope exit, where catch_unwind turns them into a 500.
-    let executed = catch_unwind(AssertUnwindSafe(|| format!("{}\n", spec.execute(&engine))));
-    state.metrics.busy_us.fetch_add(
-        compute_started.elapsed().as_micros() as u64,
-        Ordering::Relaxed,
-    );
-    drop(ticket);
-    let response_body = match executed {
-        Ok(body) => body,
-        Err(_) => {
-            state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return Response::new(500).json(error_body("internal error: job execution panicked"));
-        }
-    };
 
-    if let Err(e) = state.store.put(&key, &response_body) {
-        eprintln!("tbstc-serve: warning: cannot cache job {key}: {e}");
+    // Tier 2: compute, under admission control, coalesced with any
+    // identical in-flight spec.
+    match dispatcher.submit(&state.queue, &key, spec, token, started) {
+        Enqueue::Queued => Action::Pending,
+        Enqueue::Coalesced => {
+            state.metrics.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+            Action::Pending
+        }
+        Enqueue::Rejected => {
+            state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let retry = state.retry_after_secs();
+            Action::Reply(
+                Response::new(429)
+                    .header("Retry-After", retry.to_string())
+                    .json(error_body(&format!(
+                        "admission queue full ({} jobs); retry in ~{retry}s",
+                        state.queue.capacity()
+                    ))),
+            )
+        }
     }
-    state.metrics.disk_misses.fetch_add(1, Ordering::Relaxed);
-    state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
-    state
-        .metrics
-        .observe_latency(started.elapsed().as_secs_f64());
-    Response::new(200)
-        .header("X-Cache", "miss")
-        .header("X-Job-Key", key)
-        .json(response_body)
+}
+
+/// The dispatcher's executor: runs deduplicated batches on the
+/// bandwidth-matched engines and persists each result.
+struct EngineExecutor {
+    state: Arc<State>,
+}
+
+impl BatchExecutor for EngineExecutor {
+    fn execute(&self, jobs: &[QueuedJob]) -> Vec<Response> {
+        self.warm_batches(jobs);
+        jobs.iter().map(|job| self.run_one(job)).collect()
+    }
+}
+
+impl EngineExecutor {
+    /// Warms multi-job `simulate` groups through one batched
+    /// `SweepRunner` pass per bandwidth, so each job's own execution
+    /// below is a pure memo hit. A panic inside the warm pass is
+    /// swallowed — the per-job run reports it properly.
+    fn warm_batches(&self, jobs: &[QueuedJob]) {
+        if jobs.len() < 2 {
+            return;
+        }
+        let mut groups: BTreeMap<u64, Vec<SimJob>> = BTreeMap::new();
+        for job in jobs {
+            if let JobSpec::Simulate(s) = &job.spec {
+                groups
+                    .entry(s.bandwidth_gbps.to_bits())
+                    .or_default()
+                    .push(SimJob {
+                        arch: s.arch,
+                        model: s.model,
+                        sparsity: s.sparsity,
+                        seed: s.seed,
+                    });
+            }
+        }
+        for (bits, sims) in groups {
+            if sims.len() < 2 {
+                continue;
+            }
+            let Ok(engine) = self.state.engine_for(f64::from_bits(bits)) else {
+                continue;
+            };
+            let warmed = catch_unwind(AssertUnwindSafe(|| engine.warm_models(&sims))).unwrap_or(0);
+            if warmed > 0 {
+                self.state
+                    .metrics
+                    .jobs_batched
+                    .fetch_add(sims.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Executes one deduplicated job: engine lookup, guarded execution,
+    /// persistence into both cache tiers.
+    fn run_one(&self, job: &QueuedJob) -> Response {
+        let state = &self.state;
+        state.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        let engine = match state.engine_for(job.spec.bandwidth_gbps()) {
+            Ok(engine) => engine,
+            Err(e) => return Response::new(500).json(error_body(&e.to_string())),
+        };
+        let compute_started = Instant::now();
+        // Simulation code validates its inputs, but a panic in it must
+        // cost one job, not the worker: scoped-thread panics propagate
+        // here at scope exit, where catch_unwind turns them into a 500.
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            format!("{}\n", job.spec.execute(&engine))
+        }));
+        state.metrics.busy_us.fetch_add(
+            compute_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
+        let response_body = match executed {
+            Ok(body) => body,
+            Err(_) => {
+                return Response::new(500)
+                    .json(error_body("internal error: job execution panicked"));
+            }
+        };
+        if let Err(e) = state.store.put(&job.key, &response_body) {
+            eprintln!("tbstc-serve: warning: cannot cache job {}: {e}", job.key);
+        }
+        state.hot.put(&job.key, &response_body);
+        state.metrics.disk_misses.fetch_add(1, Ordering::Relaxed);
+        Response::new(200)
+            .header("X-Cache", "miss")
+            .header("X-Job-Key", job.key.clone())
+            .json(response_body)
+    }
 }
 
 #[cfg(test)]
@@ -608,6 +755,7 @@ mod tests {
         assert_eq!(metrics.status, 200);
         assert!(metrics.body.contains("tbstc_requests_total"));
         assert!(metrics.body.contains("tbstc_worker_utilization"));
+        assert!(metrics.body.contains("tbstc_open_connections"));
 
         let missing = crate::http::request(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(missing.status, 404);
@@ -654,6 +802,97 @@ mod tests {
             assert_eq!(resp.status, 400, "{bad}");
             assert!(resp.body.contains("error"));
         }
+
+        let cache_dir = running.handle().state().store.dir().to_path_buf();
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn keep_alive_pipelined_requests_share_one_connection() {
+        use std::io::{Read as _, Write as _};
+        let server = Server::bind(test_cfg("keepalive")).unwrap();
+        let running = server.spawn().unwrap();
+        let mut stream = std::net::TcpStream::connect(running.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        // Two pipelined requests in one segment, then a third on the
+        // same (kept-alive) connection.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while String::from_utf8_lossy(&buf).matches("ok\n").count() < 2 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(
+                n > 0,
+                "server closed early: {}",
+                String::from_utf8_lossy(&buf)
+            );
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let text = String::from_utf8_lossy(&buf);
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+        assert_eq!(text.matches("Connection: keep-alive").count(), 2, "{text}");
+
+        // Third request on the same socket proves the connection stayed
+        // usable — including after a 400 (malformed spec) below.
+        stream
+            .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\n{nope")
+            .unwrap();
+        let mut resp = Vec::new();
+        while String::from_utf8_lossy(&resp)
+            .matches("HTTP/1.1 400")
+            .count()
+            < 1
+        {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed after bad spec");
+            resp.extend_from_slice(&chunk[..n]);
+        }
+        // The 400 must NOT close the connection (application error, not
+        // protocol error): a fourth request still works.
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut fourth = Vec::new();
+        while String::from_utf8_lossy(&fourth).matches("ok\n").count() < 1 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed after 400 response");
+            fourth.extend_from_slice(&chunk[..n]);
+        }
+
+        let cache_dir = running.handle().state().store.dir().to_path_buf();
+        running.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn oversized_request_line_gets_431_and_close() {
+        use std::io::{Read as _, Write as _};
+        let server = Server::bind(test_cfg("toolong")).unwrap();
+        let running = server.spawn().unwrap();
+        let mut stream = std::net::TcpStream::connect(running.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let long_path = "a".repeat(crate::conn::MAX_REQUEST_LINE_BYTES + 100);
+        stream
+            .write_all(format!("GET /{long_path} HTTP/1.1\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("431"), "expected 431, got: {text}");
+        assert!(text.contains("Connection: close"), "{text}");
 
         let cache_dir = running.handle().state().store.dir().to_path_buf();
         running.shutdown_and_join();

@@ -3,11 +3,15 @@
 //!
 //! Layout under the cache directory:
 //!
-//! * `<key>.json` — one file per job, where `key` is
+//! * `<kk>/<key>.json` — one file per job, where `key` is
 //!   [`tbstc::jobspec::JobSpec::cache_key`] (32 hex chars of the
-//!   canonicalized spec). The file holds the *exact response body bytes*,
-//!   so a hit across a process restart is byte-identical to the original
-//!   response.
+//!   canonicalized spec) and `<kk>` is its first two hex chars — 256
+//!   shard subdirectories, so concurrent writers never contend on one
+//!   directory and listing stays cheap at millions of entries. Reads
+//!   fall back to the pre-shard flat `<key>.json` path, so caches
+//!   written by earlier versions keep hitting. The file holds the
+//!   *exact response body bytes*, so a hit across a process restart is
+//!   byte-identical to the original response.
 //! * `memo.jsonl` — the serialized model-level memo cache: a version
 //!   header line, then one `{"bandwidth_gbps":..,"job":..,"result":..}`
 //!   entry per line, sorted for deterministic files.
@@ -80,7 +84,18 @@ impl ResultStore {
         key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())
     }
 
+    /// The sharded entry path: `<first two hex>/<key>.json`.
     fn path_for(&self, key: &str) -> Option<PathBuf> {
+        if !Self::valid_key(key) {
+            return None;
+        }
+        let shard = key.get(..2)?;
+        Some(self.dir.join(shard).join(format!("{key}.json")))
+    }
+
+    /// Pre-sharding flat path, still honored on reads so caches written
+    /// by earlier versions keep hitting.
+    fn legacy_path_for(&self, key: &str) -> Option<PathBuf> {
         Self::valid_key(key).then(|| self.dir.join(format!("{key}.json")))
     }
 
@@ -91,7 +106,13 @@ impl ResultStore {
         let path = self.path_for(key)?;
         let body = match fs::read_to_string(&path) {
             Ok(b) => b,
-            Err(_) => return None,
+            Err(_) => {
+                let legacy = self.legacy_path_for(key)?;
+                match fs::read_to_string(&legacy) {
+                    Ok(b) => b,
+                    Err(_) => return None,
+                }
+            }
         };
         if Json::parse(body.trim_end()).is_err() {
             eprintln!(
@@ -115,7 +136,14 @@ impl ResultStore {
         let path = self
             .path_for(key)
             .ok_or_else(|| Error::InvalidSpec(format!("malformed cache key `{key}`")))?;
-        let tmp = self.dir.join(format!(
+        let shard_dir = path.parent().unwrap_or(&self.dir);
+        fs::create_dir_all(shard_dir).map_err(|e| {
+            Error::Io(format!(
+                "cannot create shard dir {}: {e}",
+                shard_dir.display()
+            ))
+        })?;
+        let tmp = shard_dir.join(format!(
             "{key}.tmp.{}.{}",
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
@@ -301,8 +329,29 @@ mod tests {
         let store = tmp_store("corrupt");
         let key = "00000000000000000000000000000001";
         store.put(key, "{\"ok\":true}").unwrap();
-        fs::write(store.dir().join(format!("{key}.json")), "{\"ok\":tru").unwrap();
+        fs::write(store.path_for(key).unwrap(), "{\"ok\":tru").unwrap();
         assert!(store.get(key).is_none(), "corrupt entry must read as miss");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn entries_land_in_prefix_shard_dirs() {
+        let store = tmp_store("shards");
+        let key = "ab0000000000000000000000000000ff";
+        store.put(key, "{\"v\":1}").unwrap();
+        assert!(
+            store.dir().join("ab").join(format!("{key}.json")).is_file(),
+            "entry must live under its two-hex shard directory"
+        );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn legacy_flat_entries_still_hit() {
+        let store = tmp_store("legacy");
+        let key = "cd0000000000000000000000000000aa";
+        fs::write(store.dir().join(format!("{key}.json")), "{\"old\":true}").unwrap();
+        assert_eq!(store.get(key).as_deref(), Some("{\"old\":true}"));
         let _ = fs::remove_dir_all(store.dir());
     }
 
