@@ -3,11 +3,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand plus its `--key value` options.
+/// A parsed command line: the subcommand, any positional operands that
+/// follow it, plus its `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// Positional operands between the subcommand and the first `--key`
+    /// (e.g. `arch show tb-stc` → `["show", "tb-stc"]`). Commands that
+    /// take none reject stray operands at dispatch.
+    pub positionals: Vec<String>,
     /// `--key value` pairs; a flag without a value maps to `"true"`.
     pub options: BTreeMap<String, String>,
 }
@@ -45,6 +50,14 @@ impl ParsedArgs {
                 "expected a subcommand, got option {command}"
             )));
         }
+        // tbstc-lint: allow(hot-path-alloc) — a command line carries a handful of operands
+        let mut positionals = Vec::new();
+        while let Some(next) = it.peek() {
+            if next.starts_with("--") {
+                break;
+            }
+            positionals.push(it.next().unwrap_or_default());
+        }
         let mut options = BTreeMap::new();
         while let Some(arg) = it.next() {
             let key = arg
@@ -64,7 +77,11 @@ impl ParsedArgs {
                 return Err(ArgError(format!("--{key} given twice")));
             }
         }
-        Ok(ParsedArgs { command, options })
+        Ok(ParsedArgs {
+            command,
+            positionals,
+            options,
+        })
     }
 
     /// A string option with a default.
@@ -133,7 +150,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional_after_command() {
-        assert!(ParsedArgs::parse(["x", "stray"]).is_err());
+    fn collects_positionals_before_options() {
+        let a = ParsedArgs::parse(["arch", "show", "tb-stc", "--json"]).unwrap();
+        assert_eq!(a.command, "arch");
+        assert_eq!(a.positionals, vec!["show", "tb-stc"]);
+        assert_eq!(a.str_or("json", "false"), "true");
+        // A bare token after an option is that option's value, not a
+        // positional.
+        let b = ParsedArgs::parse(["simulate", "--arch", "tc"]).unwrap();
+        assert!(b.positionals.is_empty());
+        assert_eq!(b.str_or("arch", ""), "tc");
     }
 }

@@ -20,8 +20,10 @@ tbstc-cli — TB-STC (HPCA 2025) reproduction toolkit
 USAGE:
   tbstc-cli prune    [--rows 128] [--cols 128] [--sparsity 0.75] [--block 8] [--seed 0]
   tbstc-cli formats  [--rows 128] [--cols 128] [--sparsity 0.75] [--seed 0]
-  tbstc-cli simulate [--model bert] [--arch tb-stc] [--sparsity 0.75]
-                     [--bandwidth 64] [--seed 0] [--json]
+  tbstc-cli simulate [--model bert] [--arch tb-stc | --arch-spec FILE]
+                     [--sparsity 0.75] [--bandwidth 64] [--seed 0] [--json]
+  tbstc-cli archs    [--json]
+  tbstc-cli arch     show <name>
   tbstc-cli sweep    [--models bert,resnet50] [--archs tb-stc,rm-stc,highlight]
                      [--sparsities 0.5,0.75] [--seed 0] [--bandwidth 64]
                      [--jobs N] [--verify] [--json]
@@ -31,7 +33,7 @@ USAGE:
   tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
   tbstc-cli loadgen  [--addr HOST:PORT] [--connections 64] [--requests 512]
                      [--specs 16] [--zipf 1.1] [--seed 1] [--min-rps 0] [--json]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR7.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR8.json]
                      [--loadgen-connections 1000] [--loadgen-requests 8000]
   tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
                      [--rules a,b] [--root DIR]
@@ -66,6 +68,11 @@ private server on an ephemeral port first. Reports rps and p50/p99/
 p999 latency; exits nonzero if any request fails or rps falls below
 --min-rps (CI's floor).
 
+`archs` lists the architecture registry (names, aliases, lane counts);
+`arch show <name>` prints a builtin's `tbstc.v1` spec document. Save
+it, edit it, and run it with `simulate --arch-spec FILE` (or POST it
+inline as `arch_spec` to a server) to simulate your own architecture.
+
 `--json` on simulate/sweep emits the same canonical machine-readable
 body the server returns, instead of the human tables.
 
@@ -91,10 +98,19 @@ with --update-baseline (rewrites lint-baseline.txt at the root).
 ///
 /// Returns [`ArgError`] for unknown subcommands or invalid options.
 pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
+    if args.command != "arch" {
+        if let Some(stray) = args.positionals.first() {
+            return Err(ArgError(format!(
+                "unexpected argument `{stray}`; options start with --"
+            )));
+        }
+    }
     match args.command.as_str() {
         "prune" => prune(args),
         "formats" => formats(args),
         "simulate" => simulate(args),
+        "archs" => Ok(archs(args)),
+        "arch" => arch_cmd(args),
         "sweep" => sweep(args),
         "serve" => serve(args),
         "submit" => submit(args),
@@ -264,8 +280,29 @@ fn formats(args: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Resolves the architecture a `simulate` invocation targets: a builtin
+/// by `--arch` name, or an inline `tbstc.v1` document via
+/// `--arch-spec FILE` (the declarative path).
+fn parse_arch_choice(args: &ParsedArgs) -> Result<ArchChoice, ArgError> {
+    match args.options.get("arch-spec") {
+        None => Ok(ArchChoice::Builtin(parse_arch(
+            &args.str_or("arch", "tb-stc"),
+        )?)),
+        Some(_) if args.options.contains_key("arch") => Err(ArgError(
+            "give either --arch or --arch-spec, not both".into(),
+        )),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            let spec = tbstc::archspec::spec_from_json(&text)
+                .map_err(|e| ArgError(format!("{path}: {e}")))?;
+            Ok(ArchChoice::Custom(Box::new(spec)))
+        }
+    }
+}
+
 fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
-    let arch = parse_arch(&args.str_or("arch", "tb-stc"))?;
+    let choice = parse_arch_choice(args)?;
     let sparsity: f64 = args.num_or("sparsity", 0.75)?;
     let bandwidth: f64 = args.num_or("bandwidth", 64.0)?;
     let seed: u64 = args.num_or("seed", 0)?;
@@ -276,7 +313,7 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     if args.str_or("json", "false") == "true" {
         // Same schema and bytes the server returns for this job.
         let spec = JobSpec::Simulate(SimulateSpec {
-            arch,
+            arch: choice,
             model: parse_model_spec(&args.str_or("model", "bert"))?,
             sparsity,
             seed,
@@ -289,13 +326,21 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     let model = parse_model(&args.str_or("model", "bert"))?;
     let cfg = HwConfig::with_bandwidth_gbps(bandwidth);
     let dense = simulate_model(Arch::Tc, &model, 0.0, seed, &cfg);
-    let res = simulate_model(arch, &model, sparsity, seed, &cfg);
+    let label = choice.canonical_name().to_string();
+    let res = match &choice {
+        ArchChoice::Builtin(a) => simulate_model(*a, &model, sparsity, seed, &cfg),
+        ArchChoice::Custom(spec) => {
+            let custom = tbstc::sim::CustomArch::new((**spec).clone())
+                .map_err(|e| ArgError(format!("invalid arch spec: {e}")))?;
+            tbstc::sim::simulate_model_on(&custom, &model, sparsity, seed, &cfg)
+        }
+    };
 
     let mut out = String::new();
     writeln!(
         out,
         "{} on {} at {:.1}% sparsity, {bandwidth} GB/s:",
-        arch,
+        label,
         model.kind,
         sparsity * 100.0
     )
@@ -333,6 +378,76 @@ fn simulate(args: &ParsedArgs) -> Result<String, ArgError> {
     )
     .ok();
     Ok(out)
+}
+
+/// Lists the architecture registry. Both renderings are driven off
+/// [`tbstc::sim::REGISTRY`] itself, so the listing cannot drift from
+/// what `simulate`/`sweep`/the server actually accept.
+fn archs(args: &ParsedArgs) -> String {
+    if args.str_or("json", "false") == "true" {
+        let entries: Vec<Json> = tbstc::sim::REGISTRY
+            .iter()
+            .map(|m| {
+                Json::obj([
+                    ("name", Json::str(m.canonical_name())),
+                    ("display", Json::str(m.display_name())),
+                    (
+                        "aliases",
+                        Json::Arr(m.aliases().iter().map(|&a| Json::str(a)).collect()),
+                    ),
+                    ("summary", Json::str(m.summary())),
+                ])
+            })
+            .collect();
+        return format!("{}\n", Json::obj([("archs", Json::Arr(entries))]));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<10} {:<10} {:<22} summary",
+        "name", "display", "aliases"
+    )
+    .ok();
+    for m in tbstc::sim::REGISTRY {
+        writeln!(
+            out,
+            "{:<10} {:<10} {:<22} {}",
+            m.canonical_name(),
+            m.display_name(),
+            m.aliases().join(","),
+            m.summary()
+        )
+        .ok();
+    }
+    out.push_str("\n`arch show <name>` prints a spec document you can edit and run.\n");
+    out
+}
+
+/// `arch show <name>`: the builtin's `tbstc.v1` spec document, exactly
+/// what `simulate --arch-spec` and the server's inline `arch_spec`
+/// accept back.
+fn arch_cmd(args: &ParsedArgs) -> Result<String, ArgError> {
+    match args
+        .positionals
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["show", name] => {
+            let model = tbstc::sim::archs::by_name(name).ok_or_else(|| {
+                ArgError(format!(
+                    "unknown architecture `{name}`; valid names: {}",
+                    tbstc::sim::archs::canonical_names()
+                ))
+            })?;
+            Ok(format!(
+                "{}\n",
+                tbstc::archspec::spec_to_value(&model.spec())
+            ))
+        }
+        _ => Err(ArgError("usage: tbstc-cli arch show <name>".into())),
+    }
 }
 
 fn sweep(args: &ParsedArgs) -> Result<String, ArgError> {
@@ -666,7 +781,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
     let loadgen_connections: usize = args.num_or("loadgen-connections", 1000)?;
     let loadgen_requests: usize = args.num_or("loadgen-requests", 8000)?;
-    let out_path = args.str_or("out", "BENCH_PR7.json");
+    let out_path = args.str_or("out", "BENCH_PR8.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -714,6 +829,12 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
         out,
         "  simulate layer  : {:>9.1} us",
         report.simulate_layer.best_us
+    )
+    .ok();
+    writeln!(
+        out,
+        "  custom arch     : {:>9.1} us ({:.3}x native, spec-interpreted TB-STC)",
+        report.custom_arch_simulate.best_us, report.custom_arch_vs_native
     )
     .ok();
     writeln!(
@@ -905,6 +1026,97 @@ mod tests {
     fn simulate_rejects_unknowns() {
         assert!(run_line(&["simulate", "--model", "alexnet"]).is_err());
         assert!(run_line(&["simulate", "--arch", "tpu"]).is_err());
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        assert!(run_line(&["prune", "stray"]).is_err());
+        assert!(run_line(&["simulate", "tb-stc"]).is_err());
+    }
+
+    #[test]
+    fn archs_lists_the_registry() {
+        let out = run_line(&["archs"]).unwrap();
+        for name in [
+            "tc",
+            "stc",
+            "vegeta",
+            "highlight",
+            "rm-stc",
+            "tb-stc",
+            "dvpe-fan",
+            "sgcn",
+        ] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+        let json = run_line(&["archs", "--json"]).unwrap();
+        let v = tbstc::json::Json::parse(json.trim_end()).unwrap();
+        let entries = v.get("archs").and_then(tbstc::json::Json::as_arr).unwrap();
+        assert_eq!(entries.len(), tbstc::sim::REGISTRY.len());
+        for (entry, m) in entries.iter().zip(tbstc::sim::REGISTRY) {
+            assert_eq!(
+                entry.get("name").and_then(tbstc::json::Json::as_str),
+                Some(m.canonical_name())
+            );
+        }
+    }
+
+    #[test]
+    fn arch_show_roundtrips_through_simulate() {
+        let doc = run_line(&["arch", "show", "tb-stc"]).unwrap();
+        let spec = tbstc::archspec::spec_from_json(doc.trim_end()).unwrap();
+        assert_eq!(spec.name, "tb-stc");
+        // Aliases resolve too.
+        let via_alias = run_line(&["arch", "show", "tbstc"]).unwrap();
+        assert_eq!(doc, via_alias);
+        assert!(run_line(&["arch", "show", "tpu"]).is_err());
+        assert!(run_line(&["arch"]).is_err());
+
+        // The shown document is runnable via --arch-spec and produces
+        // the same result body as the builtin it renders.
+        let dir = std::env::temp_dir().join(format!("tbstc-cli-archspec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tb-stc.json");
+        std::fs::write(&path, &doc).unwrap();
+        let custom = run_line(&[
+            "simulate",
+            "--model",
+            "gcn",
+            "--arch-spec",
+            path.to_str().unwrap(),
+            "--sparsity",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let builtin = run_line(&[
+            "simulate",
+            "--model",
+            "gcn",
+            "--arch",
+            "tb-stc",
+            "--sparsity",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let cv = tbstc::json::Json::parse(custom.trim_end()).unwrap();
+        let bv = tbstc::json::Json::parse(builtin.trim_end()).unwrap();
+        assert_eq!(cv.get("result"), bv.get("result"), "spec ≡ native");
+        assert_ne!(cv.get("job"), bv.get("job"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // --arch and --arch-spec are mutually exclusive; a missing file
+        // errors cleanly.
+        assert!(run_line(&[
+            "simulate",
+            "--arch",
+            "tc",
+            "--arch-spec",
+            "/no/such/spec.json"
+        ])
+        .is_err());
+        assert!(run_line(&["simulate", "--arch-spec", "/no/such/spec.json"]).is_err());
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //! bit-identical to serial), so identical specs always produce identical
 //! response bodies — the property the serve cache relies on.
 
+use crate::archspec;
 use crate::error::Error;
 use crate::json::{fnv1a_64, Json};
 
 use tbstc_runner::{ModelSpec, SimJob, Sweep, SweepRunner};
-use tbstc_sim::{Arch, CycleBreakdown, LayerResult, ModelResult};
+use tbstc_sim::{Arch, ArchId, ArchSpec, CustomArch, CycleBreakdown, LayerResult, ModelResult};
 
 /// Schema tag stamped into every response body.
 pub const SCHEMA: &str = "tbstc.v1";
@@ -79,6 +80,19 @@ pub fn model_to_value(model: ModelSpec) -> Json {
     }
 }
 
+/// Rejects object keys outside the allowed set, naming the first
+/// stranger with its field path (`ctx` is the parent path prefix).
+fn reject_unknown_fields(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), Error> {
+    if let Some(m) = v.as_obj() {
+        for key in m.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(Error::InvalidSpec(format!("{ctx}{key}: unknown field")));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a [`ModelSpec`] from either a bare name string (CLI default
 /// shapes) or the canonical `{"kind": ..., ...}` object.
 pub fn model_from_value(v: &Json) -> Result<ModelSpec, Error> {
@@ -90,6 +104,13 @@ pub fn model_from_value(v: &Json) -> Result<ModelSpec, Error> {
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| Error::InvalidSpec("model needs a `kind`".into()))?;
+    let allowed: &[&str] = match kind {
+        "resnet50" | "resnet18" => &["kind", "input"],
+        "bert" | "opt" | "llama" => &["kind", "tokens"],
+        "gcn" => &["kind", "nodes", "features"],
+        _ => &["kind"],
+    };
+    reject_unknown_fields(v, allowed, "model.")?;
     let dim = |key: &str, default: usize| -> Result<usize, Error> {
         match v.get(key) {
             None => Ok(default),
@@ -131,6 +152,19 @@ fn parse_arch_value(v: &Json) -> Result<Arch, Error> {
         .map_err(|e| Error::InvalidSpec(e.to_string()))
 }
 
+/// Parses a result-side architecture identity: a builtin registry name
+/// maps to its [`Arch`]; anything else is a custom spec name. Results
+/// only store the name, so custom identities round-trip by name alone.
+fn parse_arch_id_value(v: &Json) -> Result<ArchId, Error> {
+    let name = v
+        .as_str()
+        .ok_or_else(|| Error::InvalidSpec("arch must be a string".into()))?;
+    Ok(match name.parse::<Arch>() {
+        Ok(a) => ArchId::Builtin(a),
+        Err(_) => ArchId::custom(name),
+    })
+}
+
 fn parse_sparsity(v: &Json) -> Result<f64, Error> {
     let s = v
         .as_f64()
@@ -141,11 +175,49 @@ fn parse_sparsity(v: &Json) -> Result<f64, Error> {
     Ok(s)
 }
 
+/// The architecture a simulate job runs on: a registry builtin by name,
+/// or an inline `tbstc.v1` arch-spec document interpreted by
+/// [`CustomArch`]. Custom specs canonicalize as their full document, so
+/// the content-addressed cache key (and with it serve's coalescing and
+/// disk/LRU tiers) distinguishes them by content, not by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchChoice {
+    /// A registry builtin, referenced by name.
+    Builtin(Arch),
+    /// An inline, already-validated arch-spec document.
+    Custom(Box<ArchSpec>),
+}
+
+impl ArchChoice {
+    /// The canonical lowercase name (builtin registry name or the spec's
+    /// declared name).
+    pub fn canonical_name(&self) -> &str {
+        match self {
+            ArchChoice::Builtin(a) => a.canonical_name(),
+            ArchChoice::Custom(spec) => &spec.name,
+        }
+    }
+
+    /// The builtin, when this is one.
+    pub fn builtin(&self) -> Option<Arch> {
+        match self {
+            ArchChoice::Builtin(a) => Some(*a),
+            ArchChoice::Custom(_) => None,
+        }
+    }
+}
+
+impl From<Arch> for ArchChoice {
+    fn from(a: Arch) -> ArchChoice {
+        ArchChoice::Builtin(a)
+    }
+}
+
 /// One whole-model simulation request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateSpec {
     /// Architecture to simulate.
-    pub arch: Arch,
+    pub arch: ArchChoice,
     /// Workload.
     pub model: ModelSpec,
     /// Target sparsity in `[0, 1]`.
@@ -227,10 +299,33 @@ impl JobSpec {
         };
         match kind {
             "simulate" => {
-                let arch = parse_arch_value(
-                    v.get("arch")
-                        .ok_or_else(|| Error::InvalidSpec("simulate needs an `arch`".into()))?,
+                reject_unknown_fields(
+                    v,
+                    &[
+                        "type",
+                        "arch",
+                        "arch_spec",
+                        "model",
+                        "sparsity",
+                        "seed",
+                        "bandwidth_gbps",
+                    ],
+                    "",
                 )?;
+                let arch = match (v.get("arch"), v.get("arch_spec")) {
+                    (Some(_), Some(_)) => {
+                        return Err(Error::InvalidSpec(
+                            "give either `arch` or `arch_spec`, not both".into(),
+                        ))
+                    }
+                    (Some(a), None) => ArchChoice::Builtin(parse_arch_value(a)?),
+                    (None, Some(s)) => ArchChoice::Custom(Box::new(archspec::spec_from_value(s)?)),
+                    (None, None) => {
+                        return Err(Error::InvalidSpec(
+                            "simulate needs an `arch` or an `arch_spec`".into(),
+                        ))
+                    }
+                };
                 let model = model_from_value(
                     v.get("model")
                         .ok_or_else(|| Error::InvalidSpec("simulate needs a `model`".into()))?,
@@ -248,6 +343,18 @@ impl JobSpec {
                 }))
             }
             "sweep" => {
+                reject_unknown_fields(
+                    v,
+                    &[
+                        "type",
+                        "archs",
+                        "models",
+                        "sparsities",
+                        "seeds",
+                        "bandwidth_gbps",
+                    ],
+                    "",
+                )?;
                 let list = |key: &str| -> Result<&[Json], Error> {
                     v.get(key)
                         .and_then(Json::as_arr)
@@ -298,14 +405,24 @@ impl JobSpec {
     /// Two specs that execute identically canonicalize identically.
     pub fn to_value(&self) -> Json {
         match self {
-            JobSpec::Simulate(s) => Json::obj([
-                ("arch", Json::str(s.arch.canonical_name())),
-                ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
-                ("model", model_to_value(s.model)),
-                ("seed", Json::Int(s.seed as i64)),
-                ("sparsity", Json::Num(s.sparsity)),
-                ("type", Json::str("simulate")),
-            ]),
+            JobSpec::Simulate(s) => {
+                let mut pairs = vec![
+                    ("bandwidth_gbps", Json::Num(s.bandwidth_gbps)),
+                    ("model", model_to_value(s.model)),
+                    ("seed", Json::Int(s.seed as i64)),
+                    ("sparsity", Json::Num(s.sparsity)),
+                    ("type", Json::str("simulate")),
+                ];
+                match &s.arch {
+                    ArchChoice::Builtin(a) => {
+                        pairs.push(("arch", Json::str(a.canonical_name())));
+                    }
+                    ArchChoice::Custom(spec) => {
+                        pairs.push(("arch_spec", archspec::spec_to_value(spec)));
+                    }
+                }
+                Json::obj(pairs)
+            }
             JobSpec::Sweep(s) => Json::obj([
                 (
                     "archs",
@@ -377,12 +494,35 @@ impl JobSpec {
         );
         match self {
             JobSpec::Simulate(s) => {
-                let result = engine.model(SimJob {
-                    arch: s.arch,
-                    model: s.model,
-                    sparsity: s.sparsity,
-                    seed: s.seed,
-                });
+                let result = match &s.arch {
+                    ArchChoice::Builtin(a) => engine.model(SimJob {
+                        arch: *a,
+                        model: s.model,
+                        sparsity: s.sparsity,
+                        seed: s.seed,
+                    }),
+                    // Spec-driven archs run through the interpreter; they
+                    // bypass the builtin-keyed memo but are still served
+                    // by the content-addressed response caches upstream.
+                    ArchChoice::Custom(spec) => match CustomArch::new((**spec).clone()) {
+                        Ok(custom) => tbstc_sim::simulate_model_on(
+                            &custom,
+                            &s.model.build(),
+                            s.sparsity,
+                            s.seed,
+                            engine.config(),
+                        ),
+                        Err(e) => {
+                            // Unreachable through parsing (documents are
+                            // validated); keeps programmatic misuse
+                            // panic-free.
+                            return Json::obj([
+                                ("error", Json::str(format!("invalid arch spec: {e}"))),
+                                ("schema", Json::str(SCHEMA)),
+                            ]);
+                        }
+                    },
+                };
                 Json::obj([
                     ("job", self.to_value()),
                     ("result", model_result_to_value(&result)),
@@ -503,7 +643,7 @@ pub fn layer_result_from_value(v: &Json) -> Result<LayerResult, Error> {
             .and_then(Json::as_str)
             .ok_or_else(|| Error::InvalidSpec("layer result missing `name`".into()))?
             .to_string(),
-        arch: parse_arch_value(
+        arch: parse_arch_id_value(
             v.get("arch")
                 .ok_or_else(|| Error::InvalidSpec("layer result missing `arch`".into()))?,
         )?,
@@ -543,7 +683,7 @@ pub fn model_result_to_value(r: &ModelResult) -> Json {
 /// [`Error::InvalidSpec`] when the value does not match the schema.
 pub fn model_result_from_value(v: &Json) -> Result<ModelResult, Error> {
     Ok(ModelResult {
-        arch: parse_arch_value(
+        arch: parse_arch_id_value(
             v.get("arch")
                 .ok_or_else(|| Error::InvalidSpec("model result missing `arch`".into()))?,
         )?,
@@ -645,6 +785,98 @@ mod tests {
             assert!(JobSpec::from_json(bad).is_err(), "{bad} should be rejected");
         }
         assert!(matches!(JobSpec::from_json("{nope"), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_fields_with_the_path() {
+        let e = JobSpec::from_json(r#"{"type":"simulate","arch":"tc","model":"bert","warp":32}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("warp: unknown field"), "{e}");
+
+        let e = JobSpec::from_json(
+            r#"{"type":"simulate","arch":"tc",
+                "model":{"kind":"bert","tokens":32,"heads":12}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("model.heads: unknown field"), "{e}");
+
+        let e = JobSpec::from_json(
+            r#"{"type":"sweep","archs":["tc"],"models":["bert"],
+                "sparsities":[0.5],"seed":[0]}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("seed: unknown field"), "{e}");
+    }
+
+    fn inline_spec_body() -> String {
+        let doc = archspec::spec_to_value(&Arch::TbStc.model().spec());
+        format!(
+            r#"{{"type":"simulate","arch_spec":{doc},
+                "model":{{"kind":"gcn","nodes":64,"features":16}},
+                "sparsity":0.5}}"#
+        )
+    }
+
+    #[test]
+    fn inline_arch_spec_parses_and_keys_by_content() {
+        let spec = JobSpec::from_json(&inline_spec_body()).unwrap();
+        let JobSpec::Simulate(s) = &spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(s.arch.canonical_name(), "tb-stc");
+        assert_eq!(s.arch.builtin(), None);
+
+        // Canonical round-trip through the document form.
+        let back = JobSpec::from_json(&spec.canonical_json()).unwrap();
+        assert_eq!(spec, back);
+
+        // Same name, different content ⇒ different cache key; the inline
+        // spec also never collides with the builtin-by-name job.
+        let tweaked = JobSpec::from_json(&inline_spec_body()).map(|mut j| {
+            if let JobSpec::Simulate(s) = &mut j {
+                if let ArchChoice::Custom(spec) = &mut s.arch {
+                    spec.dataflow.efficiency = 0.5;
+                }
+            }
+            j
+        });
+        assert_ne!(spec.cache_key(), tweaked.unwrap().cache_key());
+        let builtin = JobSpec::from_json(
+            r#"{"type":"simulate","arch":"tb-stc",
+                "model":{"kind":"gcn","nodes":64,"features":16},
+                "sparsity":0.5}"#,
+        )
+        .unwrap();
+        assert_ne!(spec.cache_key(), builtin.cache_key());
+
+        // Both arch forms at once is ambiguous.
+        let doc = archspec::spec_to_value(&Arch::TbStc.model().spec());
+        let both = format!(r#"{{"type":"simulate","arch":"tc","arch_spec":{doc},"model":"bert"}}"#);
+        assert!(JobSpec::from_json(&both).is_err());
+
+        // Malformed inline documents name the offending field.
+        let mut doc = archspec::spec_to_value(&Arch::TbStc.model().spec());
+        if let Json::Obj(m) = &mut doc {
+            m.insert("wave_size".into(), Json::Int(32));
+        }
+        let body = format!(r#"{{"type":"simulate","arch_spec":{doc},"model":"bert"}}"#);
+        let e = JobSpec::from_json(&body).unwrap_err().to_string();
+        assert!(e.contains("arch_spec.wave_size"), "{e}");
+    }
+
+    #[test]
+    fn inline_spec_execute_matches_builtin() {
+        let engine = SweepRunner::new(HwConfig::with_bandwidth_gbps(DEFAULT_BANDWIDTH_GBPS));
+        let inline = JobSpec::from_json(&inline_spec_body()).unwrap();
+        let builtin = gcn_spec();
+        let a = inline.execute(&engine);
+        let b = builtin.execute(&engine);
+        // Same simulation, different job documents: results identical.
+        assert_eq!(a.get("result"), b.get("result"));
+        assert_ne!(a.get("job"), b.get("job"));
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl Json {
         }
     }
 
+    /// The value as an object map (key-sorted).
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Parses JSON text.
     ///
     /// # Errors

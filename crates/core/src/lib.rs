@@ -56,6 +56,7 @@ pub use tbstc_sim as sim;
 pub use tbstc_sparsity as sparsity;
 pub use tbstc_train as train;
 
+pub mod archspec;
 pub mod error;
 pub mod experiments;
 pub mod jobspec;
@@ -79,6 +80,6 @@ pub mod prelude {
 
     pub use crate::error::Error;
     pub use crate::experiments::{AccuracyCurve, ParetoPoint};
-    pub use crate::jobspec::{JobSpec, SimulateSpec, SweepSpec};
+    pub use crate::jobspec::{ArchChoice, JobSpec, SimulateSpec, SweepSpec};
     pub use crate::json::Json;
 }

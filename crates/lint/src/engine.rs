@@ -131,6 +131,10 @@ pub struct FileCtx<'a> {
     pub code: &'a [Token],
     /// Whether this file is a crate root (`src/lib.rs` / `src/main.rs`).
     pub is_crate_root: bool,
+    /// Workspace root, when the lint runs against a real checkout.
+    /// `None` in fixture mode; rules that consult the filesystem
+    /// (spec-coverage) skip themselves without it.
+    pub root: Option<&'a Path>,
 }
 
 impl FileCtx<'_> {
@@ -157,15 +161,17 @@ impl FileCtx<'_> {
 /// not (it is a workspace-level concept). This is the entry point the
 /// fixture tests drive.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    lint_source_rules(rel_path, src, None).0
+    lint_source_rules(rel_path, src, None, None).0
 }
 
 /// [`lint_source`] restricted to a subset of rules; also returns how many
-/// findings inline suppressions silenced.
+/// findings inline suppressions silenced. `root` enables the
+/// filesystem-consulting rules (spec-coverage) against a real checkout.
 pub fn lint_source_rules(
     rel_path: &str,
     src: &str,
     only: Option<&[String]>,
+    root: Option<&Path>,
 ) -> (Vec<Finding>, usize) {
     let tokens = lex(src);
     let code: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).cloned().collect();
@@ -180,6 +186,7 @@ pub fn lint_source_rules(
         tokens: &tokens,
         code: &code,
         is_crate_root: rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs"),
+        root,
     };
 
     let mut raw = Vec::new();
@@ -415,7 +422,8 @@ pub fn lint_workspace(opts: &LintOptions) -> Result<LintReport, String> {
             .replace('\\', "/");
         let src =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let (findings, suppressed) = lint_source_rules(&rel, &src, opts.rules.as_deref());
+        let (findings, suppressed) =
+            lint_source_rules(&rel, &src, opts.rules.as_deref(), Some(&opts.root));
         report.suppressed += suppressed;
         report.files_scanned += 1;
         let lines: Vec<&str> = src.lines().collect();

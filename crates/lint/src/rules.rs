@@ -1,4 +1,4 @@
-//! The seven workspace rules. Each rule is a pure function over a
+//! The eight workspace rules. Each rule is a pure function over a
 //! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
 //! exclusion, suppressions, and the baseline afterwards, so rules here
 //! report every syntactic match they see.
@@ -45,6 +45,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "blocking-in-event-loop",
         check: blocking_in_event_loop,
+    },
+    Rule {
+        name: "spec-coverage",
+        check: spec_coverage,
     },
 ];
 
@@ -615,6 +619,55 @@ fn blocking_in_event_loop(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             }
         }
         i += 1;
+    }
+}
+
+// --- spec-coverage ------------------------------------------------------
+
+/// Every registry architecture module under `crates/sim/src/archs/` must
+/// ship its bundled `tbstc.v1` document at `crates/core/specs/<name>.json`
+/// — `GET /v1/archs`, `tbstc-cli arch show`, and the golden spec-parity
+/// suite all read from there. The canonical name is lifted from the
+/// module's `fn canonical_name` body (a single string literal). Skipped
+/// in fixture mode (no workspace root to consult).
+fn spec_coverage(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let Some(root) = ctx.root else {
+        return;
+    };
+    if !ctx.rel_path.starts_with("crates/sim/src/archs/") || ctx.rel_path.ends_with("/mod.rs") {
+        return;
+    }
+    for (i, t) in ctx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || ctx.text(t) != "canonical_name"
+            || !ctx.code_is_ident(i.wrapping_sub(1), "fn")
+        {
+            continue;
+        }
+        // The literal the function returns: first string token after the
+        // signature (`fn canonical_name(&self) -> &'static str { "..." }`).
+        let Some(lit) = ctx.code[i..]
+            .iter()
+            .take(16)
+            .find(|t| t.kind == TokKind::StrLit)
+        else {
+            continue;
+        };
+        let name = ctx.text(lit).trim_matches('"');
+        let spec = root.join("crates/core/specs").join(format!("{name}.json"));
+        if !spec.is_file() {
+            out.push(finding(
+                "spec-coverage",
+                Severity::Error,
+                ctx,
+                lit,
+                format!(
+                    "registry arch `{name}` has no bundled spec document at \
+                     crates/core/specs/{name}.json; generate one with \
+                     `tbstc-cli arch show {name}`"
+                ),
+            ));
+        }
     }
 }
 

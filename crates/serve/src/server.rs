@@ -526,7 +526,9 @@ fn lookup_cached(state: &State, key: &str) -> Response {
 
 /// Renders the architecture catalog: one entry per registered
 /// [`tbstc::sim::ArchModel`], with its canonical name, aliases, lane
-/// count at the paper-default PE array, and native scheduling policy.
+/// count at the paper-default PE array, native scheduling policy, and
+/// the full `tbstc.v1` spec document — what a client would POST back as
+/// an inline `arch_spec` to reproduce the builtin.
 fn archs_body() -> String {
     let cfg = HwConfig::paper_default();
     let entries: Vec<Json> = tbstc::sim::REGISTRY
@@ -540,9 +542,10 @@ fn archs_body() -> String {
                     "aliases",
                     Json::Arr(model.aliases().iter().map(|&a| Json::str(a)).collect()),
                 ),
-                ("lanes", Json::Int(model.arch().lanes(cfg.pe) as i64)),
+                ("lanes", Json::Int(model.lanes(cfg.pe) as i64)),
                 ("inter_block", Json::str(format!("{:?}", policy.inter))),
                 ("intra_block", Json::str(format!("{:?}", policy.intra))),
+                ("spec", tbstc::archspec::spec_to_value(&model.spec())),
             ])
         })
         .collect();
@@ -654,11 +657,16 @@ impl EngineExecutor {
         let mut groups: BTreeMap<u64, Vec<SimJob>> = BTreeMap::new();
         for job in jobs {
             if let JobSpec::Simulate(s) = &job.spec {
+                // Inline-spec jobs have no builtin memo key; they run
+                // individually through the interpreter in `run_one`.
+                let Some(arch) = s.arch.builtin() else {
+                    continue;
+                };
                 groups
                     .entry(s.bandwidth_gbps.to_bits())
                     .or_default()
                     .push(SimJob {
-                        arch: s.arch,
+                        arch,
                         model: s.model,
                         sparsity: s.sparsity,
                         seed: s.seed,
@@ -784,6 +792,11 @@ mod tests {
             assert!(entry.get("lanes").and_then(Json::as_u64).unwrap() > 0);
             assert!(entry.get("inter_block").and_then(Json::as_str).is_some());
             assert!(entry.get("intra_block").and_then(Json::as_str).is_some());
+            // Each entry embeds the bundled `tbstc.v1` document verbatim —
+            // a client can POST it back as an inline `arch_spec`.
+            let spec = entry.get("spec").expect("catalog entry carries a spec");
+            let bundled = tbstc::archspec::bundled_text(model.canonical_name()).unwrap();
+            assert_eq!(spec.to_string(), bundled.trim_end());
         }
 
         let cache_dir = running.handle().state().store.dir().to_path_buf();

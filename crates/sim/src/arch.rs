@@ -4,6 +4,7 @@
 //! to the registered model.
 
 use std::str::FromStr;
+use std::sync::Arc;
 
 use tbstc_energy::components::{DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
@@ -115,6 +116,70 @@ impl std::fmt::Display for Arch {
     }
 }
 
+/// The identity of any simulated architecture: a registry builtin (a
+/// cheap [`Arch`] tag) or a spec-defined custom architecture carrying its
+/// declared name. Results ([`crate::LayerResult`], [`crate::ModelResult`])
+/// record an `ArchId` so spec-driven and builtin runs flow through the
+/// same pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArchId {
+    /// A registry architecture.
+    Builtin(Arch),
+    /// A spec-defined architecture, by its declared canonical name.
+    Custom(Arc<str>),
+}
+
+impl ArchId {
+    /// A custom identity from a declared spec name.
+    pub fn custom(name: &str) -> ArchId {
+        ArchId::Custom(Arc::from(name))
+    }
+
+    /// The builtin tag, when this is a registry architecture.
+    pub fn builtin(&self) -> Option<Arch> {
+        match self {
+            ArchId::Builtin(a) => Some(*a),
+            ArchId::Custom(_) => None,
+        }
+    }
+
+    /// Canonical lowercase name: the registry name for builtins, the
+    /// spec's declared name for customs.
+    pub fn canonical_name(&self) -> &str {
+        match self {
+            ArchId::Builtin(a) => a.canonical_name(),
+            ArchId::Custom(name) => name,
+        }
+    }
+}
+
+impl From<Arch> for ArchId {
+    fn from(a: Arch) -> ArchId {
+        ArchId::Builtin(a)
+    }
+}
+
+impl PartialEq<Arch> for ArchId {
+    fn eq(&self, other: &Arch) -> bool {
+        self.builtin() == Some(*other)
+    }
+}
+
+impl PartialEq<ArchId> for Arch {
+    fn eq(&self, other: &ArchId) -> bool {
+        other.builtin() == Some(*self)
+    }
+}
+
+impl std::fmt::Display for ArchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchId::Builtin(a) => a.fmt(f),
+            ArchId::Custom(name) => f.write_str(name),
+        }
+    }
+}
+
 /// An architecture name that matched no registry entry. Its display lists
 /// every valid canonical name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,7 +206,7 @@ impl FromStr for Arch {
     /// Parses a canonical name or alias, backed by the registry.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         archs::by_name(s)
-            .map(ArchModel::arch)
+            .and_then(|m| m.id().builtin())
             .ok_or_else(|| ParseArchError { name: s.into() })
     }
 }

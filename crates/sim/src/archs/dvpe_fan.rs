@@ -5,7 +5,7 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{
     ddc_or_dense_trace, nnz_proportional_batch, ArchModel, BlockStats, WeightTrace,
 };
@@ -14,6 +14,7 @@ use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// Extra pipeline occupancy of SIGMA's FAN (deeper forwarding network).
 const FAN_OVERHEAD: f64 = 1.12;
@@ -22,8 +23,8 @@ const FAN_OVERHEAD: f64 = 1.12;
 pub struct DvpeFan;
 
 impl ArchModel for DvpeFan {
-    fn arch(&self) -> Arch {
-        Arch::DvpeFan
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::DvpeFan)
     }
 
     fn display_name(&self) -> &'static str {
@@ -40,6 +41,30 @@ impl ArchModel for DvpeFan {
 
     fn summary(&self) -> &'static str {
         "Ablation: TB-STC with SIGMA's FAN reduction instead of DVPEs"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![SlotTerm::Nnz],
+                multiplier: FAN_OVERHEAD,
+                efficiency: 1.0,
+            },
+            row_frontend: false,
+            codec: CodecSpec::DdcOrDense,
+            dense_info: DenseInfoPolicy::NonTbsNative,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::DvpeWithFan,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

@@ -6,12 +6,13 @@ use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_formats::Sdc;
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{ratio_grouped_slots, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// HighLight's two-level metadata intersection overhead per element
 /// cluster (hierarchical coordinate decoding on the datapath).
@@ -21,8 +22,8 @@ const INTERSECT_OVERHEAD: f64 = 1.06;
 pub struct Highlight;
 
 impl ArchModel for Highlight {
-    fn arch(&self) -> Arch {
-        Arch::Highlight
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::Highlight)
     }
 
     fn display_name(&self) -> &'static str {
@@ -35,6 +36,30 @@ impl ArchModel for Highlight {
 
     fn summary(&self) -> &'static str {
         "Hierarchical structured sparsity; uniform ratios, 2-level metadata"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![SlotTerm::RatioGrouped { width: 8 }],
+                multiplier: INTERSECT_OVERHEAD,
+                efficiency: 1.0,
+            },
+            row_frontend: false,
+            codec: CodecSpec::Sdc,
+            dense_info: DenseInfoPolicy::Never,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::Highlight,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

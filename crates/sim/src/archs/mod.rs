@@ -25,7 +25,7 @@ use tbstc_energy::components::{DatapathCosts, PeArrayShape};
 use tbstc_formats::AccessTrace;
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
@@ -96,14 +96,15 @@ impl WeightTrace {
 pub trait ArchModel: Sync {
     // --- Identity -------------------------------------------------------
 
-    /// The enum tag this model implements.
-    fn arch(&self) -> Arch;
+    /// The identity this model simulates as: a registry [`Arch`] tag for
+    /// builtins, a declared name for spec-defined architectures.
+    fn id(&self) -> ArchId;
 
     /// Paper-style display name (e.g. `TB-STC`).
-    fn display_name(&self) -> &'static str;
+    fn display_name(&self) -> &str;
 
     /// Canonical lowercase kebab-case name (job specs, CLI, caches).
-    fn canonical_name(&self) -> &'static str;
+    fn canonical_name(&self) -> &str;
 
     /// Accepted alternate spellings (e.g. `tbstc` for `tb-stc`).
     fn aliases(&self) -> &'static [&'static str] {
@@ -111,7 +112,15 @@ pub trait ArchModel: Sync {
     }
 
     /// One-line description for the README architecture table.
-    fn summary(&self) -> &'static str;
+    fn summary(&self) -> &str;
+
+    /// The architecture expressed as a declarative [`crate::spec::ArchSpec`]
+    /// — the data document that reproduces this model bit-for-bit through
+    /// [`crate::spec::CustomArch`] (the `spec_parity` tests pin this per
+    /// builtin). `GET /v1/archs`, `tbstc-cli arch show` and the bundled
+    /// spec documents all render from here, so the declarative view cannot
+    /// drift from the code.
+    fn spec(&self) -> crate::spec::ArchSpec;
 
     // --- Sparsity pattern & compute -------------------------------------
 
@@ -298,6 +307,27 @@ pub(crate) fn ratio_grouped_slots(row_nnz: &[usize; 8], width: usize) -> usize {
     issues * width
 }
 
+/// SDC aligned per `group`-row window: each window stores its rows padded
+/// to the window's max population (value + 1-byte index per slot),
+/// sequentially. `row_nnz` holds the per-matrix-row non-zero counts.
+/// Shared by VEGETA and the spec interpreter's `grouped-sdc` codec.
+pub(crate) fn grouped_sdc_trace(row_nnz: &[usize], group: usize) -> WeightTrace {
+    let mut requests = Vec::with_capacity(row_nnz.len().div_ceil(group.max(1)));
+    let mut addr = 0u64;
+    for window in row_nnz.chunks(group.max(1)) {
+        let max_nnz = window.iter().copied().max().unwrap_or(0) as u64;
+        let bytes = window.len() as u64 * max_nnz * 3; // fp16 value + index
+        if bytes > 0 {
+            requests.push((addr, bytes));
+            addr += bytes;
+        }
+    }
+    WeightTrace {
+        requests,
+        stored_bytes: addr,
+    }
+}
+
 /// The TBS weight stream: DDC when the layer carries TBS metadata, a
 /// dense row stream otherwise (non-prunable layers run dense). Shared by
 /// TB-STC and its FAN ablation.
@@ -318,10 +348,11 @@ mod tests {
     #[test]
     fn registry_order_matches_enum() {
         for (i, m) in REGISTRY.iter().enumerate() {
-            assert_eq!(m.arch() as usize, i, "{} out of order", m.display_name());
+            let arch = m.id().builtin().expect("registry entries are builtin");
+            assert_eq!(arch as usize, i, "{} out of order", m.display_name());
         }
         for arch in Arch::ALL {
-            assert_eq!(model(arch).arch(), arch);
+            assert_eq!(model(arch).id(), arch);
         }
     }
 
@@ -329,12 +360,16 @@ mod tests {
     fn names_are_unique_and_resolve() {
         let mut seen = std::collections::HashSet::new();
         for m in REGISTRY {
-            assert!(seen.insert(m.canonical_name()), "{}", m.canonical_name());
+            assert!(
+                seen.insert(m.canonical_name().to_string()),
+                "{}",
+                m.canonical_name()
+            );
             for alias in m.aliases() {
-                assert!(seen.insert(alias), "alias {alias} collides");
-                assert_eq!(by_name(alias).unwrap().arch(), m.arch());
+                assert!(seen.insert(alias.to_string()), "alias {alias} collides");
+                assert_eq!(by_name(alias).unwrap().id(), m.id());
             }
-            assert_eq!(by_name(m.canonical_name()).unwrap().arch(), m.arch());
+            assert_eq!(by_name(m.canonical_name()).unwrap().id(), m.id());
         }
         assert!(by_name("tpu").is_none());
     }

@@ -5,12 +5,13 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// Row-merge packing efficiency of RM-STC's unstructured dataflow
 /// (merge bubbles between rows; its speedup loss vs TB-STC is small —
@@ -21,8 +22,8 @@ const EFFICIENCY: f64 = 0.94;
 pub struct RmStc;
 
 impl ArchModel for RmStc {
-    fn arch(&self) -> Arch {
-        Arch::RmStc
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::RmStc)
     }
 
     fn display_name(&self) -> &'static str {
@@ -39,6 +40,30 @@ impl ArchModel for RmStc {
 
     fn summary(&self) -> &'static str {
         "Unstructured row-merge; nnz-proportional, pays gather/union energy"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![SlotTerm::Nnz],
+                multiplier: 1.0,
+                efficiency: EFFICIENCY,
+            },
+            row_frontend: false,
+            codec: CodecSpec::Bitmap,
+            dense_info: DenseInfoPolicy::Never,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::RmStc,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

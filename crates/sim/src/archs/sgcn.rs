@@ -6,12 +6,13 @@ use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_formats::Csr;
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// SGCN's element-granular gather efficiency at DNN-range sparsity.
 const EFFICIENCY: f64 = 0.7;
@@ -20,8 +21,8 @@ const EFFICIENCY: f64 = 0.7;
 pub struct Sgcn;
 
 impl ArchModel for Sgcn {
-    fn arch(&self) -> Arch {
-        Arch::Sgcn
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::Sgcn)
     }
 
     fn display_name(&self) -> &'static str {
@@ -34,6 +35,30 @@ impl ArchModel for Sgcn {
 
     fn summary(&self) -> &'static str {
         "GNN accelerator: CSR element granularity, 256 GB/s, row frontend"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![SlotTerm::Nnz],
+                multiplier: 1.0,
+                efficiency: EFFICIENCY,
+            },
+            row_frontend: true,
+            codec: CodecSpec::Csr,
+            dense_info: DenseInfoPolicy::Never,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::Sgcn,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

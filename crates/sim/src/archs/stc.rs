@@ -4,19 +4,20 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{nnz_proportional_batch, ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy};
 
 /// The NVIDIA STC baseline.
 pub struct Stc;
 
 impl ArchModel for Stc {
-    fn arch(&self) -> Arch {
-        Arch::Stc
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::Stc)
     }
 
     fn display_name(&self) -> &'static str {
@@ -29,6 +30,26 @@ impl ArchModel for Stc {
 
     fn summary(&self) -> &'static str {
         "NVIDIA Sparse Tensor Core; 4:8 tiles, density floored at 50%"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow::nnz(),
+            row_frontend: false,
+            codec: CodecSpec::AlignedNm,
+            dense_info: DenseInfoPolicy::Never,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::NvidiaStc,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

@@ -4,7 +4,7 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{
     ddc_or_dense_trace, nnz_proportional_batch, ArchModel, BlockStats, WeightTrace,
 };
@@ -13,13 +13,14 @@ use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy};
 
 /// The TB-STC architecture (paper).
 pub struct TbStc;
 
 impl ArchModel for TbStc {
-    fn arch(&self) -> Arch {
-        Arch::TbStc
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::TbStc)
     }
 
     fn display_name(&self) -> &'static str {
@@ -36,6 +37,26 @@ impl ArchModel for TbStc {
 
     fn summary(&self) -> &'static str {
         "This paper: TBS pattern, DDC + codec, hierarchical scheduling"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow::nnz(),
+            row_frontend: false,
+            codec: CodecSpec::DdcOrDense,
+            dense_info: DenseInfoPolicy::NonTbsNative,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::TbStc,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

@@ -3,20 +3,21 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
+use crate::arch::{Arch, ArchId};
 use crate::archs::{ArchModel, BlockStats, WeightTrace};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::memory::FormatOverride;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// The dense baseline (NVIDIA Tensor Core without sparsity support).
 pub struct Tc;
 
 impl ArchModel for Tc {
-    fn arch(&self) -> Arch {
-        Arch::Tc
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::Tc)
     }
 
     fn display_name(&self) -> &'static str {
@@ -29,6 +30,30 @@ impl ArchModel for Tc {
 
     fn summary(&self) -> &'static str {
         "Dense Tensor Core; executes every MAC slot, streams full rows"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![SlotTerm::Dense],
+                multiplier: 1.0,
+                efficiency: 1.0,
+            },
+            row_frontend: false,
+            codec: CodecSpec::DenseRows,
+            dense_info: DenseInfoPolicy::Always,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::TensorCore,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {

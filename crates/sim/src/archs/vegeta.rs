@@ -3,19 +3,22 @@
 use tbstc_energy::components::{self, DatapathCosts, PeArrayShape};
 use tbstc_sparsity::PatternKind;
 
-use crate::arch::Arch;
-use crate::archs::{lockstep_slots, ratio_grouped_slots, ArchModel, BlockStats, WeightTrace};
+use crate::arch::{Arch, ArchId};
+use crate::archs::{
+    grouped_sdc_trace, lockstep_slots, ratio_grouped_slots, ArchModel, BlockStats, WeightTrace,
+};
 use crate::compute::SchedulePolicy;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
 use crate::sched::{BlockWork, InterBlockPolicy, IntraBlockPolicy};
+use crate::spec::{ArchSpec, CodecSpec, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm};
 
 /// The VEGETA baseline.
 pub struct Vegeta;
 
 impl ArchModel for Vegeta {
-    fn arch(&self) -> Arch {
-        Arch::Vegeta
+    fn id(&self) -> ArchId {
+        ArchId::Builtin(Arch::Vegeta)
     }
 
     fn display_name(&self) -> &'static str {
@@ -28,6 +31,33 @@ impl ArchModel for Vegeta {
 
     fn summary(&self) -> &'static str {
         "Row-wise N:M; SIMD lockstep + per-ratio B-select issues"
+    }
+
+    fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.canonical_name().into(),
+            display: self.display_name().into(),
+            summary: self.summary().into(),
+            pattern: self.native_pattern(),
+            schedule: self.native_schedule(),
+            hierarchical_scheduling: self.has_hierarchical_scheduling(),
+            dataflow: Dataflow {
+                terms: vec![
+                    SlotTerm::Lockstep { group: 4 },
+                    SlotTerm::RatioGrouped { width: 8 },
+                ],
+                multiplier: 1.0,
+                efficiency: 1.0,
+            },
+            row_frontend: false,
+            codec: CodecSpec::GroupedSdc { group: 8 },
+            dense_info: DenseInfoPolicy::Never,
+            consumes_ddc: self.consumes_ddc(),
+            bandwidth_gbps: self.bandwidth_override_gbps(),
+            lanes: None,
+            datapath: DatapathKind::Vegeta,
+            mac_energy_multiplier: self.mac_energy_multiplier(),
+        }
     }
 
     fn native_pattern(&self) -> PatternKind {
@@ -88,25 +118,5 @@ impl ArchModel for Vegeta {
 
     fn datapath(&self, shape: PeArrayShape) -> DatapathCosts {
         components::vegeta(shape)
-    }
-}
-
-/// SDC aligned per `group`-row window: each window stores its rows padded
-/// to the window's max population (value + 1-byte index per slot),
-/// sequentially. `row_nnz` holds the per-matrix-row non-zero counts.
-fn grouped_sdc_trace(row_nnz: &[usize], group: usize) -> WeightTrace {
-    let mut requests = Vec::with_capacity(row_nnz.len().div_ceil(group));
-    let mut addr = 0u64;
-    for window in row_nnz.chunks(group) {
-        let max_nnz = window.iter().copied().max().unwrap_or(0) as u64;
-        let bytes = window.len() as u64 * max_nnz * 3; // fp16 value + index
-        if bytes > 0 {
-            requests.push((addr, bytes));
-            addr += bytes;
-        }
-    }
-    WeightTrace {
-        requests,
-        stored_bytes: addr,
     }
 }

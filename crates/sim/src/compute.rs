@@ -12,7 +12,7 @@
 //! nnz-proportionally with hierarchical scheduling.
 
 use crate::arch::Arch;
-use crate::archs;
+use crate::archs::{self, ArchModel};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
@@ -86,9 +86,20 @@ pub fn simulate_compute_with_plan(
     cfg: &HwConfig,
     policy: SchedulePolicy,
 ) -> ComputeResult {
-    let model = archs::model(arch);
+    simulate_compute_on(archs::model(arch), layer, plan, cfg, policy)
+}
+
+/// Runs the compute model against any [`ArchModel`] — registry builtin or
+/// spec-interpreted [`crate::spec::CustomArch`].
+pub fn simulate_compute_on(
+    model: &dyn ArchModel,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
+    cfg: &HwConfig,
+    policy: SchedulePolicy,
+) -> ComputeResult {
     let works = model.block_works_batch(plan);
-    let lanes = arch.lanes(cfg.pe);
+    let lanes = model.lanes(cfg.pe);
     let width = cfg.lane_width();
     let pes = lanes / width;
 

@@ -54,12 +54,19 @@ pub mod plan;
 pub mod result;
 pub mod sched;
 pub mod schedunit;
+pub mod spec;
 
-pub use arch::{Arch, ParseArchError};
+pub use arch::{Arch, ArchId, ParseArchError};
 pub use archs::{ArchModel, REGISTRY};
 pub use builder::LayerSim;
 pub use config::HwConfig;
 pub use layer::SparseLayer;
-pub use pipeline::{simulate_layer, simulate_layer_with, simulate_model, SimOptions};
+pub use pipeline::{
+    simulate_layer, simulate_layer_on, simulate_layer_with, simulate_model, simulate_model_on,
+    SimOptions,
+};
 pub use plan::BlockPlan;
 pub use result::{CycleBreakdown, LayerResult, ModelResult};
+pub use spec::{
+    ArchSpec, CodecSpec, CustomArch, Dataflow, DatapathKind, DenseInfoPolicy, SlotTerm,
+};

@@ -20,7 +20,7 @@ use tbstc_dram::{DramConfig, DramModel};
 use tbstc_formats::{Csr, Sdc};
 
 use crate::arch::Arch;
-use crate::archs::{self, WeightTrace};
+use crate::archs::{self, ArchModel, WeightTrace};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
 use crate::plan::BlockPlan;
@@ -90,7 +90,19 @@ pub fn simulate_memory_with_plan(
     cfg: &HwConfig,
     fmt: FormatOverride,
 ) -> MemoryResult {
-    let dram_cfg = match arch.bandwidth_override_gbps() {
+    simulate_memory_on(archs::model(arch), layer, plan, cfg, fmt)
+}
+
+/// Simulates the memory side against any [`ArchModel`] — registry builtin
+/// or spec-interpreted [`crate::spec::CustomArch`].
+pub fn simulate_memory_on(
+    model: &dyn ArchModel,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
+    cfg: &HwConfig,
+    fmt: FormatOverride,
+) -> MemoryResult {
+    let dram_cfg = match model.bandwidth_override_gbps() {
         Some(gbps) => DramConfig {
             bytes_per_cycle: gbps,
             ..cfg.dram
@@ -99,7 +111,7 @@ pub fn simulate_memory_with_plan(
     };
 
     // --- Weight stream: replay the sampled trace, scale up. ---
-    let trace = a_trace(arch, layer, plan, fmt);
+    let trace = a_trace(model, layer, plan, fmt);
     let mut dram = DramModel::new(dram_cfg);
     let a_res = dram.replay(trace.requests.iter().copied());
     let ws = layer.weight_scale();
@@ -109,7 +121,7 @@ pub fn simulate_memory_with_plan(
     // Bandwidth utilization counts only *information* bytes: format
     // padding (SDC) and burst waste (CSR) both show up as lost
     // utilization — the paper's challenge-2 metric.
-    let info_sampled = info_bytes(arch, layer, plan, fmt);
+    let info_sampled = info_bytes(model, layer, plan, fmt);
     let a_util = if a_res.cycles == 0 {
         1.0
     } else {
@@ -146,8 +158,13 @@ pub fn simulate_memory_with_plan(
 /// The information content of the sampled weight stream: the bytes any
 /// format must move at minimum (values + one index per non-zero; the full
 /// matrix when the architecture streams dense rows for this layer/format).
-fn info_bytes(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOverride) -> f64 {
-    if archs::model(arch).dense_info_stream(layer, fmt) {
+fn info_bytes(
+    model: &dyn ArchModel,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
+    fmt: FormatOverride,
+) -> f64 {
+    if model.dense_info_stream(layer, fmt) {
         let (rows, cols) = plan.sampled_shape();
         return (rows * cols) as f64 * 2.0;
     }
@@ -159,7 +176,12 @@ fn info_bytes(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOver
 
 /// Builds the sampled weight-stream trace for an architecture: the
 /// override formats here, the native format from the registered model.
-fn a_trace(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOverride) -> WeightTrace {
+fn a_trace(
+    model: &dyn ArchModel,
+    layer: &SparseLayer,
+    plan: &BlockPlan,
+    fmt: FormatOverride,
+) -> WeightTrace {
     match fmt {
         FormatOverride::Sdc => {
             WeightTrace::from_access_trace(Sdc::encode(layer.sampled()).access_trace())
@@ -174,7 +196,7 @@ fn a_trace(arch: Arch, layer: &SparseLayer, plan: &BlockPlan, fmt: FormatOverrid
             let bytes = blocks * 2 + (plan.total_nnz() as u64 * 3).div_ceil(2);
             WeightTrace::sequential(bytes)
         }
-        FormatOverride::Native => archs::model(arch).weight_trace(layer, plan),
+        FormatOverride::Native => model.weight_trace(layer, plan),
     }
 }
 

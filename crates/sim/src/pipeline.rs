@@ -12,10 +12,11 @@ use tbstc_models::{LayerShape, Model};
 use tbstc_sparsity::SparsityDim;
 
 use crate::arch::Arch;
-use crate::compute::{simulate_compute_with_plan, SchedulePolicy};
+use crate::archs::ArchModel;
+use crate::compute::{simulate_compute_on, SchedulePolicy};
 use crate::config::HwConfig;
 use crate::layer::SparseLayer;
-use crate::memory::{simulate_memory_with_plan, FormatOverride};
+use crate::memory::{simulate_memory_on, FormatOverride};
 use crate::plan::BlockPlan;
 use crate::result::{CycleBreakdown, LayerResult, ModelResult};
 
@@ -74,18 +75,31 @@ pub fn simulate_layer_with(
     cfg: &HwConfig,
     opts: &SimOptions,
 ) -> LayerResult {
+    simulate_layer_on(arch.model(), layer, cfg, opts)
+}
+
+/// Simulates one layer against any [`ArchModel`] — a registry builtin or
+/// a spec-interpreted [`crate::spec::CustomArch`]. The builtin entry
+/// points all funnel here, so spec-driven architectures run the exact
+/// same pipeline (and at the same batched speed).
+pub fn simulate_layer_on(
+    model: &dyn ArchModel,
+    layer: &SparseLayer,
+    cfg: &HwConfig,
+    opts: &SimOptions,
+) -> LayerResult {
     cfg.validate();
     let plan = BlockPlan::build(layer);
-    let policy = opts.policy.unwrap_or_else(|| SchedulePolicy::native(arch));
+    let policy = opts.policy.unwrap_or_else(|| model.native_schedule());
     let fmt = opts.format;
-    let mut comp = simulate_compute_with_plan(arch, layer, &plan, cfg, policy);
+    let mut comp = simulate_compute_on(model, layer, &plan, cfg, policy);
     if fmt == FormatOverride::Int8 {
         // Each FP16 multiplier lane executes two int8 MACs per cycle, so
         // int8 weights double compute throughput (Fig. 15(b) "Q+S").
         comp.cycles = comp.cycles.div_ceil(2);
     }
-    let mem = simulate_memory_with_plan(arch, layer, &plan, cfg, fmt);
-    let codec_total = codec_cycles(arch, layer, fmt);
+    let mem = simulate_memory_on(model, layer, &plan, cfg, fmt);
+    let codec_total = codec_cycles(model, layer, fmt);
 
     let bottleneck = comp.cycles.max(mem.cycles);
     let codec_exposed = if codec_total == 0 {
@@ -106,15 +120,15 @@ pub fn simulate_layer_with(
         macs: comp.issued_macs,
         buffer_bytes: mem.total_bytes() as u64,
         cycles,
-        datapath_power_mw: arch.datapath(cfg.pe).total_power_mw(),
+        datapath_power_mw: model.datapath(cfg.pe).total_power_mw(),
         active_fraction: comp.utilization,
         dram_energy_pj: mem.energy_pj,
-        mac_energy_scale: arch.mac_energy_multiplier(),
+        mac_energy_scale: model.mac_energy_multiplier(),
     };
 
     LayerResult {
         name: layer.name.clone(),
-        arch,
+        arch: model.id(),
         cycles,
         breakdown,
         useful_macs: comp.useful_macs,
@@ -140,17 +154,28 @@ pub fn simulate_model(
     seed: u64,
     cfg: &HwConfig,
 ) -> ModelResult {
+    simulate_model_on(arch.model(), model, target, seed, cfg)
+}
+
+/// Simulates a whole model against any [`ArchModel`].
+pub fn simulate_model_on(
+    arch_model: &dyn ArchModel,
+    model: &Model,
+    target: f64,
+    seed: u64,
+    cfg: &HwConfig,
+) -> ModelResult {
     let mut layers = Vec::with_capacity(model.layers.len());
     let mut total_cycles = 0u64;
     let mut total_energy = 0.0f64;
     for shape in &model.layers {
-        let res = simulate_model_layer(arch, shape, target, seed, cfg);
+        let res = simulate_model_layer_on(arch_model, shape, target, seed, cfg);
         total_cycles += res.cycles * shape.repeats as u64;
         total_energy += res.energy_pj * shape.repeats as f64;
         layers.push(res);
     }
     ModelResult {
-        arch,
+        arch: arch_model.id(),
         model: model.kind.to_string(),
         layers,
         total_cycles,
@@ -166,23 +191,32 @@ pub fn simulate_model_layer(
     seed: u64,
     cfg: &HwConfig,
 ) -> LayerResult {
+    simulate_model_layer_on(arch.model(), shape, target, seed, cfg)
+}
+
+/// Simulates a single model layer against any [`ArchModel`].
+pub fn simulate_model_layer_on(
+    arch_model: &dyn ArchModel,
+    shape: &LayerShape,
+    target: f64,
+    seed: u64,
+    cfg: &HwConfig,
+) -> LayerResult {
     let effective = if shape.prunable { target } else { 0.0 };
     let pattern = if shape.prunable {
-        arch.native_pattern()
+        arch_model.native_pattern()
     } else {
         tbstc_sparsity::PatternKind::Dense
     };
     let layer = SparseLayer::assemble(shape, pattern, effective, seed, cfg, None);
-    simulate_layer(arch, &layer, cfg)
+    simulate_layer_on(arch_model, &layer, cfg, &SimOptions::native())
 }
 
 /// Conversion cycles the codec needs for the layer's weight stream
 /// (scaled to real size). Only DDC-consuming architectures convert, and
 /// only independent-dimension blocks need it (Fig. 9(a) vs 9(b)).
-fn codec_cycles(arch: Arch, layer: &SparseLayer, fmt: FormatOverride) -> u64 {
-    if !crate::archs::model(arch).consumes_ddc()
-        || !matches!(fmt, FormatOverride::Native | FormatOverride::Int8)
-    {
+fn codec_cycles(model: &dyn ArchModel, layer: &SparseLayer, fmt: FormatOverride) -> u64 {
+    if !model.consumes_ddc() || !matches!(fmt, FormatOverride::Native | FormatOverride::Int8) {
         return 0;
     }
     let Some(tbs) = layer.tbs() else { return 0 };

@@ -2,7 +2,7 @@
 
 use tbstc_energy::EdpPoint;
 
-use crate::arch::Arch;
+use crate::arch::ArchId;
 
 /// Where the cycles of a layer went (paper Fig. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,8 +44,8 @@ impl CycleBreakdown {
 pub struct LayerResult {
     /// Layer name.
     pub name: String,
-    /// Architecture simulated.
-    pub arch: Arch,
+    /// Architecture simulated (builtin tag or spec-declared name).
+    pub arch: ArchId,
     /// Critical-path cycles.
     pub cycles: u64,
     /// Cycle breakdown.
@@ -85,8 +85,8 @@ impl LayerResult {
 /// The result of simulating a whole model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelResult {
-    /// Architecture simulated.
-    pub arch: Arch,
+    /// Architecture simulated (builtin tag or spec-declared name).
+    pub arch: ArchId,
     /// Model name.
     pub model: String,
     /// Per-layer results (repeats already expanded into the totals).
@@ -157,7 +157,7 @@ mod tests {
     fn layer_speedup_and_edp() {
         let fast = LayerResult {
             name: "l".into(),
-            arch: Arch::TbStc,
+            arch: crate::arch::Arch::TbStc.into(),
             cycles: 100,
             breakdown: CycleBreakdown::default(),
             useful_macs: 0,

@@ -5,7 +5,8 @@
 
 use tbstc_models::LayerShape;
 use tbstc_sim::plan::BlockPlan;
-use tbstc_sim::{Arch, HwConfig, LayerSim, SimOptions, REGISTRY};
+use tbstc_sim::spec::{CustomArch, Dataflow, SlotTerm};
+use tbstc_sim::{Arch, ArchModel, HwConfig, LayerSim, SimOptions, REGISTRY};
 
 fn shape(name: &str, m: usize, k: usize, n: usize) -> LayerShape {
     LayerShape {
@@ -32,7 +33,7 @@ fn batch_pricing_matches_scalar_pricing() {
         shape("tiny", 5, 7, 4),
     ];
     for model in REGISTRY {
-        let arch = model.arch();
+        let arch = model.id().builtin().expect("registry entries are builtin");
         for s in &shapes {
             for (i, &target) in [0.0, 0.5, 0.75, 0.9375].iter().enumerate() {
                 let layer = LayerSim::new(s)
@@ -48,6 +49,61 @@ fn batch_pricing_matches_scalar_pricing() {
                 assert_eq!(
                     scalar, batch,
                     "{arch} {} target {target}: scalar vs batch pricing diverged",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+/// `CustomArch` honours the same scalar≡batch contract as the builtins,
+/// on every batched fast path (nnz-only, dense-only) and on the scalar
+/// fallback (mixed terms with an overhead factor).
+#[test]
+fn custom_arch_batch_matches_scalar() {
+    let cfg = HwConfig::paper_default();
+    let shapes = [
+        shape("square", 64, 64, 16),
+        shape("ragged-both", 33, 41, 8),
+        shape("tiny", 5, 7, 4),
+    ];
+    // Every builtin rendered as a spec exercises the nnz/dense fast
+    // paths; the mixed spec forces the per-block stats fallback.
+    let mut customs: Vec<CustomArch> = REGISTRY
+        .iter()
+        .map(|m| CustomArch::new(m.spec()).expect("builtin spec valid"))
+        .collect();
+    let mut mixed = Arch::TbStc.model().spec();
+    mixed.name = "mixed-terms".into();
+    mixed.dataflow = Dataflow {
+        terms: vec![
+            SlotTerm::Nnz,
+            SlotTerm::Lockstep { group: 2 },
+            SlotTerm::RatioGrouped { width: 4 },
+        ],
+        multiplier: 1.07,
+        efficiency: 0.9,
+    };
+    customs.push(CustomArch::new(mixed).expect("mixed spec valid"));
+
+    for custom in &customs {
+        for s in &shapes {
+            for (i, &target) in [0.0, 0.5, 0.9375].iter().enumerate() {
+                let layer = LayerSim::new(s)
+                    .arch(Arch::TbStc)
+                    .sparsity(target)
+                    .seed(400 + i as u64)
+                    .build(&cfg);
+                let plan = BlockPlan::build(&layer);
+                let scalar: Vec<_> = (0..plan.len())
+                    .map(|b| custom.block_work(&plan.stats(b)))
+                    .collect();
+                let batch = custom.block_works_batch(&plan);
+                assert_eq!(
+                    scalar,
+                    batch,
+                    "{} {} target {target}: scalar vs batch pricing diverged",
+                    custom.canonical_name(),
                     s.name
                 );
             }
@@ -85,7 +141,7 @@ fn sim_options_native_is_bit_identical() {
     let cfg = HwConfig::paper_default();
     let s = shape("bert-ish", 128, 128, 64);
     for model in REGISTRY {
-        let arch = model.arch();
+        let arch = model.id().builtin().expect("registry entries are builtin");
         let layer = LayerSim::new(&s)
             .arch(arch)
             .sparsity(0.75)

@@ -191,6 +191,95 @@ fn malformed_specs_get_400_and_the_server_keeps_serving() {
 }
 
 #[test]
+fn inline_arch_specs_compute_cache_and_reject_cleanly() {
+    let dir = tmp_dir("inline-spec");
+    let running = Server::bind(cfg(&dir)).unwrap().spawn().unwrap();
+    let addr = running.addr.to_string();
+
+    // The bundled TB-STC document, exactly as `GET /v1/archs` serves it.
+    let doc = tbstc::archspec::bundled_text("tb-stc").unwrap().trim_end();
+    let inline_job = format!(
+        r#"{{"type":"simulate","arch_spec":{doc},
+            "model":{{"kind":"gcn","nodes":64,"features":16}},"sparsity":0.5}}"#
+    );
+
+    let first = request(&addr, "POST", "/v1/jobs", Some(&inline_job)).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let inline_key = first.header("x-job-key").unwrap().to_string();
+
+    // Resubmission is a pure cache hit: the spec document is
+    // content-addressed into the job key like any other field.
+    let second = request(&addr, "POST", "/v1/jobs", Some(&inline_job)).unwrap();
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(second.body, first.body);
+
+    // The same job through the builtin path keys differently (the body
+    // echoes a different job spec) but computes the bit-identical
+    // `result` — interpreter parity, observed end-to-end over HTTP.
+    let builtin = request(&addr, "POST", "/v1/jobs", Some(GCN_JOB)).unwrap();
+    assert_eq!(builtin.status, 200);
+    assert_eq!(builtin.header("x-cache"), Some("miss"));
+    assert_ne!(builtin.header("x-job-key"), Some(inline_key.as_str()));
+    let result_of = |body: &str| {
+        tbstc::json::Json::parse(body.trim())
+            .unwrap()
+            .get("result")
+            .cloned()
+            .expect("200 body carries a result")
+    };
+    assert_eq!(
+        result_of(&builtin.body),
+        result_of(&first.body),
+        "spec-interpreted == native"
+    );
+
+    // Malformed inline specs are clean 400s that name the field path.
+    let mut with_unknown = tbstc::json::Json::parse(doc).unwrap();
+    if let tbstc::json::Json::Obj(m) = &mut with_unknown {
+        m.insert("wave_size".into(), tbstc::json::Json::Int(32));
+    }
+    let mut zero_efficiency = tbstc::json::Json::parse(doc).unwrap();
+    if let tbstc::json::Json::Obj(m) = &mut zero_efficiency {
+        if let Some(tbstc::json::Json::Obj(df)) = m.get_mut("dataflow") {
+            df.insert("efficiency".into(), tbstc::json::Json::Num(0.0));
+        }
+    }
+    let wrap = |spec_doc: String| {
+        format!(
+            r#"{{"type":"simulate","arch_spec":{spec_doc},
+                "model":{{"kind":"gcn","nodes":64,"features":16}},"sparsity":0.5}}"#
+        )
+    };
+    let cases = [
+        (wrap(with_unknown.to_string()), "arch_spec.wave_size"),
+        (
+            wrap(zero_efficiency.to_string()),
+            "arch_spec.dataflow.efficiency",
+        ),
+        (
+            format!(
+                r#"{{"type":"simulate","arch":"tb-stc","arch_spec":{doc},
+                    "model":{{"kind":"gcn","nodes":64,"features":16}},"sparsity":0.5}}"#
+            ),
+            "not both",
+        ),
+    ];
+    for (bad, needle) in &cases {
+        let resp = request(&addr, "POST", "/v1/jobs", Some(bad)).unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(
+            resp.body.contains(needle),
+            "400 names `{needle}`: {}",
+            resp.body
+        );
+    }
+
+    running.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_jobs_cache_and_memo_persists_across_restart() {
     let dir = tmp_dir("sweep");
     let sweep_job = r#"{"type":"sweep","archs":["tb-stc","stc"],
