@@ -27,7 +27,7 @@
 //! from the bundled TB-STC `tbstc.v1` document, and reports its ratio
 //! against the native module — the declarative path must stay within
 //! 1.25× of native. The report is written as JSON (hand-rolled; the
-//! workspace is offline and carries no serde) to `BENCH_PR8.json`.
+//! workspace is offline and carries no serde) to `BENCH_PR9.json`.
 
 use std::time::Instant;
 
@@ -93,7 +93,7 @@ pub struct ServeStats {
     pub p999_us: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR7.json`.
+/// The harness output, serialized to `BENCH_PR9.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -129,6 +129,13 @@ pub struct PerfReport {
     pub parallel_gemm_bit_identical: bool,
     /// Full `tbstc-lint` run over every workspace source file.
     pub lint: Timing,
+    /// Chunked checkpointed sweep time over the monolithic sweep on the
+    /// same fresh grid — the price of durable execution (observer calls,
+    /// chunk bookkeeping). Must stay near 1.0.
+    pub sweep_resume_overhead: f64,
+    /// Fraction of a second, overlapping sweep's grid points answered by
+    /// the sub-spec memo (grid-point granularity) instead of recomputed.
+    pub memo_subspec_hit_rate: f64,
     /// Loopback server throughput and cache behaviour (small fixed load).
     pub serve: ServeStats,
     /// The standing high-concurrency zipfian loadgen run.
@@ -151,7 +158,7 @@ impl PerfReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"bench\": \"PR8 declarative arch-spec + custom-arch perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"plan_build_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"custom_arch_simulate_us\": {},\n  \"custom_arch_vs_native\": {:.3},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3},\n  \"serve_p50_us\": {:.1},\n  \"serve_p99_us\": {:.1},\n  \"serve_p999_us\": {:.1},\n  \"loadgen_connections\": {},\n  \"loadgen_requests\": {},\n  \"loadgen_failed\": {},\n  \"loadgen_rps\": {:.2},\n  \"loadgen_p50_us\": {:.1},\n  \"loadgen_p99_us\": {:.1},\n  \"loadgen_p999_us\": {:.1},\n  \"loadgen_hit_rate\": {:.4}\n}}\n",
+            "{{\n  \"bench\": \"PR9 durable jobs + chunked sweep perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"plan_build_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"custom_arch_simulate_us\": {},\n  \"custom_arch_vs_native\": {:.3},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"sweep_resume_overhead\": {:.3},\n  \"memo_subspec_hit_rate\": {:.3},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3},\n  \"serve_p50_us\": {:.1},\n  \"serve_p99_us\": {:.1},\n  \"serve_p999_us\": {:.1},\n  \"loadgen_connections\": {},\n  \"loadgen_requests\": {},\n  \"loadgen_failed\": {},\n  \"loadgen_rps\": {:.2},\n  \"loadgen_p50_us\": {:.1},\n  \"loadgen_p99_us\": {:.1},\n  \"loadgen_p999_us\": {:.1},\n  \"loadgen_hit_rate\": {:.4}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
@@ -164,6 +171,8 @@ impl PerfReport {
             self.custom_arch_vs_native,
             self.parallel_gemm_bit_identical,
             timing(&self.lint),
+            self.sweep_resume_overhead,
+            self.memo_subspec_hit_rate,
             self.serve.requests,
             self.serve.throughput_rps,
             self.serve.cache_hit_rate,
@@ -582,6 +591,52 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         .ok();
     });
 
+    // Durable-execution costs on the runner itself. Monolithic vs
+    // chunked (chunk size 2, a counting observer) over identical fresh
+    // grids: the ratio is the pure overhead of checkpointed execution —
+    // both paths compute every point because each iteration starts with
+    // a cold SweepRunner.
+    let sweep_grid = Sweep::new()
+        .archs([Arch::TbStc, Arch::Stc])
+        .models([ModelSpec::Gcn {
+            nodes: 64,
+            features: 16,
+        }])
+        .sparsities([0.5, 0.75])
+        .jobs();
+    let sweep_monolithic = time_us(cfg.iters, || {
+        let engine = SweepRunner::new(HwConfig::paper_default());
+        std::hint::black_box(engine.run_models(&sweep_grid));
+    });
+    let sweep_chunked = time_us(cfg.iters, || {
+        let engine = SweepRunner::new(HwConfig::paper_default());
+        let mut chunks = 0usize;
+        std::hint::black_box(engine.run_models_chunked(&sweep_grid, 2, &mut |_| {
+            chunks += 1;
+            tbstc::runner::ChunkControl::Continue
+        }));
+        std::hint::black_box(chunks);
+    });
+    let sweep_resume_overhead = sweep_chunked.best_us / sweep_monolithic.best_us.max(1e-9);
+
+    // Sub-spec memoization across overlapping sweeps: warm one grid,
+    // then run a second sweep sharing half its points on the same
+    // engine; the shared half must come from the memo.
+    let memo_engine = SweepRunner::new(HwConfig::paper_default());
+    memo_engine.run_models(&sweep_grid);
+    let overlapping = Sweep::new()
+        .archs([Arch::TbStc, Arch::Stc])
+        .models([ModelSpec::Gcn {
+            nodes: 64,
+            features: 16,
+        }])
+        .sparsities([0.75, 0.875])
+        .jobs();
+    let (hits_before, _) = memo_engine.cache_stats();
+    memo_engine.run_models(&overlapping);
+    let (hits_after, _) = memo_engine.cache_stats();
+    let memo_subspec_hit_rate = (hits_after - hits_before) as f64 / overlapping.len().max(1) as f64;
+
     let serve = measure_serve(cfg.seed);
     let loadgen = measure_loadgen(cfg);
 
@@ -599,6 +654,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         custom_arch_vs_native,
         parallel_gemm_bit_identical,
         lint,
+        sweep_resume_overhead,
+        memo_subspec_hit_rate,
         serve,
         loadgen,
     }
@@ -628,6 +685,8 @@ mod tests {
             custom_arch_vs_native: 1.02,
             parallel_gemm_bit_identical: true,
             lint: t,
+            sweep_resume_overhead: 1.02,
+            memo_subspec_hit_rate: 0.5,
             serve: ServeStats {
                 requests: 384,
                 throughput_rps: 800.0,
@@ -657,6 +716,8 @@ mod tests {
         assert!(json.contains("\"custom_arch_vs_native\": 1.020"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
         assert!(json.contains("\"lint_workspace_us\""));
+        assert!(json.contains("\"sweep_resume_overhead\": 1.020"));
+        assert!(json.contains("\"memo_subspec_hit_rate\": 0.500"));
         assert!(json.contains("\"serve_requests\": 384"));
         assert!(json.contains("\"serve_cache_hit_rate\": 0.950"));
         assert!(json.contains("\"serve_p99_us\": 900.0"));
@@ -692,6 +753,16 @@ mod tests {
             r.custom_arch_vs_native
         );
         assert!(r.parallel_gemm_bit_identical);
+        assert!(
+            r.sweep_resume_overhead > 0.0 && r.sweep_resume_overhead < 1.5,
+            "chunked execution costs more than 1.5x the monolithic sweep: {:.3}",
+            r.sweep_resume_overhead
+        );
+        assert!(
+            (r.memo_subspec_hit_rate - 0.5).abs() < f64::EPSILON,
+            "half the overlapping grid must replay from the memo: {}",
+            r.memo_subspec_hit_rate
+        );
         assert!(
             r.lint.best_us > 0.0 && r.lint.best_us < 2e6,
             "full lint run must stay under 2 s, got {} us",

@@ -29,11 +29,13 @@ USAGE:
                      [--jobs N] [--verify] [--json]
   tbstc-cli serve    [--addr 127.0.0.1:7878] [--cache-dir .tbstc-cache]
                      [--queue 32] [--job-workers N] [--hold-ms 0] [--quiet]
+                     [--chunk-size 16] [--long-job-points 8]
                      [--oneshot --job FILE]
-  tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
+  tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878] [--follow]
+  tbstc-cli jobs     list|status|cancel|resume [KEY] [--addr 127.0.0.1:7878]
   tbstc-cli loadgen  [--addr HOST:PORT] [--connections 64] [--requests 512]
                      [--specs 16] [--zipf 1.1] [--seed 1] [--min-rps 0] [--json]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR8.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR9.json]
                      [--loadgen-connections 1000] [--loadgen-requests 8000]
   tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
                      [--rules a,b] [--root DIR]
@@ -58,7 +60,18 @@ ephemeral port, submits --job FILE twice (the second must be a cache
 hit), prints the metrics text, and exits — the CI smoke test.
 
 `submit` posts a job-spec file to a running server and prints the
-response body (stdout) plus cache status (stderr).
+response body (stdout) plus cache status (stderr). Jobs whose grid
+exceeds the server's --long-job-points threshold are accepted 202 into
+the durable queue; --follow polls the job until it completes and then
+prints the result body, so scripted submits work the same for short
+and long jobs.
+
+`jobs` manages durable jobs on a running server: `list` tabulates
+every job's lifecycle state, `status KEY` prints the result (or the
+progress document while running), `cancel KEY` stops a job at its next
+chunk boundary, and `resume KEY` re-enqueues a cancelled or failed job
+— completed grid points replay from the sweep memo, so only the
+unfinished tail recomputes.
 
 `loadgen` drives an event-driven load generator against a server:
 --connections keep-alive connections issue --requests submissions
@@ -84,8 +97,9 @@ and the workspace lint pass, and writes a JSON report to --out.
 
 `lint` runs the workspace's own static analyzer (tbstc-lint) over
 crates/*/src: panic-surface, determinism, lock-discipline,
-arch-dispatch, crate-hygiene, hot-path-alloc, and
-blocking-in-event-loop rules with file:line:col output.
+arch-dispatch, crate-hygiene, hot-path-alloc,
+blocking-in-event-loop, spec-coverage, and store-lock-discipline
+rules with file:line:col output.
 Errors always fail; warnings fail only with --deny-warnings (CI's
 mode). Silence a finding in place with a
 `// tbstc-lint: allow(<rule>) — reason` comment, or grandfather it
@@ -98,7 +112,7 @@ with --update-baseline (rewrites lint-baseline.txt at the root).
 ///
 /// Returns [`ArgError`] for unknown subcommands or invalid options.
 pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
-    if args.command != "arch" {
+    if !matches!(args.command.as_str(), "arch" | "jobs") {
         if let Some(stray) = args.positionals.first() {
             return Err(ArgError(format!(
                 "unexpected argument `{stray}`; options start with --"
@@ -114,6 +128,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
         "sweep" => sweep(args),
         "serve" => serve(args),
         "submit" => submit(args),
+        "jobs" => jobs_cmd(args),
         "loadgen" => loadgen(args),
         "perf" => perf(args),
         "lint" => lint(args),
@@ -564,13 +579,23 @@ fn serve_config(args: &ParsedArgs) -> Result<tbstc_serve::ServeConfig, ArgError>
     let queue: usize = args.num_or("queue", 32)?;
     let job_workers: usize = args.num_or("job-workers", 0)?; // 0 = auto
     let hold_ms: u64 = args.num_or("hold-ms", 0)?;
+    let defaults = tbstc_serve::ServeConfig::default();
+    let chunk_size: usize = args.num_or("chunk-size", defaults.chunk_size)?;
+    let long_job_points: usize = args.num_or("long-job-points", defaults.long_job_points)?;
+    let chunk_hold_ms: u64 = args.num_or("chunk-hold-ms", defaults.chunk_hold_ms)?;
+    if chunk_size == 0 {
+        return Err(ArgError("--chunk-size must be at least 1".into()));
+    }
     let mut cfg = tbstc_serve::ServeConfig {
         addr: args.str_or("addr", "127.0.0.1:7878"),
         queue_capacity: queue,
         cache_dir: args.str_or("cache-dir", ".tbstc-cache").into(),
         hold_ms,
         quiet: args.str_or("quiet", "false") == "true",
-        ..tbstc_serve::ServeConfig::default()
+        chunk_size,
+        long_job_points,
+        chunk_hold_ms,
+        ..defaults
     };
     if job_workers > 0 {
         cfg.job_workers = job_workers;
@@ -661,19 +686,201 @@ fn submit(args: &ParsedArgs) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("cannot read {job_path}: {e}")))?;
     let resp = tbstc_serve::http::request(&addr, "POST", "/v1/jobs", Some(&body))
         .map_err(|e| ArgError(e.to_string()))?;
-    if resp.status != 200 {
-        return Err(ArgError(format!(
-            "server answered {}: {}",
-            resp.status,
+    match resp.status {
+        200 => {
+            eprintln!(
+                "submitted {job_path}: X-Cache: {} key {}",
+                resp.header("x-cache").unwrap_or("-"),
+                resp.header("x-job-key").unwrap_or("-")
+            );
+            Ok(resp.body)
+        }
+        202 => {
+            let key = resp.header("x-job-key").unwrap_or("-").to_string();
+            let location = resp
+                .header("location")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("/v1/jobs/{key}"));
+            eprintln!("submitted {job_path}: accepted as durable job {key}; poll {location}");
+            if args.str_or("follow", "false") == "true" {
+                follow_job(&addr, &location)
+            } else {
+                Ok(resp.body)
+            }
+        }
+        status => Err(ArgError(format!(
+            "server answered {status}: {}",
             resp.body.trim()
-        )));
+        ))),
     }
-    eprintln!(
-        "submitted {job_path}: X-Cache: {} key {}",
-        resp.header("x-cache").unwrap_or("-"),
-        resp.header("x-job-key").unwrap_or("-")
-    );
-    Ok(resp.body)
+}
+
+/// Polls a durable job's status URL until it finishes, printing progress
+/// to stderr, and returns the final result body.
+fn follow_job(addr: &str, location: &str) -> Result<String, ArgError> {
+    let mut last_progress = String::new();
+    // ~10 minutes at 200 ms per poll — generous for any test sweep,
+    // finite so a wedged server cannot hang a script forever.
+    for _ in 0..3000 {
+        let resp = tbstc_serve::http::request(addr, "GET", location, None)
+            .map_err(|e| ArgError(e.to_string()))?;
+        match resp.status {
+            // A result body carries X-Cache; a terminal status document
+            // (cancelled/failed) does not.
+            200 if resp.header("x-cache").is_some() => {
+                eprintln!("follow: job completed");
+                return Ok(resp.body);
+            }
+            200 => {
+                return Err(ArgError(format!(
+                    "job finished without a result: {}",
+                    resp.body.trim()
+                )))
+            }
+            202 => {
+                let progress = Json::parse(resp.body.trim_end())
+                    .ok()
+                    .map(|v| {
+                        let state = v
+                            .get("state")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_string();
+                        match (
+                            v.get("done").and_then(Json::as_u64),
+                            v.get("total").and_then(Json::as_u64),
+                        ) {
+                            (Some(done), Some(total)) => format!("{state} {done}/{total}"),
+                            _ => state,
+                        }
+                    })
+                    .unwrap_or_else(|| "pending".to_string());
+                if progress != last_progress {
+                    eprintln!("follow: {progress}");
+                    last_progress = progress;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            status => {
+                return Err(ArgError(format!(
+                    "server answered {status}: {}",
+                    resp.body.trim()
+                )))
+            }
+        }
+    }
+    Err(ArgError("follow: timed out waiting for the job".into()))
+}
+
+/// `jobs list|status|cancel|resume`: durable-job management against a
+/// running server.
+fn jobs_cmd(args: &ParsedArgs) -> Result<String, ArgError> {
+    let addr = args.str_or("addr", "127.0.0.1:7878");
+    let sub = args.positionals.first().map(String::as_str).unwrap_or("");
+    let key = args.positionals.get(1).map(String::as_str);
+    let usage =
+        || ArgError("usage: tbstc-cli jobs list|status|cancel|resume [KEY] [--addr]".into());
+    if args.positionals.len() > 2 {
+        return Err(usage());
+    }
+    match (sub, key) {
+        ("list", None) => {
+            let resp = tbstc_serve::http::request(&addr, "GET", "/v1/jobs", None)
+                .map_err(|e| ArgError(e.to_string()))?;
+            if resp.status != 200 {
+                return Err(ArgError(format!(
+                    "server answered {}: {}",
+                    resp.status,
+                    resp.body.trim()
+                )));
+            }
+            let v = Json::parse(resp.body.trim_end()).map_err(|e| ArgError(e.to_string()))?;
+            let jobs = v.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+            let mut out = String::new();
+            writeln!(out, "{:<32} {:<10} progress", "job", "state").ok();
+            for job in jobs {
+                match tbstc::jobstate::JobStatus::from_value(job) {
+                    Ok(status) => {
+                        writeln!(out, "{:<32} {}", status.id, status.state).ok();
+                    }
+                    Err(e) => {
+                        writeln!(out, "{:<32} <unparseable: {e}>", "?").ok();
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                writeln!(out, "(no durable jobs)").ok();
+            }
+            Ok(out)
+        }
+        ("status", Some(key)) => {
+            let resp = tbstc_serve::http::request(&addr, "GET", &format!("/v1/jobs/{key}"), None)
+                .map_err(|e| ArgError(e.to_string()))?;
+            if resp.status == 200 || resp.status == 202 {
+                Ok(resp.body)
+            } else {
+                Err(ArgError(format!(
+                    "server answered {}: {}",
+                    resp.status,
+                    resp.body.trim()
+                )))
+            }
+        }
+        ("cancel", Some(key)) => {
+            let resp =
+                tbstc_serve::http::request(&addr, "DELETE", &format!("/v1/jobs/{key}"), None)
+                    .map_err(|e| ArgError(e.to_string()))?;
+            match resp.status {
+                200 => {
+                    eprintln!("job {key} cancelled");
+                    Ok(resp.body)
+                }
+                202 => {
+                    eprintln!("cancel requested; job {key} stops at its next chunk boundary");
+                    Ok(resp.body)
+                }
+                status => Err(ArgError(format!(
+                    "server answered {status}: {}",
+                    resp.body.trim()
+                ))),
+            }
+        }
+        ("resume", Some(key)) => {
+            let resp = tbstc_serve::http::request(&addr, "GET", &format!("/v1/jobs/{key}"), None)
+                .map_err(|e| ArgError(e.to_string()))?;
+            if resp.status == 200 && resp.header("x-cache").is_some() {
+                eprintln!("job {key} is already complete");
+                return Ok(resp.body);
+            }
+            if resp.status != 200 && resp.status != 202 {
+                return Err(ArgError(format!(
+                    "server answered {}: {}",
+                    resp.status,
+                    resp.body.trim()
+                )));
+            }
+            // The status document embeds the canonical spec: resubmit it
+            // and the server re-queues the job under the same key, with
+            // every finished grid point replayed from the memo.
+            let status = tbstc::jobstate::JobStatus::from_json(resp.body.trim_end())
+                .map_err(|e| ArgError(format!("unexpected status document: {e}")))?;
+            let spec_body = format!("{}\n", status.spec);
+            let posted = tbstc_serve::http::request(&addr, "POST", "/v1/jobs", Some(&spec_body))
+                .map_err(|e| ArgError(e.to_string()))?;
+            match posted.status {
+                200 => Ok(posted.body),
+                202 => {
+                    eprintln!("job {key} re-queued; poll /v1/jobs/{key}");
+                    Ok(posted.body)
+                }
+                status => Err(ArgError(format!(
+                    "server answered {status}: {}",
+                    posted.body.trim()
+                ))),
+            }
+        }
+        _ => Err(usage()),
+    }
 }
 
 /// Drives the event-driven load generator, either against `--addr` or
@@ -781,7 +988,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
     let loadgen_connections: usize = args.num_or("loadgen-connections", 1000)?;
     let loadgen_requests: usize = args.num_or("loadgen-requests", 8000)?;
-    let out_path = args.str_or("out", "BENCH_PR8.json");
+    let out_path = args.str_or("out", "BENCH_PR9.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -1343,5 +1550,46 @@ mod tests {
     fn submit_requires_a_job_file() {
         assert!(run_line(&["submit"]).is_err());
         assert!(run_line(&["submit", "--job", "/no/such/file.json"]).is_err());
+    }
+
+    #[test]
+    fn jobs_rejects_bad_subcommands() {
+        let err = run_line(&["jobs", "bogus"]).unwrap_err();
+        assert!(err.0.contains("usage"), "got: {}", err.0);
+        // `status`/`cancel`/`resume` all need a key.
+        assert!(run_line(&["jobs", "status"]).is_err());
+        assert!(run_line(&["jobs", "cancel"]).is_err());
+        assert!(run_line(&["jobs", "resume"]).is_err());
+        // Extra positionals are rejected, not silently ignored.
+        assert!(run_line(&["jobs", "list", "extra", "junk"]).is_err());
+    }
+
+    #[test]
+    fn serve_config_parses_durable_options() {
+        let args = ParsedArgs::parse(
+            [
+                "serve",
+                "--chunk-size",
+                "4",
+                "--long-job-points",
+                "2",
+                "--chunk-hold-ms",
+                "5",
+            ]
+            .iter()
+            .map(ToString::to_string),
+        )
+        .unwrap();
+        let cfg = serve_config(&args).unwrap();
+        assert_eq!(cfg.chunk_size, 4);
+        assert_eq!(cfg.long_job_points, 2);
+        assert_eq!(cfg.chunk_hold_ms, 5);
+        let bad = ParsedArgs::parse(
+            ["serve", "--chunk-size", "0"]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .unwrap();
+        assert!(serve_config(&bad).is_err(), "chunk size 0 must be rejected");
     }
 }

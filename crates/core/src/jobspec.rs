@@ -483,6 +483,34 @@ impl JobSpec {
         }
     }
 
+    /// The sub-spec grid of this job: every single-point [`SimJob`] it
+    /// expands to, in execution order — the granularity the sweep memo
+    /// is keyed at, so chunked/durable execution can warm exactly the
+    /// points [`JobSpec::execute`] will consume. Simulate jobs with a
+    /// builtin arch expand to their one point; custom-arch simulate
+    /// jobs run through the interpreter and have no builtin-keyed grid
+    /// (empty list).
+    pub fn grid_jobs(&self) -> Vec<SimJob> {
+        match self {
+            JobSpec::Simulate(s) => match &s.arch {
+                ArchChoice::Builtin(a) => vec![SimJob {
+                    arch: *a,
+                    model: s.model,
+                    sparsity: s.sparsity,
+                    seed: s.seed,
+                }],
+                // tbstc-lint: allow(hot-path-alloc) — empty vec, never grows
+                ArchChoice::Custom(_) => Vec::new(),
+            },
+            JobSpec::Sweep(s) => Sweep::new()
+                .archs(s.archs.iter().copied())
+                .models(s.models.iter().copied())
+                .sparsities(s.sparsities.iter().copied())
+                .seeds(s.seeds.iter().copied())
+                .jobs(),
+        }
+    }
+
     /// Executes the job on `engine` and returns the deterministic
     /// response body value. The engine must be bound to this spec's
     /// bandwidth (the serve layer keeps one engine per bandwidth).

@@ -1,0 +1,350 @@
+//! Durable job identity and the canonical progress/state document.
+//!
+//! A long-running job is identified by the content address of its spec
+//! ([`crate::jobspec::JobSpec::cache_key`]) and described by a small
+//! canonical `tbstc.v1` JSON document that the job service persists in
+//! the store and serves from `GET /v1/jobs/{id}`:
+//!
+//! ```json
+//! {"done":3,"id":"<32 hex>","schema":"tbstc.v1","spec":{...},
+//!  "state":"running","total":12}
+//! ```
+//!
+//! The lifecycle is a strict state machine:
+//!
+//! ```text
+//! queued ──▶ running{done,total} ──▶ done
+//!    │            │        ▲
+//!    │            │        └── (restart resumes from the last
+//!    │            ▼             persisted checkpoint)
+//!    └──────▶ cancelled       running ──▶ failed{error}
+//! ```
+//!
+//! Like every other `tbstc.v1` document the serialization is canonical
+//! (sorted keys, no optional fields beyond the state's own), so equal
+//! statuses are byte-equal and the document can be content-compared
+//! across processes sharing one store.
+
+use crate::error::Error;
+use crate::jobspec::{JobSpec, SCHEMA};
+use crate::json::Json;
+
+/// Where a durable job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// Executing: `done` of `total` grid points are checkpointed.
+    Running {
+        /// Grid points completed and persisted so far.
+        done: u64,
+        /// Total grid points in the job.
+        total: u64,
+    },
+    /// Finished; the result body is in the store under the job id.
+    Done,
+    /// Cancelled between chunks; completed points stay in the memo.
+    Cancelled,
+    /// Execution failed; the message names the cause.
+    Failed {
+        /// Human-readable failure cause.
+        error: String,
+    },
+}
+
+impl JobState {
+    /// The state's wire name (`queued` / `running` / `done` /
+    /// `cancelled` / `failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running { .. } => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the job can never make further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobState::Running { done, total } => write!(f, "running {done}/{total}"),
+            JobState::Failed { error } => write!(f, "failed: {error}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The durable progress/state document of one job (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job's durable identity: the content address of its spec.
+    pub id: String,
+    /// Lifecycle position.
+    pub state: JobState,
+    /// The canonicalized job spec (the value form of
+    /// [`JobSpec::to_value`]), so a status document alone is enough to
+    /// resume or resubmit the job.
+    pub spec: Json,
+}
+
+impl JobStatus {
+    /// A fresh `queued` status for `spec`, with the content-addressed id
+    /// computed from the spec itself.
+    pub fn queued(spec: &JobSpec) -> JobStatus {
+        JobStatus {
+            id: spec.cache_key(),
+            state: JobState::Queued,
+            spec: spec.to_value(),
+        }
+    }
+
+    /// The same status in a different state.
+    #[must_use]
+    pub fn with_state(mut self, state: JobState) -> JobStatus {
+        self.state = state;
+        self
+    }
+
+    /// Re-parses the embedded spec, verifying that the document is
+    /// honest: the embedded spec's content address must equal `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] when the spec does not parse or its cache
+    /// key differs from the recorded id.
+    pub fn job_spec(&self) -> Result<JobSpec, Error> {
+        let spec = JobSpec::from_value(&self.spec)?;
+        let key = spec.cache_key();
+        if key != self.id {
+            return Err(Error::InvalidSpec(format!(
+                "job status id `{}` does not match its spec's content address `{key}`",
+                self.id
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// The canonical value form (sorted keys; `done`/`total` only while
+    /// running, `error` only when failed).
+    pub fn to_value(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::str(self.id.clone())),
+            ("schema", Json::str(SCHEMA)),
+            ("spec", self.spec.clone()),
+            ("state", Json::str(self.state.name())),
+        ];
+        match &self.state {
+            JobState::Running { done, total } => {
+                pairs.push(("done", u64_value(*done)));
+                pairs.push(("total", u64_value(*total)));
+            }
+            JobState::Failed { error } => pairs.push(("error", Json::str(error.clone()))),
+            _ => {}
+        }
+        Json::obj(pairs)
+    }
+
+    /// The canonical JSON text of [`JobStatus::to_value`].
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Parses a status document from its value form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] naming the offending field on any
+    /// malformed, unknown, or internally inconsistent document.
+    pub fn from_value(v: &Json) -> Result<JobStatus, Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| Error::InvalidSpec("job status must be a JSON object".into()))?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "id" | "schema" | "spec" | "state" | "done" | "total" | "error"
+            ) {
+                return Err(Error::InvalidSpec(format!(
+                    "job status: unknown field `{key}`"
+                )));
+            }
+        }
+        if let Some(schema) = v.get("schema") {
+            let s = schema.as_str().ok_or_else(|| {
+                Error::InvalidSpec("job status: `schema` must be a string".into())
+            })?;
+            if s != SCHEMA {
+                return Err(Error::InvalidSpec(format!(
+                    "job status: unsupported schema `{s}` (expected `{SCHEMA}`)"
+                )));
+            }
+        }
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::InvalidSpec("job status: missing `id`".into()))?
+            .to_string();
+        if id.len() != 32 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(Error::InvalidSpec(format!(
+                "job status: `id` must be 32 hex chars, got `{id}`"
+            )));
+        }
+        let spec = v
+            .get("spec")
+            .ok_or_else(|| Error::InvalidSpec("job status: missing `spec`".into()))?
+            .clone();
+        let state_name = v
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::InvalidSpec("job status: missing `state`".into()))?;
+        let state = match state_name {
+            "queued" => JobState::Queued,
+            "running" => {
+                let done = v.get("done").and_then(Json::as_u64).ok_or_else(|| {
+                    Error::InvalidSpec("job status: running state needs `done`".into())
+                })?;
+                let total = v.get("total").and_then(Json::as_u64).ok_or_else(|| {
+                    Error::InvalidSpec("job status: running state needs `total`".into())
+                })?;
+                if done > total {
+                    return Err(Error::InvalidSpec(format!(
+                        "job status: done {done} exceeds total {total}"
+                    )));
+                }
+                JobState::Running { done, total }
+            }
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => {
+                let error = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown failure")
+                    .to_string();
+                JobState::Failed { error }
+            }
+            other => {
+                return Err(Error::InvalidSpec(format!(
+                    "job status: unknown state `{other}`"
+                )))
+            }
+        };
+        Ok(JobStatus { id, state, spec })
+    }
+
+    /// Parses a status document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobStatus::from_value`], plus JSON syntax errors.
+    pub fn from_json(text: &str) -> Result<JobStatus, Error> {
+        JobStatus::from_value(&Json::parse(text)?)
+    }
+}
+
+/// A `u64` as JSON, exact through the integer range `i64` covers.
+fn u64_value(n: u64) -> Json {
+    i64::try_from(n).map_or(Json::Num(n as f64), Json::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_spec() -> JobSpec {
+        JobSpec::from_json(
+            r#"{"type":"sweep","archs":["tb-stc","stc"],
+                "models":[{"kind":"gcn","nodes":64,"features":16}],
+                "sparsities":[0.5,0.75]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn status_roundtrips_canonically_through_every_state() {
+        let spec = sweep_spec();
+        let base = JobStatus::queued(&spec);
+        assert_eq!(base.id, spec.cache_key());
+        let states = [
+            JobState::Queued,
+            JobState::Running { done: 3, total: 12 },
+            JobState::Done,
+            JobState::Cancelled,
+            JobState::Failed {
+                error: "worker panicked".into(),
+            },
+        ];
+        for state in states {
+            let status = base.clone().with_state(state);
+            let text = status.to_json();
+            let back = JobStatus::from_json(&text).unwrap();
+            assert_eq!(back, status);
+            assert_eq!(back.to_json(), text, "serialization is canonical");
+            assert_eq!(back.job_spec().unwrap().cache_key(), status.id);
+        }
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_done_cancelled_failed() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running { done: 0, total: 1 }.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Failed { error: "x".into() }.is_terminal());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_field_names() {
+        let spec = sweep_spec();
+        let good = JobStatus::queued(&spec).to_json();
+        let cases = [
+            (
+                good.replace("\"state\":\"queued\"", "\"state\":\"paused\""),
+                "unknown state",
+            ),
+            (good.replace("\"id\":", "\"jid\":"), "unknown field"),
+            (
+                good.replace(&spec.cache_key(), &"0".repeat(31)),
+                "32 hex chars",
+            ),
+            (
+                good.replace(
+                    "\"state\":\"queued\"",
+                    "\"state\":\"running\",\"done\":5,\"total\":2",
+                ),
+                "exceeds total",
+            ),
+            ("[1,2]".to_string(), "JSON object"),
+        ];
+        for (text, needle) in cases {
+            let err = JobStatus::from_json(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn tampered_spec_fails_the_content_address_check() {
+        let status = JobStatus::queued(&sweep_spec());
+        let other = JobSpec::from_json(
+            r#"{"type":"simulate","arch":"tb-stc",
+                "model":{"kind":"gcn","nodes":64,"features":16},"sparsity":0.5}"#,
+        )
+        .unwrap();
+        let tampered = JobStatus {
+            spec: other.to_value(),
+            ..status
+        };
+        let err = tampered.job_spec().unwrap_err().to_string();
+        assert!(err.contains("content address"), "{err}");
+    }
+}

@@ -60,6 +60,7 @@ pub mod archspec;
 pub mod error;
 pub mod experiments;
 pub mod jobspec;
+pub mod jobstate;
 pub mod json;
 
 pub use error::Error;

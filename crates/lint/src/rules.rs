@@ -1,4 +1,4 @@
-//! The eight workspace rules. Each rule is a pure function over a
+//! The nine workspace rules. Each rule is a pure function over a
 //! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
 //! exclusion, suppressions, and the baseline afterwards, so rules here
 //! report every syntactic match they see.
@@ -49,6 +49,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "spec-coverage",
         check: spec_coverage,
+    },
+    Rule {
+        name: "store-lock-discipline",
+        check: store_lock_discipline,
     },
 ];
 
@@ -690,4 +694,51 @@ fn has_unsafe_code_attr(ctx: &FileCtx<'_>) -> bool {
         }
     }
     false
+}
+
+// --- store-lock-discipline ----------------------------------------------
+
+/// Filesystem mutations that may only happen inside the locked store
+/// accessors (`crates/serve/src/store.rs`).
+const STORE_MUTATING_FS_CALLS: &[&str] = &[
+    "write",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "create_dir_all",
+];
+
+/// The shared result store is multi-process: every write to it must go
+/// through `ResultStore`'s accessors, which take the flock(2) store lock
+/// and use atomic tmp+rename. Any direct `fs::`/`File::`/`OpenOptions`
+/// mutation elsewhere in the serve crate can tear `memo.jsonl` or a job
+/// status document under a concurrent server, so it is an error.
+fn store_lock_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with("crates/serve/src/") || ctx.rel_path.ends_with("/store.rs") {
+        return;
+    }
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || i < 2 || ctx.code_text(i - 1) != "::" {
+            continue;
+        }
+        let name = ctx.text(t);
+        let owner_is = |what: &str| ctx.code_is_ident(i - 2, what);
+        let flagged = (owner_is("fs") && STORE_MUTATING_FS_CALLS.contains(&name))
+            || (owner_is("File") && (name == "create" || name == "options"))
+            || (owner_is("OpenOptions") && name == "new");
+        if flagged {
+            let call = format!("{}::{name}", ctx.code_text(i - 2));
+            out.push(finding(
+                "store-lock-discipline",
+                Severity::Error,
+                ctx,
+                t,
+                format!(
+                    "{call} outside store.rs bypasses the store lock; route \
+                     shared-store writes through a ResultStore accessor"
+                ),
+            ));
+        }
+    }
 }

@@ -540,3 +540,57 @@ fn json_output_is_well_formed_enough_to_grep() {
     assert!(human.contains("crates/core/src/f.rs:1:"));
     assert!(human.contains("warning[panic-surface]"));
 }
+
+// --- store-lock-discipline ----------------------------------------------
+
+#[test]
+fn store_lock_discipline_flags_direct_store_writes_in_serve() {
+    let src = "\
+use std::fs::{self, File, OpenOptions};
+fn persist(dir: &std::path::Path, body: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(\"memo.jsonl.tmp\"), body)?;
+    fs::rename(dir.join(\"memo.jsonl.tmp\"), dir.join(\"memo.jsonl\"))?;
+    let _f = File::create(dir.join(\"jobs\").join(\"k.json\"))?;
+    let _o = OpenOptions::new().append(true).open(dir.join(\"memo.jsonl\"))?;
+    fs::remove_file(dir.join(\"jobs\").join(\"k.cancel\"))?;
+    Ok(())
+}
+";
+    let fs = lint_source("crates/serve/src/server.rs", src);
+    let hits = rules_at(&fs, "store-lock-discipline");
+    assert_eq!(hits.len(), 6, "{fs:?}");
+    assert_eq!(hits[0], (3, 9));
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "store-lock-discipline")
+        .all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn store_lock_discipline_is_scoped_to_serve_outside_store_rs() {
+    let src = "\
+fn f(p: &std::path::Path) {
+    let _ = std::fs::write(p, \"x\");
+}
+";
+    // store.rs itself holds the locked accessors — allowed.
+    assert!(lint_source("crates/serve/src/store.rs", src)
+        .iter()
+        .all(|f| f.rule != "store-lock-discipline"));
+    // Other crates manage their own files — out of scope.
+    assert!(lint_source("crates/cli/src/commands.rs", src)
+        .iter()
+        .all(|f| f.rule != "store-lock-discipline"));
+    // Serve test code is excluded like every other rule.
+    let test_src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::fs::remove_dir_all(\"d\");
+    }
+}
+";
+    assert!(lint_source("crates/serve/src/server.rs", test_src).is_empty());
+}

@@ -46,4 +46,4 @@ pub mod sweep;
 pub use memo::Memo;
 pub use pool::{available_workers, parallel_map, JOBS_ENV};
 pub use runner::{RunReport, RunStats, Runner};
-pub use sweep::{ModelSpec, SimJob, Sweep, SweepRunner};
+pub use sweep::{ChunkControl, ModelSpec, SimJob, Sweep, SweepCheckpoint, SweepRunner};

@@ -1,12 +1,13 @@
 //! Simulation sweeps: hashable job descriptions + the grid builder.
 
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 use tbstc_models::Model;
 use tbstc_sim::{simulate_model, Arch, HwConfig, LayerResult, LayerSim, ModelResult};
 
 use crate::memo::Memo;
-use crate::runner::{RunReport, Runner};
+use crate::runner::{RunReport, RunStats, Runner};
 
 /// A hashable, buildable model identity (the workload axis of a sweep).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +121,41 @@ impl std::fmt::Display for SimJob {
     }
 }
 
+/// The chunk boundary record of a chunked sweep run, handed to the
+/// observer after every chunk — the unit a durable-job layer persists
+/// as a checkpoint. Because the memo is keyed at sub-spec granularity
+/// (one [`SimJob`] grid point), everything a checkpoint reports is
+/// already reusable by any other sweep that shares grid points.
+#[derive(Debug)]
+pub struct SweepCheckpoint<'a> {
+    /// Zero-based index of the chunk that just finished.
+    pub chunk_index: usize,
+    /// Grid points completed so far (across all chunks).
+    pub done: usize,
+    /// Total grid points in this run.
+    pub total: usize,
+    /// The jobs of the finished chunk, in input order.
+    pub chunk_jobs: &'a [SimJob],
+    /// Their results, aligned with [`SweepCheckpoint::chunk_jobs`].
+    pub chunk_results: &'a [ModelResult],
+    /// Jobs actually computed in this chunk (the rest were memo hits or
+    /// in-chunk duplicates) — strictly less than `chunk_jobs.len()` on a
+    /// resumed or overlapping sweep.
+    pub computed: usize,
+}
+
+/// The observer's verdict after each chunk of
+/// [`SweepRunner::run_models_chunked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkControl {
+    /// Keep going with the next chunk.
+    Continue,
+    /// Abandon the run between chunks (cancellation / graceful
+    /// shutdown). Completed points stay in the memo, so a later run
+    /// resumes from exactly this boundary.
+    Stop,
+}
+
 /// A [`Runner`] bound to one [`HwConfig`], with persistent caches for
 /// model- and layer-level simulation points.
 ///
@@ -171,6 +207,61 @@ impl SweepRunner {
                 job.seed,
                 &self.cfg,
             )
+        })
+    }
+
+    /// Runs `jobs` in deterministic fixed-size chunks through the same
+    /// memo as [`SweepRunner::run_models`], calling `observe` with a
+    /// [`SweepCheckpoint`] after every chunk.
+    ///
+    /// Returns `None` when the observer answers [`ChunkControl::Stop`];
+    /// all chunks completed up to that point remain in the memo, so a
+    /// later chunked (or monolithic) run over the same jobs recomputes
+    /// only the points past the boundary. When the run completes, the
+    /// results are bit-identical to one monolithic
+    /// [`SweepRunner::run_models`] call: every chunk is reassembled from
+    /// the memo in input order, and concatenating per-chunk results in
+    /// chunk order reproduces the input order of the whole grid.
+    pub fn run_models_chunked(
+        &self,
+        jobs: &[SimJob],
+        chunk_size: usize,
+        observe: &mut dyn FnMut(&SweepCheckpoint<'_>) -> ChunkControl,
+    ) -> Option<RunReport<ModelResult>> {
+        let chunk_size = chunk_size.max(1);
+        let start = Instant::now();
+        let total = jobs.len();
+        let mut results = Vec::with_capacity(total);
+        let mut job_wall = Vec::with_capacity(total);
+        let mut unique = 0usize;
+        for (chunk_index, chunk) in jobs.chunks(chunk_size).enumerate() {
+            let rep = self.run_models(chunk);
+            unique += rep.stats.unique_jobs;
+            job_wall.extend(rep.stats.job_wall);
+            let checkpoint = SweepCheckpoint {
+                chunk_index,
+                done: results.len() + rep.results.len(),
+                total,
+                chunk_jobs: chunk,
+                chunk_results: &rep.results,
+                computed: rep.stats.unique_jobs,
+            };
+            let control = observe(&checkpoint);
+            results.extend(rep.results);
+            if control == ChunkControl::Stop {
+                return None;
+            }
+        }
+        Some(RunReport {
+            results,
+            stats: RunStats {
+                jobs: total,
+                unique_jobs: unique,
+                cache_hits: total - unique,
+                workers: self.runner.workers(),
+                wall: start.elapsed(),
+                job_wall,
+            },
         })
     }
 
@@ -397,6 +488,106 @@ mod tests {
         assert_eq!(report.results[0], result);
         assert_eq!(report.stats.unique_jobs, 0, "preload must prevent compute");
         assert_eq!(report.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_to_monolithic() {
+        let sweep = Sweep::new()
+            .archs([Arch::Tc, Arch::TbStc, Arch::Stc])
+            .models([ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            }])
+            .sparsities([0.25, 0.5, 0.75]);
+        let jobs = sweep.jobs();
+
+        let mono =
+            SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial()).run_models(&jobs);
+
+        for chunk_size in [1, 2, 4, 100] {
+            let engine = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+            let mut checkpoints = Vec::with_capacity(jobs.len());
+            let rep = engine
+                .run_models_chunked(&jobs, chunk_size, &mut |cp| {
+                    checkpoints.push((cp.chunk_index, cp.done, cp.total));
+                    ChunkControl::Continue
+                })
+                .expect("uninterrupted run completes");
+            assert_eq!(
+                rep.results, mono.results,
+                "chunk_size {chunk_size} must not change results"
+            );
+            let last = checkpoints.last().copied().unwrap();
+            assert_eq!(last.1, jobs.len(), "final checkpoint covers the grid");
+            assert_eq!(last.2, jobs.len());
+            assert_eq!(checkpoints.len(), jobs.len().div_ceil(chunk_size));
+        }
+    }
+
+    #[test]
+    fn stopped_run_resumes_recomputing_only_the_tail() {
+        let sweep = Sweep::new()
+            .archs([Arch::Tc, Arch::TbStc])
+            .models([ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            }])
+            .sparsities([0.25, 0.5, 0.75]);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 6);
+
+        let engine = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+        // Stop after the second chunk of two: 4 points done, 2 pending.
+        let stopped = engine.run_models_chunked(&jobs, 2, &mut |cp| {
+            if cp.chunk_index == 1 {
+                ChunkControl::Stop
+            } else {
+                ChunkControl::Continue
+            }
+        });
+        assert!(stopped.is_none(), "a stopped run yields no report");
+
+        // The resumed run (same engine ≙ reloaded memo) recomputes only
+        // the tail: 4 memo hits, 2 fresh computations.
+        let resumed = engine
+            .run_models_chunked(&jobs, 2, &mut |_| ChunkControl::Continue)
+            .expect("resume completes");
+        assert_eq!(resumed.stats.cache_hits, 4);
+        assert_eq!(resumed.stats.unique_jobs, 2);
+
+        let mono =
+            SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial()).run_models(&jobs);
+        assert_eq!(
+            resumed.results, mono.results,
+            "resume is bit-identical to an uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn overlapping_sweep_reuses_subspec_memo_points() {
+        let engine = SweepRunner::with_runner(HwConfig::paper_default(), Runner::serial());
+        let first = Sweep::new()
+            .archs([Arch::Tc, Arch::TbStc])
+            .models([ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            }])
+            .sparsities([0.5, 0.75]);
+        engine.run_models(&first.jobs());
+
+        // A *different* sweep sharing half its grid: every shared point
+        // is a memo hit because the memo key is the single grid point,
+        // not the enclosing sweep spec.
+        let second = Sweep::new()
+            .archs([Arch::Tc, Arch::TbStc, Arch::Stc])
+            .models([ModelSpec::Gcn {
+                nodes: 64,
+                features: 16,
+            }])
+            .sparsities([0.5, 0.75]);
+        let rep = engine.run_models(&second.jobs());
+        assert_eq!(rep.stats.cache_hits, 4, "all overlapping points reused");
+        assert_eq!(rep.stats.unique_jobs, 2, "only the new arch is computed");
     }
 
     #[test]

@@ -251,7 +251,9 @@ impl Response {
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
+        409 => "Conflict",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",

@@ -47,6 +47,7 @@ pub mod coalesce;
 pub mod conn;
 pub mod event;
 pub mod http;
+pub mod jobs;
 pub mod lru;
 pub mod metrics;
 pub mod queue;
@@ -56,6 +57,7 @@ pub mod store;
 
 pub use coalesce::{BatchExecutor, Dispatcher, Enqueue, QueuedJob};
 pub use event::{poll_fds, PollFd, Waker, POLLERR, POLLHUP, POLLIN, POLLOUT};
+pub use jobs::DurableQueue;
 pub use lru::ShardedLru;
 pub use metrics::{Gauges, Metrics};
 pub use queue::{AdmissionQueue, OwnedTicket};

@@ -43,6 +43,16 @@ pub struct Metrics {
     pub jobs_coalesced: AtomicU64,
     /// Simulate jobs that rode in a multi-job engine batch.
     pub jobs_batched: AtomicU64,
+    /// Long jobs accepted 202 into the durable queue.
+    pub jobs_accepted: AtomicU64,
+    /// Durable jobs cancelled before completion.
+    pub jobs_cancelled: AtomicU64,
+    /// Durable jobs resumed from a checkpoint after a restart.
+    pub jobs_resumed: AtomicU64,
+    /// Sweep chunks checkpointed by the durable executor.
+    pub sweep_chunks: AtomicU64,
+    /// Corrupt `memo.jsonl` lines skipped while preloading the memo.
+    pub memo_corrupt_lines: AtomicU64,
     /// Microseconds spent executing jobs (for worker utilization).
     pub busy_us: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
@@ -74,6 +84,11 @@ impl Metrics {
             jobs_executed: AtomicU64::new(0),
             jobs_coalesced: AtomicU64::new(0),
             jobs_batched: AtomicU64::new(0),
+            jobs_accepted: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_resumed: AtomicU64::new(0),
+            sweep_chunks: AtomicU64::new(0),
+            memo_corrupt_lines: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_sum_us: AtomicU64::new(0),
@@ -140,6 +155,7 @@ impl Metrics {
             "Job submissions by outcome.",
             &[
                 ("outcome=\"ok\"", load(&self.jobs_ok)),
+                ("outcome=\"accepted\"", load(&self.jobs_accepted)),
                 ("outcome=\"bad_request\"", load(&self.jobs_bad)),
                 ("outcome=\"rejected\"", load(&self.jobs_rejected)),
                 ("outcome=\"internal_error\"", load(&self.jobs_failed)),
@@ -182,6 +198,26 @@ impl Metrics {
             "tbstc_jobs_batched_total",
             "Simulate jobs executed as part of a multi-job engine batch.",
             &[("", load(&self.jobs_batched))],
+        );
+        counter(
+            "tbstc_jobs_cancelled_total",
+            "Durable jobs cancelled before completion.",
+            &[("", load(&self.jobs_cancelled))],
+        );
+        counter(
+            "tbstc_jobs_resumed_total",
+            "Durable jobs resumed from a persisted checkpoint at startup.",
+            &[("", load(&self.jobs_resumed))],
+        );
+        counter(
+            "tbstc_sweep_chunks_total",
+            "Sweep chunks checkpointed by the durable executor.",
+            &[("", load(&self.sweep_chunks))],
+        );
+        counter(
+            "tbstc_memo_corrupt_lines_total",
+            "Corrupt memo.jsonl lines skipped while preloading the memo.",
+            &[("", load(&self.memo_corrupt_lines))],
         );
 
         let mut gauge = |name: &str, help: &str, v: String| {
@@ -286,6 +322,11 @@ mod tests {
         m.jobs_executed.fetch_add(7, Ordering::Relaxed);
         m.jobs_coalesced.fetch_add(8, Ordering::Relaxed);
         m.jobs_batched.fetch_add(9, Ordering::Relaxed);
+        m.jobs_accepted.fetch_add(12, Ordering::Relaxed);
+        m.jobs_cancelled.fetch_add(13, Ordering::Relaxed);
+        m.jobs_resumed.fetch_add(14, Ordering::Relaxed);
+        m.sweep_chunks.fetch_add(15, Ordering::Relaxed);
+        m.memo_corrupt_lines.fetch_add(16, Ordering::Relaxed);
         let text = m.render(&Gauges {
             queue_depth: 1,
             in_flight: 2,
@@ -301,6 +342,11 @@ mod tests {
         assert!(text.contains("tbstc_jobs_executed_total 7"));
         assert!(text.contains("tbstc_jobs_coalesced_total 8"));
         assert!(text.contains("tbstc_jobs_batched_total 9"));
+        assert!(text.contains("tbstc_jobs_total{outcome=\"accepted\"} 12"));
+        assert!(text.contains("tbstc_jobs_cancelled_total 13"));
+        assert!(text.contains("tbstc_jobs_resumed_total 14"));
+        assert!(text.contains("tbstc_sweep_chunks_total 15"));
+        assert!(text.contains("tbstc_memo_corrupt_lines_total 16"));
         assert!(text.contains("tbstc_open_connections 11"));
         assert!(text.contains("tbstc_queue_depth 1"));
         assert!(text.contains("tbstc_jobs_in_flight 2"));

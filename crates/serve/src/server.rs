@@ -34,13 +34,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tbstc::jobspec::JobSpec;
+use tbstc::jobstate::{JobState, JobStatus};
 use tbstc::prelude::*;
-use tbstc::runner::available_workers;
+use tbstc::runner::{available_workers, ChunkControl};
 use tbstc::sim::{HwConfig, ModelResult};
 
 use crate::coalesce::{BatchExecutor, Dispatcher, Enqueue, FinishFn, QueuedJob};
 use crate::event::{self, Action, Completions, LoopOptions, RouteEvent, Token};
 use crate::http::{Request, Response};
+use crate::jobs::DurableQueue;
 use crate::lru::ShardedLru;
 use crate::metrics::{Gauges, Metrics};
 use crate::queue::AdmissionQueue;
@@ -68,6 +70,15 @@ pub struct ServeConfig {
     pub watch_signals: bool,
     /// Suppress startup/shutdown stderr chatter.
     pub quiet: bool,
+    /// Grid points per checkpointed chunk of a durable sweep.
+    pub chunk_size: usize,
+    /// Grid-point threshold above which a job goes durable: accepted
+    /// 202 into the checkpointed queue instead of computed inline.
+    pub long_job_points: usize,
+    /// Artificial delay after each durable chunk, milliseconds — a test
+    /// knob for catching a sweep mid-run deterministically; 0 in
+    /// production.
+    pub chunk_hold_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +91,9 @@ impl Default for ServeConfig {
             hold_ms: 0,
             watch_signals: false,
             quiet: false,
+            chunk_size: 16,
+            long_job_points: 8,
+            chunk_hold_ms: 0,
         }
     }
 }
@@ -100,6 +114,8 @@ pub struct State {
     engines: Mutex<BTreeMap<u64, Arc<SweepRunner>>>,
     /// Persisted memo entries not yet claimed by an engine.
     preload: Mutex<BTreeMap<u64, Vec<(SimJob, ModelResult)>>>,
+    /// Durable long-job queue drained by the controller thread.
+    durable: DurableQueue,
     shutdown: AtomicBool,
     connections: AtomicUsize,
 }
@@ -108,7 +124,7 @@ impl State {
     fn new(cfg: ServeConfig) -> Result<State, Error> {
         let store = ResultStore::open(cfg.cache_dir.clone())?;
         let mut preload: BTreeMap<u64, Vec<(SimJob, ModelResult)>> = BTreeMap::new();
-        let persisted = store.load_memo();
+        let (persisted, corrupt_lines) = store.load_memo_counting();
         let preloaded = persisted.len();
         for entry in persisted {
             preload
@@ -119,13 +135,18 @@ impl State {
         if preloaded > 0 && !cfg.quiet {
             eprintln!("tbstc-serve: reloaded {preloaded} memoized results from disk");
         }
+        let metrics = Metrics::new();
+        metrics
+            .memo_corrupt_lines
+            .store(corrupt_lines, Ordering::Relaxed);
         Ok(State {
             queue: Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.job_workers)),
-            metrics: Metrics::new(),
+            metrics,
             store,
             hot: ShardedLru::default(),
             engines: Mutex::new(BTreeMap::new()),
             preload: Mutex::new(preload),
+            durable: DurableQueue::new(),
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             cfg,
@@ -231,6 +252,36 @@ impl State {
         (mean * rounds).ceil().clamp(1.0, 60.0) as u64
     }
 
+    /// The on-disk store backing this server.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Re-enqueues every non-terminal durable job found in the store at
+    /// startup, repairing statuses whose result already landed (another
+    /// process finished the job, or we crashed between the final write
+    /// and the status update). Returns how many jobs were re-enqueued.
+    fn resume_incomplete_jobs(&self) -> usize {
+        let mut resumed = 0;
+        for status in self.store.list_job_statuses() {
+            if status.state.is_terminal() {
+                continue;
+            }
+            if self.store.get(&status.id).is_some() {
+                let done = status.clone().with_state(JobState::Done);
+                if let Err(e) = self.store.put_job_status(&done) {
+                    eprintln!("tbstc-serve: warning: cannot repair job {}: {e}", status.id);
+                }
+                continue;
+            }
+            if self.durable.submit(&status.id) {
+                self.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                resumed += 1;
+            }
+        }
+        resumed
+    }
+
     fn flush_memo(&self) {
         let entries = self.memo_entries();
         match self.store.save_memo(&entries) {
@@ -256,9 +307,12 @@ pub struct Handle {
 
 impl Handle {
     /// Requests a graceful shutdown: stop accepting, drain, flush.
+    /// Durable jobs checkpoint and stop at the next chunk boundary;
+    /// their progress persists for the next process to resume.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
+        self.state.durable.close();
     }
 
     /// The shared server state (metrics etc.).
@@ -375,6 +429,18 @@ impl Server {
             Arc::clone(&completions),
             finish,
         );
+        let resumed = state.resume_incomplete_jobs();
+        if resumed > 0 && !state.cfg.quiet {
+            eprintln!("tbstc-serve: resuming {resumed} incomplete durable job(s) from checkpoints");
+        }
+        let controller = {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("tbstc-serve-durable".into())
+                .spawn(move || durable_controller(&state))
+                .map_err(|e| eprintln!("tbstc-serve: warning: no durable controller: {e}"))
+                .ok()
+        };
         {
             let route_state = Arc::clone(&state);
             let mut route = |ev: RouteEvent, token: Token| -> Action {
@@ -407,12 +473,19 @@ impl Server {
         }
         drop(self.listener);
         state.queue.close();
+        state.durable.close();
         if !state.cfg.quiet {
             eprintln!("tbstc-serve: shutting down — draining in-flight jobs");
         }
         // Drain: workers finish everything already queued, then exit.
+        // Durable jobs stop at the next chunk boundary with their
+        // progress checkpointed; the controller joins before the memo
+        // flush so its appended entries merge into the final file.
         dispatcher.close_and_join();
         state.queue.wait_idle();
+        if let Some(controller) = controller {
+            let _ = controller.join();
+        }
         state.flush_memo();
         if !state.cfg.quiet {
             eprintln!("tbstc-serve: drained; bye");
@@ -480,6 +553,10 @@ fn route(state: &Arc<State>, dispatcher: &Dispatcher, request: &Request, token: 
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             Action::Reply(Response::new(200).json(archs_body()))
         }
+        ("GET", "/v1/jobs") => {
+            state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
+            Action::Reply(Response::new(200).json(jobs_list_body(state)))
+        }
         ("GET", path)
             if path
                 .strip_prefix("/v1/jobs/")
@@ -488,6 +565,15 @@ fn route(state: &Arc<State>, dispatcher: &Dispatcher, request: &Request, token: 
             state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
             let key = path.strip_prefix("/v1/jobs/").unwrap_or_default();
             Action::Reply(lookup_cached(state, key))
+        }
+        ("DELETE", path)
+            if path
+                .strip_prefix("/v1/jobs/")
+                .is_some_and(|k| !k.is_empty()) =>
+        {
+            state.metrics.requests_jobs.fetch_add(1, Ordering::Relaxed);
+            let key = path.strip_prefix("/v1/jobs/").unwrap_or_default();
+            Action::Reply(handle_cancel(state, key))
         }
         ("POST" | "GET", _) => {
             state.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
@@ -500,7 +586,9 @@ fn route(state: &Arc<State>, dispatcher: &Dispatcher, request: &Request, token: 
     }
 }
 
-/// `GET /v1/jobs/{key}`: probe hot tier, then disk.
+/// `GET /v1/jobs/{key}`: probe hot tier, then disk; a job without a
+/// result yet answers its durable status document — 202 while it can
+/// still make progress, 200 once terminal.
 fn lookup_cached(state: &State, key: &str) -> Response {
     if let Some(body) = state.hot.get(key) {
         state.metrics.mem_hits.fetch_add(1, Ordering::Relaxed);
@@ -520,7 +608,69 @@ fn lookup_cached(state: &State, key: &str) -> Response {
                 .header("X-Job-Key", key.to_string())
                 .json(body)
         }
-        None => Response::new(404).json(error_body("no cached result for this key")),
+        None => match state.store.get_job_status(key) {
+            Some(status) => {
+                let code = if status.state.is_terminal() { 200 } else { 202 };
+                Response::new(code)
+                    .header("X-Job-Key", key.to_string())
+                    .json(format!("{}\n", status.to_json()))
+            }
+            None => Response::new(404).json(error_body("no cached result for this key")),
+        },
+    }
+}
+
+/// `GET /v1/jobs`: every durable job's status document, sorted by id.
+fn jobs_list_body(state: &State) -> String {
+    let jobs: Vec<Json> = state
+        .store
+        .list_job_statuses()
+        .iter()
+        .map(JobStatus::to_value)
+        .collect();
+    format!("{}\n", Json::obj([("jobs", Json::Arr(jobs))]))
+}
+
+/// `DELETE /v1/jobs/{key}`: cancel a durable job. A still-queued job
+/// (in this process) cancels immediately (200); a running or
+/// foreign-process job gets a cancel marker honored at the next chunk
+/// boundary (202); terminal jobs conflict (409).
+fn handle_cancel(state: &Arc<State>, key: &str) -> Response {
+    if !ResultStore::valid_key(key) {
+        return Response::new(400).json(error_body("malformed job key"));
+    }
+    match state.store.get_job_status(key) {
+        Some(status) if !status.state.is_terminal() => {
+            if state.durable.remove(key) {
+                let cancelled = status.with_state(JobState::Cancelled);
+                if let Err(e) = state.store.put_job_status(&cancelled) {
+                    return Response::new(500).json(error_body(&e.to_string()));
+                }
+                state.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                Response::new(200)
+                    .header("X-Job-Key", key.to_string())
+                    .json(format!("{}\n", cancelled.to_json()))
+            } else {
+                // Running here, or owned by another process sharing the
+                // store: mark in memory (fast path for our executor) and
+                // on disk (reaches everyone).
+                state.durable.request_cancel(key);
+                if let Err(e) = state.store.request_cancel(key) {
+                    return Response::new(500).json(error_body(&e.to_string()));
+                }
+                Response::new(202)
+                    .header("X-Job-Key", key.to_string())
+                    .json(format!("{}\n", status.to_json()))
+            }
+        }
+        Some(status) => Response::new(409).json(error_body(&format!(
+            "job is already {} and cannot be cancelled",
+            status.state.name()
+        ))),
+        None if state.store.get(key).is_some() => {
+            Response::new(409).json(error_body("job already completed"))
+        }
+        None => Response::new(404).json(error_body("no such job")),
     }
 }
 
@@ -609,6 +759,12 @@ fn handle_job(
         );
     }
 
+    // Long jobs go durable: persist a queued status, enqueue for the
+    // checkpointed controller, answer 202 + Location for polling.
+    if spec.grid_len() > state.cfg.long_job_points {
+        return Action::Reply(durable_submit(state, &key, &spec));
+    }
+
     // Tier 2: compute, under admission control, coalesced with any
     // identical in-flight spec.
     match dispatcher.submit(&state.queue, &key, spec, token, started) {
@@ -630,6 +786,205 @@ fn handle_job(
             )
         }
     }
+}
+
+/// Accepts a long job into the durable queue: persist `queued` (or keep
+/// an existing non-terminal status — resubmits are idempotent), enqueue,
+/// answer `202 Accepted` with a `Location` to poll.
+fn durable_submit(state: &Arc<State>, key: &str, spec: &JobSpec) -> Response {
+    let status = match state.store.get_job_status(key) {
+        Some(existing) if !existing.state.is_terminal() => existing,
+        _ => {
+            // Fresh submission, or a re-run of a cancelled/failed job:
+            // reset to queued and drop any stale cancel marks.
+            let queued = JobStatus::queued(spec);
+            if let Err(e) = state.store.put_job_status(&queued) {
+                state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                return Response::new(500).json(error_body(&e.to_string()));
+            }
+            state.store.clear_cancel(key);
+            state.durable.clear_cancel(key);
+            queued
+        }
+    };
+    state.durable.submit(key);
+    state.metrics.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+    Response::new(202)
+        .header("Location", format!("/v1/jobs/{key}"))
+        .header("X-Job-Key", key.to_string())
+        .json(format!("{}\n", status.to_json()))
+}
+
+/// The controller thread: drains the durable queue one job at a time
+/// until shutdown. Each job executes in checkpointed chunks, so a
+/// SIGTERM mid-sweep loses at most one chunk of work.
+fn durable_controller(state: &Arc<State>) {
+    while let Some(key) = state.durable.next(&|| state.shutting_down()) {
+        execute_durable(state, &key);
+    }
+}
+
+/// Executes (or resumes) one durable job end to end. The job flock
+/// makes the claim exclusive across every process sharing the store;
+/// progress persists after each chunk, so whoever claims the key next
+/// recomputes only unfinished points (the finished ones are memo hits).
+fn execute_durable(state: &Arc<State>, key: &str) {
+    if state.shutting_down() {
+        return;
+    }
+    let Some(status) = state.store.get_job_status(key) else {
+        return;
+    };
+    if status.state.is_terminal() {
+        return;
+    }
+    if state.durable.cancel_requested(key) || state.store.cancel_requested(key) {
+        finish_cancel(state, key, &status);
+        return;
+    }
+    let spec = match status.job_spec() {
+        Ok(spec) => spec,
+        Err(e) => {
+            let failed = status.with_state(JobState::Failed {
+                error: e.to_string(),
+            });
+            let _ = state.store.put_job_status(&failed);
+            return;
+        }
+    };
+    // Claim the job fleet-wide. Waiting is bounded by the current
+    // holder's run; shutdown aborts the wait.
+    let claim = match state.store.lock_job(key, &|| state.shutting_down()) {
+        Ok(Some(claim)) => claim,
+        Ok(None) => return,
+        Err(e) => {
+            eprintln!("tbstc-serve: warning: cannot claim job {key}: {e}");
+            return;
+        }
+    };
+    // The previous holder may have finished it while we waited.
+    if state.store.get(key).is_some() {
+        let _ = state
+            .store
+            .put_job_status(&status.with_state(JobState::Done));
+        return;
+    }
+    let engine = match state.engine_for(spec.bandwidth_gbps()) {
+        Ok(engine) => engine,
+        Err(e) => {
+            let failed = status.with_state(JobState::Failed {
+                error: e.to_string(),
+            });
+            let _ = state.store.put_job_status(&failed);
+            return;
+        }
+    };
+    let grid = spec.grid_jobs();
+    let total = grid.len() as u64;
+    let bandwidth_gbps = spec.bandwidth_gbps();
+    state.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    let _ = state.store.put_job_status(
+        &status
+            .clone()
+            .with_state(JobState::Running { done: 0, total }),
+    );
+    let compute_started = Instant::now();
+    let mut cancelled = false;
+    let mut interrupted = false;
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        engine.run_models_chunked(&grid, state.cfg.chunk_size, &mut |cp| {
+            // Checkpoint: persist the chunk's points (memo append) and
+            // the progress document before deciding whether to go on.
+            let entries: Vec<MemoEntry> = cp
+                .chunk_jobs
+                .iter()
+                .zip(cp.chunk_results)
+                .map(|(&job, result)| MemoEntry {
+                    bandwidth_gbps,
+                    job,
+                    result: result.clone(),
+                })
+                .collect();
+            if let Err(e) = state.store.append_memo(&entries) {
+                eprintln!("tbstc-serve: warning: checkpoint append failed for {key}: {e}");
+            }
+            state.metrics.sweep_chunks.fetch_add(1, Ordering::Relaxed);
+            let running = status.clone().with_state(JobState::Running {
+                done: cp.done as u64,
+                total,
+            });
+            let _ = state.store.put_job_status(&running);
+            if state.cfg.chunk_hold_ms > 0 {
+                thread::sleep(Duration::from_millis(state.cfg.chunk_hold_ms));
+            }
+            if state.durable.cancel_requested(key) || state.store.cancel_requested(key) {
+                cancelled = true;
+                return ChunkControl::Stop;
+            }
+            if state.shutting_down() {
+                interrupted = true;
+                return ChunkControl::Stop;
+            }
+            ChunkControl::Continue
+        })
+    }));
+    state.metrics.busy_us.fetch_add(
+        compute_started.elapsed().as_micros() as u64,
+        Ordering::Relaxed,
+    );
+    match run {
+        Err(_) => {
+            let failed = status.with_state(JobState::Failed {
+                error: "job execution panicked".into(),
+            });
+            let _ = state.store.put_job_status(&failed);
+        }
+        Ok(None) if cancelled => finish_cancel(state, key, &status),
+        Ok(None) => {
+            // Shutdown between chunks (or a stop without a cause, which
+            // interruption covers): the running{done,total} document and
+            // the appended memo chunks are already persisted — the next
+            // process resumes from there.
+            debug_assert!(interrupted);
+        }
+        Ok(Some(_warmed)) => {
+            // Every grid point is memoized now, so the canonical
+            // execution below is pure assembly — byte-identical to the
+            // synchronous path's body.
+            let executed =
+                catch_unwind(AssertUnwindSafe(|| format!("{}\n", spec.execute(&engine))));
+            match executed {
+                Ok(body) => {
+                    if let Err(e) = state.store.put(key, &body) {
+                        eprintln!("tbstc-serve: warning: cannot cache job {key}: {e}");
+                    }
+                    state.hot.put(key, &body);
+                    state.metrics.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    let _ = state
+                        .store
+                        .put_job_status(&status.with_state(JobState::Done));
+                }
+                Err(_) => {
+                    let failed = status.with_state(JobState::Failed {
+                        error: "job execution panicked".into(),
+                    });
+                    let _ = state.store.put_job_status(&failed);
+                }
+            }
+        }
+    }
+    drop(claim);
+}
+
+/// Marks a durable job cancelled and clears both cancel marks.
+fn finish_cancel(state: &Arc<State>, key: &str, status: &JobStatus) {
+    let cancelled = status.clone().with_state(JobState::Cancelled);
+    if let Err(e) = state.store.put_job_status(&cancelled) {
+        eprintln!("tbstc-serve: warning: cannot persist cancel of {key}: {e}");
+    }
+    state.store.clear_cancel(key);
+    state.durable.clear_cancel(key);
+    state.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
 }
 
 /// The dispatcher's executor: runs deduplicated batches on the
@@ -690,10 +1045,31 @@ impl EngineExecutor {
         }
     }
 
-    /// Executes one deduplicated job: engine lookup, guarded execution,
-    /// persistence into both cache tiers.
+    /// Executes one deduplicated job: fleet-wide claim, engine lookup,
+    /// guarded execution, persistence into both cache tiers.
     fn run_one(&self, job: &QueuedJob) -> Response {
         let state = &self.state;
+        // Claim the key across every process sharing the store — the
+        // cross-process face of single-flight. Waiting is bounded by
+        // the holder's one execution; shutdown aborts the wait.
+        let claim = match state.store.lock_job(&job.key, &|| state.shutting_down()) {
+            Ok(claim) => claim,
+            Err(e) => return Response::new(500).json(error_body(&e.to_string())),
+        };
+        // Whoever held the lock may have computed this exact spec.
+        if let Some(cached) = state.store.get(&job.key) {
+            state.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+            state.hot.put(&job.key, &cached);
+            return Response::new(200)
+                .header("X-Cache", "hit")
+                .header("X-Cache-Tier", "disk")
+                .header("X-Job-Key", job.key.clone())
+                .json(cached);
+        }
+        if claim.is_none() {
+            // Shutdown aborted the wait and no result landed.
+            return Response::new(503).json(error_body("server is shutting down"));
+        }
         state.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
         let engine = match state.engine_for(job.spec.bandwidth_gbps()) {
             Ok(engine) => engine,
