@@ -14,8 +14,9 @@
 //! so they isolate the simulation core from weight generation and
 //! pruning; sparsification has its own measurement, and the
 //! `BlockPlan` build cost is reported separately as `plan_build_us`. A
-//! full `tbstc-lint` workspace run is timed so the static-analysis pass
-//! stays fast enough for CI and pre-commit use.
+//! full `tbstc-lint` workspace run is timed twice — cold (no cache) and
+//! against a pre-warmed incremental cache (`lint_warm_us`) — so both the
+//! analysis pass and the cache's payoff stay visible to CI.
 //!
 //! The serve numbers come from the event-driven load generator
 //! ([`crate::loadgen`]): a small fixed load (the `serve_*` keys, kept
@@ -27,7 +28,7 @@
 //! from the bundled TB-STC `tbstc.v1` document, and reports its ratio
 //! against the native module — the declarative path must stay within
 //! 1.25× of native. The report is written as JSON (hand-rolled; the
-//! workspace is offline and carries no serde) to `BENCH_PR9.json`.
+//! workspace is offline and carries no serde) to `BENCH_PR10.json`.
 
 use std::time::Instant;
 
@@ -93,7 +94,7 @@ pub struct ServeStats {
     pub p999_us: f64,
 }
 
-/// The harness output, serialized to `BENCH_PR9.json`.
+/// The harness output, serialized to `BENCH_PR10.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Iterations per measurement.
@@ -127,8 +128,15 @@ pub struct PerfReport {
     pub custom_arch_vs_native: f64,
     /// Whether the parallel GEMM reproduced the serial result bit for bit.
     pub parallel_gemm_bit_identical: bool,
-    /// Full `tbstc-lint` run over every workspace source file.
+    /// Full `tbstc-lint` run over every workspace source file with the
+    /// incremental cache disabled (cold analysis every iteration).
     pub lint: Timing,
+    /// The same run against a pre-warmed per-file result cache: sources
+    /// are re-hashed but analyses replay from `tbstc-lint.cache`.
+    pub lint_warm: Timing,
+    /// `lint.best_us / lint_warm.best_us` — what the incremental cache
+    /// buys on an unchanged tree (CI asserts a floor on this).
+    pub lint_cache_speedup: f64,
     /// Chunked checkpointed sweep time over the monolithic sweep on the
     /// same fresh grid — the price of durable execution (observer calls,
     /// chunk bookkeeping). Must stay near 1.0.
@@ -158,7 +166,7 @@ impl PerfReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"bench\": \"PR9 durable jobs + chunked sweep perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"plan_build_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"custom_arch_simulate_us\": {},\n  \"custom_arch_vs_native\": {:.3},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"sweep_resume_overhead\": {:.3},\n  \"memo_subspec_hit_rate\": {:.3},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3},\n  \"serve_p50_us\": {:.1},\n  \"serve_p99_us\": {:.1},\n  \"serve_p999_us\": {:.1},\n  \"loadgen_connections\": {},\n  \"loadgen_requests\": {},\n  \"loadgen_failed\": {},\n  \"loadgen_rps\": {:.2},\n  \"loadgen_p50_us\": {:.1},\n  \"loadgen_p99_us\": {:.1},\n  \"loadgen_p999_us\": {:.1},\n  \"loadgen_hit_rate\": {:.4}\n}}\n",
+            "{{\n  \"bench\": \"PR10 structural lint + incremental cache perf\",\n  \"iters\": {},\n  \"workers\": {},\n  \"train_step_old_us\": {},\n  \"train_step_new_us\": {},\n  \"train_speedup\": {:.3},\n  \"sparsify_128x128_us\": {},\n  \"plan_build_us\": {},\n  \"simulate_layer_us\": {},\n  \"simulate_layer_by_arch_us\": {{\n{by_arch}\n  }},\n  \"custom_arch_simulate_us\": {},\n  \"custom_arch_vs_native\": {:.3},\n  \"parallel_gemm_bit_identical\": {},\n  \"lint_workspace_us\": {},\n  \"lint_warm_us\": {},\n  \"lint_cache_speedup\": {:.3},\n  \"sweep_resume_overhead\": {:.3},\n  \"memo_subspec_hit_rate\": {:.3},\n  \"serve_requests\": {},\n  \"serve_throughput_rps\": {:.2},\n  \"serve_cache_hit_rate\": {:.3},\n  \"serve_p50_us\": {:.1},\n  \"serve_p99_us\": {:.1},\n  \"serve_p999_us\": {:.1},\n  \"loadgen_connections\": {},\n  \"loadgen_requests\": {},\n  \"loadgen_failed\": {},\n  \"loadgen_rps\": {:.2},\n  \"loadgen_p50_us\": {:.1},\n  \"loadgen_p99_us\": {:.1},\n  \"loadgen_p999_us\": {:.1},\n  \"loadgen_hit_rate\": {:.4}\n}}\n",
             self.iters,
             self.workers,
             timing(&self.train_step_old),
@@ -171,6 +179,8 @@ impl PerfReport {
             self.custom_arch_vs_native,
             self.parallel_gemm_bit_identical,
             timing(&self.lint),
+            timing(&self.lint_warm),
+            self.lint_cache_speedup,
             self.sweep_resume_overhead,
             self.memo_subspec_hit_rate,
             self.serve.requests,
@@ -587,9 +597,26 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
             root: lint_root.clone(),
             rules: None,
             baseline: None,
+            cache: None,
         }))
         .ok();
     });
+    // The same pass with the incremental cache: `time_us` warm-up
+    // populates the cache file, so every timed iteration re-hashes the
+    // sources but replays per-file analyses from the cache.
+    let warm_cache = lint_root.join("target").join("tbstc-lint-bench.cache");
+    let _ = std::fs::remove_file(&warm_cache);
+    let lint_warm = time_us(cfg.iters, || {
+        std::hint::black_box(tbstc_lint::lint_workspace(&tbstc_lint::LintOptions {
+            root: lint_root.clone(),
+            rules: None,
+            baseline: None,
+            cache: Some(warm_cache.clone()),
+        }))
+        .ok();
+    });
+    let _ = std::fs::remove_file(&warm_cache);
+    let lint_cache_speedup = lint.best_us / lint_warm.best_us.max(1e-9);
 
     // Durable-execution costs on the runner itself. Monolithic vs
     // chunked (chunk size 2, a counting observer) over identical fresh
@@ -654,6 +681,8 @@ pub fn run(cfg: &PerfConfig) -> PerfReport {
         custom_arch_vs_native,
         parallel_gemm_bit_identical,
         lint,
+        lint_warm,
+        lint_cache_speedup,
         sweep_resume_overhead,
         memo_subspec_hit_rate,
         serve,
@@ -685,6 +714,8 @@ mod tests {
             custom_arch_vs_native: 1.02,
             parallel_gemm_bit_identical: true,
             lint: t,
+            lint_warm: t,
+            lint_cache_speedup: 8.0,
             sweep_resume_overhead: 1.02,
             memo_subspec_hit_rate: 0.5,
             serve: ServeStats {
@@ -716,6 +747,8 @@ mod tests {
         assert!(json.contains("\"custom_arch_vs_native\": 1.020"));
         assert!(json.contains("\"parallel_gemm_bit_identical\": true"));
         assert!(json.contains("\"lint_workspace_us\""));
+        assert!(json.contains("\"lint_warm_us\""));
+        assert!(json.contains("\"lint_cache_speedup\": 8.000"));
         assert!(json.contains("\"sweep_resume_overhead\": 1.020"));
         assert!(json.contains("\"memo_subspec_hit_rate\": 0.500"));
         assert!(json.contains("\"serve_requests\": 384"));
@@ -766,6 +799,12 @@ mod tests {
         assert!(
             r.lint.best_us > 0.0 && r.lint.best_us < 2e6,
             "full lint run must stay under 2 s, got {} us",
+            r.lint.best_us
+        );
+        assert!(
+            r.lint_warm.best_us > 0.0 && r.lint_warm.best_us <= r.lint.best_us,
+            "warm lint ({} us) must not exceed the cold run ({} us)",
+            r.lint_warm.best_us,
             r.lint.best_us
         );
         assert_eq!(r.serve.requests, 384, "every fixed-load request completes");

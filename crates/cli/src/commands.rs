@@ -35,10 +35,11 @@ USAGE:
   tbstc-cli jobs     list|status|cancel|resume [KEY] [--addr 127.0.0.1:7878]
   tbstc-cli loadgen  [--addr HOST:PORT] [--connections 64] [--requests 512]
                      [--specs 16] [--zipf 1.1] [--seed 1] [--min-rps 0] [--json]
-  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR9.json]
+  tbstc-cli perf     [--iters 20] [--seed 42] [--jobs N] [--out BENCH_PR10.json]
                      [--loadgen-connections 1000] [--loadgen-requests 8000]
-  tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline]
-                     [--rules a,b] [--root DIR]
+  tbstc-cli lint     [--deny-warnings] [--json] [--sarif] [--fix]
+                     [--update-baseline] [--rules a,b] [--root DIR]
+                     [--no-cache] [--cache-bench [--min-speedup N]]
   tbstc-cli table3
   tbstc-cli models
   tbstc-cli help
@@ -96,14 +97,22 @@ and the workspace lint pass, and writes a JSON report to --out.
 --jobs caps the GEMM worker pool (sets TBSTC_JOBS).
 
 `lint` runs the workspace's own static analyzer (tbstc-lint) over
-crates/*/src: panic-surface, determinism, lock-discipline,
-arch-dispatch, crate-hygiene, hot-path-alloc,
-blocking-in-event-loop, spec-coverage, and store-lock-discipline
-rules with file:line:col output.
+crates/*/src: ten per-file rules (panic-surface, determinism,
+lock-discipline, arch-dispatch, crate-hygiene, unsafe-audit,
+hot-path-alloc, blocking-in-event-loop, spec-coverage,
+store-lock-discipline) plus two workspace-wide structural rules
+(lock-order deadlock-cycle detection over the lock-acquisition
+graph, panic-reachability escalation along the call graph from the
+serve request path) with file:line:col output.
 Errors always fail; warnings fail only with --deny-warnings (CI's
 mode). Silence a finding in place with a
 `// tbstc-lint: allow(<rule>) — reason` comment, or grandfather it
-with --update-baseline (rewrites lint-baseline.txt at the root).
+with --update-baseline (rewrites the count-aware lint-baseline.txt
+at the root). --sarif emits SARIF 2.1.0 for CI annotation; --fix
+inserts TODO-tagged suppressions for fixable warnings and burns
+down stale baseline entries. Per-file results are cached in
+target/tbstc-lint.cache (skip with --no-cache); --cache-bench
+times a cold vs warm run and fails below --min-speedup.
 ";
 
 /// Dispatches a parsed command line.
@@ -988,7 +997,7 @@ fn perf(args: &ParsedArgs) -> Result<String, ArgError> {
     let jobs: usize = args.num_or("jobs", 0)?; // 0 = auto
     let loadgen_connections: usize = args.num_or("loadgen-connections", 1000)?;
     let loadgen_requests: usize = args.num_or("loadgen-requests", 8000)?;
-    let out_path = args.str_or("out", "BENCH_PR9.json");
+    let out_path = args.str_or("out", "BENCH_PR10.json");
     if iters == 0 {
         return Err(ArgError("--iters must be at least 1".into()));
     }
@@ -1099,11 +1108,58 @@ fn lint(args: &ParsedArgs) -> Result<String, ArgError> {
         .options
         .get("rules")
         .map(|r| r.split(',').map(|s| s.trim().to_string()).collect());
+    let cache = (args.str_or("no-cache", "false") != "true")
+        .then(|| root.join("target").join("tbstc-lint.cache"));
     let opts = tbstc_lint::LintOptions {
         root: root.clone(),
         rules,
         baseline: None,
+        cache: cache.clone(),
     };
+
+    if args.str_or("cache-bench", "false") == "true" {
+        // Cold run (cache file removed) vs warm run, in-process so the
+        // comparison is immune to cargo/process startup noise. CI
+        // asserts the warm run is >= --min-speedup x faster.
+        let Some(cache_path) = &cache else {
+            return Err(ArgError(
+                "--cache-bench needs the cache; drop --no-cache".into(),
+            ));
+        };
+        let _ = std::fs::remove_file(cache_path);
+        let t0 = std::time::Instant::now();
+        let cold = tbstc_lint::lint_workspace(&opts).map_err(ArgError)?;
+        let cold_us = t0.elapsed().as_micros();
+        let t1 = std::time::Instant::now();
+        let warm = tbstc_lint::lint_workspace(&opts).map_err(ArgError)?;
+        let warm_us = t1.elapsed().as_micros().max(1);
+        let speedup = cold_us as f64 / warm_us as f64;
+        let mut out = String::new();
+        writeln!(out, "lint_cold_us {cold_us}").ok();
+        writeln!(out, "lint_warm_us {warm_us}").ok();
+        writeln!(out, "lint_cache_speedup {speedup:.2}").ok();
+        writeln!(
+            out,
+            "warm cache: {} hits / {} misses over {} files",
+            warm.cache_hits, warm.cache_misses, warm.files_scanned
+        )
+        .ok();
+        if warm.cache_hits != warm.files_scanned {
+            return Err(ArgError(format!(
+                "{out}warm run was not fully cached ({} misses)",
+                warm.cache_misses
+            )));
+        }
+        let min = args.num_or("min-speedup", 0.0f64)?;
+        if speedup < min {
+            return Err(ArgError(format!(
+                "{out}warm lint speedup {speedup:.2}x is below the required {min:.2}x"
+            )));
+        }
+        drop(cold);
+        return Ok(out);
+    }
+
     let report = tbstc_lint::lint_workspace(&opts).map_err(ArgError)?;
 
     if args.str_or("update-baseline", "false") == "true" {
@@ -1121,7 +1177,28 @@ fn lint(args: &ParsedArgs) -> Result<String, ArgError> {
     }
 
     let deny = args.str_or("deny-warnings", "false") == "true";
-    let rendered = if args.str_or("json", "false") == "true" {
+
+    if args.str_or("fix", "false") == "true" {
+        let baseline_path = root.join(tbstc_lint::BASELINE_FILE);
+        let outcome = tbstc_lint::apply_fixes(&root, &report, &baseline_path).map_err(ArgError)?;
+        let after = tbstc_lint::lint_workspace(&opts).map_err(ArgError)?;
+        let mut out = format!(
+            "lint --fix: {} suppression(s) inserted across {} file(s); {} stale baseline entr{} removed\n",
+            outcome.suppressions_inserted,
+            outcome.files_changed,
+            outcome.stale_removed,
+            if outcome.stale_removed == 1 { "y" } else { "ies" },
+        );
+        out.push_str(&tbstc_lint::render_human(&after, deny));
+        if after.fails(deny) {
+            return Err(ArgError(format!("\n{out}")));
+        }
+        return Ok(out);
+    }
+
+    let rendered = if args.str_or("sarif", "false") == "true" {
+        tbstc_lint::render_sarif(&report)
+    } else if args.str_or("json", "false") == "true" {
         tbstc_lint::render_json(&report)
     } else {
         tbstc_lint::render_human(&report, deny)

@@ -8,7 +8,8 @@
 //! tbstc-cli sweep    [--models ...] [--archs ...] [--sparsities ...] [--json]
 //! tbstc-cli serve    [--addr 127.0.0.1:7878] [--cache-dir .tbstc-cache] [--oneshot --job FILE]
 //! tbstc-cli submit   --job FILE [--addr 127.0.0.1:7878]
-//! tbstc-cli lint     [--deny-warnings] [--json] [--update-baseline] [--root DIR]
+//! tbstc-cli lint     [--deny-warnings] [--json] [--sarif] [--fix] [--update-baseline]
+//!                    [--no-cache] [--cache-bench [--min-speedup N]] [--root DIR]
 //! tbstc-cli table3
 //! tbstc-cli models
 //! ```

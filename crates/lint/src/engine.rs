@@ -1,6 +1,6 @@
 //! The rule engine: file walking, test-code exclusion, inline
-//! suppressions, the grandfathered-findings baseline, and human/JSON
-//! rendering.
+//! suppressions, the grandfathered-findings baseline, the workspace
+//! graph pass, the incremental cache, and human/JSON rendering.
 //!
 //! A finding travels through three gates before it fails a build:
 //!
@@ -8,20 +8,31 @@
 //!    invisible to every rule (tests may `unwrap()` freely),
 //! 2. **inline suppression** — `// tbstc-lint: allow(<rule>)` on the
 //!    same line, or alone on the line above, silences that rule there
-//!    (the comment doubles as the justification),
+//!    (the comment doubles as the justification). `allow(panic-surface)`
+//!    also silences `panic-reachability` at that line: one justified
+//!    suppression covers the warning and its escalation,
 //! 3. **baseline** — `lint-baseline.txt` at the workspace root lists
 //!    grandfathered findings as `rule<TAB>path<TAB>trimmed line text`;
 //!    matching findings are reported as baselined, not failing. Entries
+//!    are count-aware (two identical lines need two entries); entries
 //!    that no longer match anything are listed as stale so the file
 //!    shrinks over time.
+//!
+//! Per-file analysis (lexing, per-file rules, fact extraction) is
+//! cached by content hash in [`crate::cache`]; the workspace rules
+//! (`lock-order`, `panic-reachability`) rerun every time over the cached
+//! facts, which is cheap.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::cache::{fnv1a_128, LintCache};
+use crate::graph::Workspace;
 use crate::lexer::{lex, TokKind, Token};
 use crate::rules;
+use crate::syntax::{self, FileFacts};
 
 /// How severe a finding is. Errors always fail the lint; warnings fail
 /// only under `--deny-warnings`.
@@ -79,6 +90,9 @@ pub struct LintOptions {
     /// Baseline file. `None` = `<root>/lint-baseline.txt`; a missing
     /// file is an empty baseline.
     pub baseline: Option<PathBuf>,
+    /// Incremental per-file cache file. `None` disables caching; a
+    /// missing or stale file is a cold cache.
+    pub cache: Option<PathBuf>,
 }
 
 /// The outcome of a workspace lint run.
@@ -94,6 +108,10 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Baseline entries that matched nothing (candidates for deletion).
     pub stale_baseline: Vec<String>,
+    /// Files whose per-file analysis came from the incremental cache.
+    pub cache_hits: usize,
+    /// Files that had to be (re)analyzed.
+    pub cache_misses: usize,
 }
 
 impl LintReport {
@@ -156,10 +174,30 @@ impl FileCtx<'_> {
     }
 }
 
+/// Everything the engine learned about one file: its gated per-file
+/// findings plus the ingredients the workspace pass and the cache need.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Per-file findings after test exclusion and suppressions (the
+    /// baseline, a workspace concept, has not been applied).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by inline `allow(...)` comments.
+    pub suppressed: usize,
+    /// Line → rules allowed there (for gating workspace findings).
+    pub allows: BTreeMap<u32, Vec<String>>,
+    /// `#[cfg(test)]` line ranges, 1-based inclusive.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Syntax-layer facts (functions, calls, locks, panic sites).
+    pub facts: FileFacts,
+}
+
 /// Lints one source text as if it lived at `rel_path`, running all rules.
 /// Test-code exclusion and inline suppressions apply; the baseline does
 /// not (it is a workspace-level concept). This is the entry point the
-/// fixture tests drive.
+/// fixture tests drive. Workspace rules need more than one file; see
+/// [`lint_texts`].
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     lint_source_rules(rel_path, src, None, None).0
 }
@@ -173,6 +211,19 @@ pub fn lint_source_rules(
     only: Option<&[String]>,
     root: Option<&Path>,
 ) -> (Vec<Finding>, usize) {
+    let a = analyze_source(rel_path, src, only, root);
+    (a.findings, a.suppressed)
+}
+
+/// Runs the per-file rules and the syntax layer over one source text,
+/// applying test exclusion and suppressions. This is the unit of work
+/// the incremental cache stores.
+pub fn analyze_source(
+    rel_path: &str,
+    src: &str,
+    only: Option<&[String]>,
+    root: Option<&Path>,
+) -> FileAnalysis {
     let tokens = lex(src);
     let code: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).cloned().collect();
     let crate_name = rel_path
@@ -189,7 +240,7 @@ pub fn lint_source_rules(
         root,
     };
 
-    let mut raw = Vec::new();
+    let mut raw = Vec::with_capacity(16);
     for rule in rules::ALL_RULES {
         let enabled = only.is_none_or(|names| names.iter().any(|n| n == rule.name));
         if enabled {
@@ -199,7 +250,7 @@ pub fn lint_source_rules(
 
     let test_lines = test_ranges(src, &code);
     let allows = suppressions(src, &tokens);
-    let mut findings = Vec::new();
+    let mut findings = Vec::with_capacity(raw.len());
     let mut suppressed = 0usize;
     for f in raw {
         if test_lines.iter().any(|&(a, b)| f.line >= a && f.line <= b) {
@@ -215,13 +266,89 @@ pub fn lint_source_rules(
         }
     }
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    (findings, suppressed)
+    let facts = syntax::extract(rel_path, src, &code, &test_lines);
+    FileAnalysis {
+        rel_path: rel_path.to_string(),
+        findings,
+        suppressed,
+        allows,
+        test_ranges: test_lines,
+        facts,
+    }
+}
+
+/// Runs the workspace rules (`lock-order`, `panic-reachability`) over a
+/// set of per-file analyses, gating each finding through the target
+/// file's test ranges and suppressions. Returns the surviving findings
+/// and the suppressed count.
+fn workspace_findings(
+    analyses: &mut [FileAnalysis],
+    only: Option<&[String]>,
+) -> (Vec<Finding>, usize) {
+    // The facts are moved out (the cache keeps its own copies); the
+    // per-file findings/allows/test_ranges stay behind for gating.
+    let facts: Vec<FileFacts> = analyses
+        .iter_mut()
+        .map(|a| std::mem::take(&mut a.facts))
+        .collect();
+    let ws = Workspace::build(&facts);
+    let mut raw = Vec::with_capacity(8);
+    for rule in rules::WORKSPACE_RULES {
+        let enabled = only.is_none_or(|names| names.iter().any(|n| n == rule.name));
+        if enabled {
+            (rule.check)(&ws, &mut raw);
+        }
+    }
+    let by_path: BTreeMap<&str, &FileAnalysis> =
+        analyses.iter().map(|a| (a.rel_path.as_str(), a)).collect();
+    let mut out = Vec::with_capacity(raw.len());
+    let mut suppressed = 0usize;
+    for f in raw {
+        let Some(a) = by_path.get(f.path.as_str()) else {
+            out.push(f);
+            continue;
+        };
+        if a.test_ranges
+            .iter()
+            .any(|&(lo, hi)| f.line >= lo && f.line <= hi)
+        {
+            continue;
+        }
+        let allowed = a.allows.get(&f.line).is_some_and(|rules| {
+            rules
+                .iter()
+                .any(|r| r == f.rule || (f.rule == "panic-reachability" && r == "panic-surface"))
+        });
+        if allowed {
+            suppressed += 1;
+        } else {
+            out.push(f);
+        }
+    }
+    (out, suppressed)
+}
+
+/// Lints a set of in-memory files together, running the per-file rules
+/// on each and the workspace rules across all of them. No baseline
+/// applies. This is the entry point for multi-file fixture tests.
+pub fn lint_texts(files: &[(&str, &str)], only: Option<&[String]>) -> Vec<Finding> {
+    let mut analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(path, src)| analyze_source(path, src, only, None))
+        .collect();
+    let (ws_findings, _) = workspace_findings(&mut analyses, only);
+    let mut out: Vec<Finding> = analyses.into_iter().flat_map(|a| a.findings).collect();
+    out.extend(ws_findings);
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    out
 }
 
 /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
 fn test_ranges(src: &str, code: &[Token]) -> Vec<(u32, u32)> {
     let text = |i: usize| code.get(i).map_or("", |t: &Token| t.text(src));
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(4);
     let mut i = 0usize;
     while i < code.len() {
         if !(text(i) == "#" && text(i + 1) == "[" && is_cfg_test_attr(src, code, i)) {
@@ -381,8 +508,35 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 /// Default baseline file name at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.txt";
 
-/// Lints every `crates/*/src/**/*.rs` under `opts.root`, applying the
-/// baseline.
+/// The cache fingerprint for a run: engine shape plus the rule filter
+/// plus anything a cached per-file result consulted outside the file
+/// itself (today: the spec documents spec-coverage checks for).
+fn cache_fingerprint(opts: &LintOptions) -> String {
+    let mut fp = String::with_capacity(256);
+    fp.push_str("rules=");
+    match &opts.rules {
+        None => fp.push('*'),
+        Some(rs) => {
+            let mut rs = rs.clone();
+            rs.sort();
+            fp.push_str(&rs.join(","));
+        }
+    }
+    fp.push_str(";specs=");
+    if let Ok(entries) = fs::read_dir(opts.root.join("crates/core/specs")) {
+        let mut names: Vec<String> = entries
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        fp.push_str(&names.join(","));
+    }
+    fp
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `opts.root`: per-file rules
+/// (through the incremental cache when `opts.cache` is set), then the
+/// workspace rules over all files' facts, then the baseline.
 ///
 /// # Errors
 ///
@@ -396,7 +550,7 @@ pub fn lint_workspace(opts: &LintOptions) -> Result<LintReport, String> {
             opts.root.display()
         ));
     }
-    let mut files = Vec::new();
+    let mut files = Vec::with_capacity(128);
     rust_files(&crates_dir, &mut files);
     // Only library/binary sources: crates/<name>/src/**. Tests, benches,
     // and examples trade rigor for brevity on purpose.
@@ -412,8 +566,21 @@ pub fn lint_workspace(opts: &LintOptions) -> Result<LintReport, String> {
         .clone()
         .unwrap_or_else(|| opts.root.join(BASELINE_FILE));
     let mut baseline = load_baseline(&baseline_path);
+    let fingerprint = cache_fingerprint(opts);
+    let mut cache = opts
+        .cache
+        .as_deref()
+        .map(|p| LintCache::load(p, &fingerprint));
 
     let mut report = LintReport::default();
+    let mut analyses: Vec<FileAnalysis> = Vec::with_capacity(files.len());
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+
+    // Phase 1: read and hash everything, so the combined hash — and
+    // with it, whether the cross-file pass will replay from the cache —
+    // is known before any per-file work.
+    let mut metas: Vec<(String, String, String)> = Vec::with_capacity(files.len());
+    let mut combined_src = String::with_capacity(files.len() * 64);
     for path in &files {
         let rel = path
             .strip_prefix(&opts.root)
@@ -422,24 +589,85 @@ pub fn lint_workspace(opts: &LintOptions) -> Result<LintReport, String> {
             .replace('\\', "/");
         let src =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let (findings, suppressed) =
-            lint_source_rules(&rel, &src, opts.rules.as_deref(), Some(&opts.root));
-        report.suppressed += suppressed;
-        report.files_scanned += 1;
-        let lines: Vec<&str> = src.lines().collect();
-        for f in findings {
-            let line_text = lines
-                .get(f.line as usize - 1)
-                .map_or("", |l| l.trim())
-                .to_string();
-            let key = (f.rule.to_string(), f.path.clone(), line_text);
-            match baseline.get_mut(&key) {
-                Some(n) if *n > 0 => {
-                    *n -= 1;
-                    report.baselined.push(f);
+        let hash = fnv1a_128(src.as_bytes());
+        combined_src.push_str(&rel);
+        combined_src.push('\t');
+        combined_src.push_str(&hash);
+        combined_src.push('\n');
+        metas.push((rel, src, hash));
+    }
+    let combined = fnv1a_128(combined_src.as_bytes());
+    let ws_cached = cache
+        .as_ref()
+        .and_then(|c| c.get_workspace(&combined))
+        .is_some();
+
+    // Phase 2: per-file analyses, through the cache. When the workspace
+    // pass is going to replay too, the facts in each hit are dead
+    // weight — only the pre-gated findings travel on.
+    for (rel, src, hash) in metas {
+        let analysis = match cache.as_ref().and_then(|c| c.get(&rel, &hash)) {
+            Some(hit) => {
+                report.cache_hits += 1;
+                if ws_cached {
+                    FileAnalysis {
+                        rel_path: hit.rel_path.clone(),
+                        findings: hit.findings.clone(),
+                        suppressed: hit.suppressed,
+                        ..FileAnalysis::default()
+                    }
+                } else {
+                    hit.clone()
                 }
-                _ => report.findings.push(f),
             }
+            None => {
+                report.cache_misses += 1;
+                let a = analyze_source(&rel, &src, opts.rules.as_deref(), Some(&opts.root));
+                if let Some(c) = cache.as_mut() {
+                    c.put(rel.clone(), hash, a.clone());
+                }
+                a
+            }
+        };
+        report.suppressed += analysis.suppressed;
+        report.files_scanned += 1;
+        sources.insert(rel, src);
+        analyses.push(analysis);
+    }
+
+    // The cross-file pass replays from the cache when no file changed
+    // (the combined hash covers the whole scan set, so adding, editing,
+    // or deleting any file forces a rebuild of the graphs).
+    let (ws_findings, ws_suppressed) = match cache.as_ref().and_then(|c| c.get_workspace(&combined))
+    {
+        Some((findings, suppressed)) => (findings.to_vec(), suppressed),
+        None => {
+            let (findings, suppressed) = workspace_findings(&mut analyses, opts.rules.as_deref());
+            if let Some(c) = cache.as_mut() {
+                c.put_workspace(combined, findings.clone(), suppressed);
+            }
+            (findings, suppressed)
+        }
+    };
+    report.suppressed += ws_suppressed;
+
+    let mut all: Vec<Finding> = analyses.into_iter().flat_map(|a| a.findings).collect();
+    all.extend(ws_findings);
+    all.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    for f in all {
+        let line_text = sources
+            .get(&f.path)
+            .and_then(|src| src.lines().nth(f.line as usize - 1))
+            .map_or(String::new(), |l| l.trim().to_string());
+        let key = (f.rule.to_string(), f.path.clone(), line_text);
+        match baseline.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                report.baselined.push(f);
+            }
+            _ => report.findings.push(f),
         }
     }
     for ((rule, path, text), n) in baseline {
@@ -450,6 +678,14 @@ pub fn lint_workspace(opts: &LintOptions) -> Result<LintReport, String> {
         }
     }
     report.stale_baseline.sort();
+    if let (Some(mut c), Some(p)) = (cache, opts.cache.as_deref()) {
+        c.prune_to(&sources.keys().cloned().collect());
+        // A fully-warm run leaves the store alone; cache write failure
+        // never fails the lint — the next run is just cold again.
+        if c.dirty() {
+            let _ = c.save(p);
+        }
+    }
     Ok(report)
 }
 
@@ -481,7 +717,7 @@ fn load_baseline(path: &Path) -> BTreeMap<BaselineKey, usize> {
 /// workspace-relative path to its text so each finding's line can be
 /// recorded.
 pub fn render_baseline(report: &LintReport, sources: &dyn Fn(&str) -> Option<String>) -> String {
-    let mut lines: Vec<String> = Vec::new();
+    let mut lines: Vec<String> = Vec::with_capacity(report.findings.len() + report.baselined.len());
     for f in report.findings.iter().chain(&report.baselined) {
         let text = sources(&f.path)
             .and_then(|src| {
@@ -493,10 +729,12 @@ pub fn render_baseline(report: &LintReport, sources: &dyn Fn(&str) -> Option<Str
         lines.push(format!("{}\t{}\t{}", f.rule, f.path, text));
     }
     lines.sort();
-    lines.dedup();
+    // Entries are count-aware: two findings with identical trimmed lines
+    // need — and get — two baseline entries, so no dedup here.
     let mut out = String::from(
         "# tbstc-lint baseline: grandfathered findings, one per line as\n\
-         # rule<TAB>path<TAB>trimmed source line. Regenerate with\n\
+         # rule<TAB>path<TAB>trimmed source line (count-aware: duplicates\n\
+         # are distinct entries). Regenerate with\n\
          # `tbstc-cli lint --update-baseline`; delete lines as code is fixed.\n",
     );
     for l in lines {
@@ -520,7 +758,7 @@ pub fn render_human(report: &LintReport, deny_warnings: bool) -> String {
         ));
     }
     out.push_str(&format!(
-        "tbstc-lint: {} files scanned; {} error(s), {} warning(s){}; {} suppressed, {} baselined, {} stale baseline entr{}\n",
+        "tbstc-lint: {} files scanned; {} error(s), {} warning(s){}; {} suppressed, {} baselined, {} stale baseline entr{}",
         report.files_scanned,
         report.errors(),
         report.warnings(),
@@ -530,10 +768,17 @@ pub fn render_human(report: &LintReport, deny_warnings: bool) -> String {
         report.stale_baseline.len(),
         if report.stale_baseline.len() == 1 { "y" } else { "ies" },
     ));
+    if report.cache_hits + report.cache_misses > 0 {
+        out.push_str(&format!(
+            "; cache {} hit(s) / {} miss(es)",
+            report.cache_hits, report.cache_misses
+        ));
+    }
+    out.push('\n');
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

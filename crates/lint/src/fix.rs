@@ -1,0 +1,200 @@
+//! `lint --fix`: mechanical remediation.
+//!
+//! Rewriting code semantically (`Vec::new()` → `Vec::with_capacity(..)`)
+//! is out of scope — the right capacity is a human decision. What *is*
+//! mechanical:
+//!
+//! * **suppression insertion** — for the two suppression-oriented rules
+//!   ([`FIXABLE_RULES`]: `hot-path-alloc`, `determinism`), insert a
+//!   `// tbstc-lint: allow(<rule>) — TODO(lint-fix): …` line above each
+//!   failing warning. The TODO keeps the debt visible in review; errors
+//!   are never auto-suppressed;
+//! * **baseline burndown** — delete stale baseline entries (fixed code
+//!   whose grandfathered findings no longer match), so the baseline
+//!   only ever shrinks without hand-editing.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::engine::{LintReport, Severity};
+
+/// Rules whose warnings `--fix` may suppress with a TODO justification.
+/// Both explicitly invite suppression-with-reason in their messages;
+/// everything else needs a code change or a human-written reason.
+pub const FIXABLE_RULES: &[&str] = &["hot-path-alloc", "determinism"];
+
+/// What one `--fix` pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// Source files rewritten.
+    pub files_changed: usize,
+    /// Suppression comments inserted.
+    pub suppressions_inserted: usize,
+    /// Stale entries removed from the baseline file.
+    pub stale_removed: usize,
+}
+
+/// Applies every mechanical fix the report justifies: suppression
+/// comments above fixable warnings (one comment per line, naming every
+/// fixable rule that fired there) and stale-entry removal from the
+/// baseline at `baseline_path`.
+///
+/// # Errors
+///
+/// Returns a message when a source file cannot be read or written; the
+/// baseline is only touched when it exists.
+pub fn apply_fixes(
+    root: &Path,
+    report: &LintReport,
+    baseline_path: &Path,
+) -> Result<FixOutcome, String> {
+    let mut outcome = FixOutcome::default();
+
+    // path → line → fixable rules that fired there.
+    let mut by_file: BTreeMap<&str, BTreeMap<u32, Vec<&'static str>>> = BTreeMap::new();
+    for f in &report.findings {
+        if f.severity == Severity::Warning && FIXABLE_RULES.contains(&f.rule) {
+            by_file
+                .entry(f.path.as_str())
+                .or_default()
+                .entry(f.line)
+                .or_default()
+                .push(f.rule);
+        }
+    }
+
+    for (rel, lines_map) in by_file {
+        let abs = root.join(rel);
+        let src =
+            fs::read_to_string(&abs).map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        // Insert bottom-up so earlier line numbers stay valid.
+        for (&line, rules) in lines_map.iter().rev() {
+            let idx = (line as usize).saturating_sub(1);
+            if idx >= lines.len() {
+                continue;
+            }
+            let indent: String = lines[idx]
+                .chars()
+                .take_while(|c| *c == ' ' || *c == '\t')
+                .collect();
+            let mut rules = rules.clone();
+            rules.sort_unstable();
+            rules.dedup();
+            lines.insert(
+                idx,
+                format!(
+                    "{indent}// tbstc-lint: allow({}) — TODO(lint-fix): justify or restructure",
+                    rules.join(", ")
+                ),
+            );
+            outcome.suppressions_inserted += 1;
+        }
+        let mut text = lines.join("\n");
+        if src.ends_with('\n') {
+            text.push('\n');
+        }
+        fs::write(&abs, text).map_err(|e| format!("cannot write {}: {e}", abs.display()))?;
+        outcome.files_changed += 1;
+    }
+
+    if !report.stale_baseline.is_empty() {
+        if let Ok(text) = fs::read_to_string(baseline_path) {
+            let mut lines: Vec<&str> = text.lines().collect();
+            for stale in &report.stale_baseline {
+                if let Some(pos) = lines.iter().position(|l| l == stale) {
+                    lines.remove(pos);
+                    outcome.stale_removed += 1;
+                }
+            }
+            if outcome.stale_removed > 0 {
+                let mut out = lines.join("\n");
+                out.push('\n');
+                fs::write(baseline_path, out)
+                    .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+            }
+        }
+    }
+
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{lint_source, Finding};
+
+    fn report_with(findings: Vec<Finding>, stale: Vec<String>) -> LintReport {
+        LintReport {
+            findings,
+            stale_baseline: stale,
+            ..LintReport::default()
+        }
+    }
+
+    #[test]
+    fn inserts_a_suppression_that_actually_suppresses() {
+        let dir = std::env::temp_dir().join(format!("tbstc-lint-fix-{}", std::process::id()));
+        let rel = "crates/demo/src/x.rs";
+        let abs = dir.join(rel);
+        fs::create_dir_all(abs.parent().unwrap()).unwrap();
+        let src = "fn f() {\n    let mut v = Vec::new();\n    v.push(1);\n}\n";
+        fs::write(&abs, src).unwrap();
+
+        let findings = lint_source(rel, src);
+        assert!(findings.iter().any(|f| f.rule == "hot-path-alloc"));
+        let report = report_with(findings, Vec::new());
+        let outcome = apply_fixes(&dir, &report, &dir.join("no-baseline")).unwrap();
+        assert_eq!(outcome.files_changed, 1);
+        assert_eq!(outcome.suppressions_inserted, 1);
+
+        let fixed = fs::read_to_string(&abs).unwrap();
+        assert!(fixed.contains("// tbstc-lint: allow(hot-path-alloc)"));
+        assert!(
+            !lint_source(rel, &fixed)
+                .iter()
+                .any(|f| f.rule == "hot-path-alloc"),
+            "{fixed}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_never_auto_suppressed() {
+        let dir = std::env::temp_dir().join(format!("tbstc-lint-fix-err-{}", std::process::id()));
+        let rel = "crates/demo/src/y.rs";
+        let abs = dir.join(rel);
+        fs::create_dir_all(abs.parent().unwrap()).unwrap();
+        let src = "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); }\n";
+        fs::write(&abs, src).unwrap();
+        let findings = lint_source(rel, src);
+        assert!(findings.iter().any(|f| f.severity == Severity::Error));
+        let outcome =
+            apply_fixes(&dir, &report_with(findings, Vec::new()), &dir.join("nb")).unwrap();
+        assert_eq!(outcome.suppressions_inserted, 0);
+        assert_eq!(fs::read_to_string(&abs).unwrap(), src);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_baseline_entries_are_burned_down_count_aware() {
+        let dir = std::env::temp_dir().join(format!("tbstc-lint-fix-bl-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("lint-baseline.txt");
+        fs::write(
+            &baseline,
+            "# header\nrule\ta.rs\tline one\nrule\ta.rs\tline one\nrule\tb.rs\tkept\n",
+        )
+        .unwrap();
+        // One of the two duplicate entries is stale; exactly one copy
+        // must be removed.
+        let report = report_with(Vec::new(), vec!["rule\ta.rs\tline one".to_string()]);
+        let outcome = apply_fixes(&dir, &report, &baseline).unwrap();
+        assert_eq!(outcome.stale_removed, 1);
+        let text = fs::read_to_string(&baseline).unwrap();
+        assert_eq!(text.matches("line one").count(), 1);
+        assert!(text.contains("kept"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

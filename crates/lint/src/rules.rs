@@ -1,60 +1,126 @@
-//! The nine workspace rules. Each rule is a pure function over a
-//! [`FileCtx`] pushing [`Finding`]s; the engine applies test-code
-//! exclusion, suppressions, and the baseline afterwards, so rules here
-//! report every syntactic match they see.
+//! The twelve workspace rules: ten per-file checks (pure functions over
+//! a [`FileCtx`] pushing [`Finding`]s) and two workspace-level checks
+//! (`lock-order`, `panic-reachability`) that run over the
+//! [`crate::graph::Workspace`] built from every file's
+//! [`crate::syntax`] facts. The engine applies test-code exclusion,
+//! suppressions, and the baseline afterwards, so rules here report
+//! every match they see.
 
 use crate::engine::{FileCtx, Finding, Severity};
+use crate::graph::{find_cycles, Workspace};
 use crate::lexer::{TokKind, Token};
 
-/// A named check with a fixed severity story (rules may emit both
-/// severities; the table's `check` decides per finding).
+/// A named per-file check with a fixed severity story (rules may emit
+/// both severities; the table's `check` decides per finding).
 pub struct Rule {
     /// Kebab-case rule name, used in diagnostics, `allow(...)`, and the
     /// baseline file.
     pub name: &'static str,
+    /// One-line description, surfaced in SARIF rule metadata.
+    pub desc: &'static str,
     /// The check itself.
     pub check: fn(&FileCtx<'_>, &mut Vec<Finding>),
 }
 
-/// Every rule the engine knows, in reporting order.
+/// A workspace-level check over the call/lock graphs. Findings still
+/// point at one file/line, so suppressions and the baseline apply
+/// exactly as for per-file rules.
+pub struct WorkspaceRule {
+    /// Kebab-case rule name.
+    pub name: &'static str,
+    /// One-line description, surfaced in SARIF rule metadata.
+    pub desc: &'static str,
+    /// The check itself.
+    pub check: fn(&Workspace<'_>, &mut Vec<Finding>),
+}
+
+/// Every per-file rule the engine knows, in reporting order.
 pub const ALL_RULES: &[Rule] = &[
     Rule {
         name: "panic-surface",
+        desc: "panicking call sites: .unwrap()/.expect(), panic!-family \
+               macros, slice indexing on the serve request path",
         check: panic_surface,
     },
     Rule {
         name: "determinism",
+        desc: "nondeterministic containers, wall clocks, and unseeded \
+               entropy sources",
         check: determinism,
     },
     Rule {
         name: "lock-discipline",
+        desc: "lock-poisoning panics and blocking I/O while a guard is \
+               held",
         check: lock_discipline,
     },
     Rule {
         name: "arch-dispatch",
+        desc: "Arch variant dispatch outside the sim registry modules",
         check: arch_dispatch,
     },
     Rule {
         name: "crate-hygiene",
+        desc: "crate roots must carry #![forbid(unsafe_code)] or \
+               #![deny(unsafe_code)]",
         check: crate_hygiene,
     },
     Rule {
+        name: "unsafe-audit",
+        desc: "unsafe only in allowlisted modules, every block justified \
+               by a SAFETY: comment",
+        check: unsafe_audit,
+    },
+    Rule {
         name: "hot-path-alloc",
+        desc: "unsized Vec growth; push after Vec::new() on measured hot \
+               paths",
         check: hot_path_alloc,
     },
     Rule {
         name: "blocking-in-event-loop",
+        desc: "calls that park the serve event-loop thread",
         check: blocking_in_event_loop,
     },
     Rule {
         name: "spec-coverage",
+        desc: "registry archs must bundle a tbstc.v1 spec document",
         check: spec_coverage,
     },
     Rule {
         name: "store-lock-discipline",
+        desc: "shared-store filesystem writes must go through ResultStore \
+               accessors",
         check: store_lock_discipline,
     },
 ];
+
+/// Every workspace-level rule, in reporting order.
+pub const WORKSPACE_RULES: &[WorkspaceRule] = &[
+    WorkspaceRule {
+        name: "lock-order",
+        desc: "deadlock-risk cycles in the workspace lock-acquisition \
+               graph (mutexes and flock(2) named locks)",
+        check: lock_order,
+    },
+    WorkspaceRule {
+        name: "panic-reachability",
+        desc: "panic sites transitively reachable from the serve \
+               event.rs/conn.rs request path",
+        check: panic_reachability,
+    },
+];
+
+/// The `&'static` spelling of a rule name, or `None` for an unknown
+/// rule. The incremental cache stores findings as text and needs to
+/// restore the `&'static str` the engine uses.
+pub fn static_rule_name(name: &str) -> Option<&'static str> {
+    ALL_RULES
+        .iter()
+        .map(|r| r.name)
+        .chain(WORKSPACE_RULES.iter().map(|r| r.name))
+        .find(|n| *n == name)
+}
 
 fn finding(
     rule: &'static str,
@@ -252,7 +318,7 @@ fn lock_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         name: String,
         depth: i32,
     }
-    let mut guards: Vec<Guard> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::with_capacity(4);
     let mut depth = 0i32;
     let mut i = 0usize;
     while i < code.len() {
@@ -374,54 +440,81 @@ fn arch_dispatch(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 // --- crate-hygiene ------------------------------------------------------
 
 /// Crate roots must pin down `unsafe`: `#![forbid(unsafe_code)]` or
-/// `#![deny(unsafe_code)]` at the top, and any `unsafe` keyword that
-/// does appear (under a scoped `#[allow]`) needs a `SAFETY:` comment
-/// within the five preceding lines.
+/// `#![deny(unsafe_code)]` at the top. (Per-block `unsafe` auditing
+/// lives in `unsafe-audit`.)
 fn crate_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.is_crate_root {
-        let has_attr = has_unsafe_code_attr(ctx);
-        if !has_attr {
-            let at = ctx.code.first().cloned().unwrap_or(Token {
-                kind: TokKind::Punct,
-                start: 0,
-                end: 0,
-                line: 1,
-                col: 1,
-                is_doc: false,
-            });
-            out.push(finding(
-                "crate-hygiene",
-                Severity::Error,
-                ctx,
-                &at,
-                "crate root lacks #![forbid(unsafe_code)] (or #![deny(unsafe_code)] \
-                 when a module legitimately needs unsafe)"
-                    .to_string(),
-            ));
-        }
+    if ctx.is_crate_root && !has_unsafe_code_attr(ctx) {
+        let at = ctx.code.first().cloned().unwrap_or(Token {
+            kind: TokKind::Punct,
+            start: 0,
+            end: 0,
+            line: 1,
+            col: 1,
+            is_doc: false,
+        });
+        out.push(finding(
+            "crate-hygiene",
+            Severity::Error,
+            ctx,
+            &at,
+            "crate root lacks #![forbid(unsafe_code)] (or #![deny(unsafe_code)] \
+             when a module legitimately needs unsafe)"
+                .to_string(),
+        ));
     }
+}
 
+// --- unsafe-audit -------------------------------------------------------
+
+/// The only modules allowed to contain `unsafe` at all: the serve
+/// crate's raw-syscall shims (poll(2), signalfd-style self-pipe,
+/// flock(2)). Everything else forbids unsafe_code at the crate root.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/serve/src/event.rs",
+    "crates/serve/src/signal.rs",
+    "crates/serve/src/store.rs",
+];
+
+/// Every `unsafe` keyword must (a) live in an [`UNSAFE_ALLOWLIST`]
+/// module and (b) carry a `SAFETY:` comment within the five preceding
+/// lines. Both are errors: unsafe outside the audited shims is a policy
+/// breach, not debt.
+fn unsafe_audit(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     // Comment lines that carry a SAFETY: justification (block comments
     // cover every line they span).
-    let mut safety_lines: Vec<u32> = Vec::new();
+    let mut safety_lines: Vec<u32> = Vec::with_capacity(8);
     for t in ctx.tokens {
         if t.is_comment() && ctx.text(t).contains("SAFETY:") {
             let span = ctx.text(t).matches('\n').count() as u32;
             safety_lines.extend(t.line..=t.line + span);
         }
     }
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&ctx.rel_path);
     for t in ctx.code {
-        if t.kind == TokKind::Ident && ctx.text(t) == "unsafe" {
-            let justified = safety_lines.iter().any(|&l| l <= t.line && l + 5 >= t.line);
-            if !justified {
-                out.push(finding(
-                    "crate-hygiene",
-                    Severity::Error,
-                    ctx,
-                    t,
-                    "unsafe without a SAFETY: comment in the preceding five lines".to_string(),
-                ));
-            }
+        if t.kind != TokKind::Ident || ctx.text(t) != "unsafe" {
+            continue;
+        }
+        if !allowlisted {
+            out.push(finding(
+                "unsafe-audit",
+                Severity::Error,
+                ctx,
+                t,
+                "unsafe outside the audited allowlist (serve's event.rs, \
+                 signal.rs, store.rs syscall shims); rewrite safely or \
+                 extend the allowlist deliberately"
+                    .to_string(),
+            ));
+        }
+        let justified = safety_lines.iter().any(|&l| l <= t.line && l + 5 >= t.line);
+        if !justified {
+            out.push(finding(
+                "unsafe-audit",
+                Severity::Error,
+                ctx,
+                t,
+                "unsafe without a SAFETY: comment in the preceding five lines".to_string(),
+            ));
         }
     }
 }
@@ -441,8 +534,7 @@ fn hot_path_alloc(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let hot = HOT_PATHS.contains(&ctx.rel_path);
     // Locals bound `let [mut] name = Vec::new()` (or reassigned from
     // one); pushes onto these are growth with no up-front reservation.
-    // tbstc-lint: allow(hot-path-alloc) — a file binds a handful of vecs at most
-    let mut uncapped: Vec<String> = Vec::new();
+    let mut uncapped: Vec<String> = Vec::with_capacity(4);
     let code = ctx.code;
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -528,8 +620,7 @@ fn blocking_in_event_loop(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         name: String,
         depth: i32,
     }
-    // tbstc-lint: allow(hot-path-alloc) — a file holds a handful of guards at most
-    let mut guards: Vec<Guard> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::with_capacity(4);
     let mut depth = 0i32;
     let mut i = 0usize;
     while i < code.len() {
@@ -740,5 +831,114 @@ fn store_lock_discipline(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+}
+
+// --- lock-order (workspace) ---------------------------------------------
+
+/// Cycle detection over the workspace lock-acquisition graph: an edge
+/// A → B means some path acquires B while holding A (directly or via a
+/// call whose may-acquire set contains B); any cycle is a deadlock risk
+/// once two threads/processes interleave, so it is an error. The
+/// finding's message walks the cycle naming every acquisition site.
+fn lock_order(ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+    let edges = ws.lock_edges();
+    for cycle in find_cycles(&edges) {
+        let mut order = cycle.locks.join(" -> ");
+        order.push_str(" -> ");
+        order.push_str(&cycle.locks[0]);
+        let mut sites = String::with_capacity(128);
+        for e in &cycle.edges {
+            let via = if e.site.via_call.is_empty() {
+                String::new()
+            } else {
+                format!(" via call to `{}`", e.site.via_call)
+            };
+            sites.push_str(&format!(
+                "; `{}` taken at {}:{}{} while `{}` held (acquired line {}) in `{}`",
+                e.to, e.site.path, e.site.line, via, e.from, e.site.first.line, e.site.qual
+            ));
+        }
+        let first = &cycle.edges[0];
+        out.push(Finding {
+            rule: "lock-order",
+            severity: Severity::Error,
+            path: first.site.path.clone(),
+            line: first.site.line,
+            col: first.site.col,
+            message: format!(
+                "lock-order cycle {order} risks deadlock{sites}; acquire \
+                 these locks in one global order"
+            ),
+        });
+    }
+}
+
+// --- panic-reachability (workspace) -------------------------------------
+
+/// The serve request path: every function defined in these files is a
+/// reachability root.
+const REQUEST_PATH_ROOTS: &[&str] = &["crates/serve/src/event.rs", "crates/serve/src/conn.rs"];
+
+/// Escalates panic sites (what `panic-surface` warns about) to errors
+/// when they are transitively reachable from the request path over the
+/// call graph; unreachable sites keep their per-file warning. The
+/// engine also honors `allow(panic-surface)` for this rule, so one
+/// justified suppression covers both.
+fn panic_reachability(ws: &Workspace<'_>, out: &mut Vec<Finding>) {
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| REQUEST_PATH_ROOTS.contains(&f.path.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let pred = ws.reachable_from(&roots);
+    for (i, node) in ws.fns.iter().enumerate() {
+        if pred[i].is_none() {
+            continue;
+        }
+        let f = &ws.files[node.file_idx].fns[node.fn_idx];
+        if f.panics.is_empty() {
+            continue;
+        }
+        let chain = fmt_chain(&ws.chain_to(&pred, i));
+        for p in &f.panics {
+            let what = match p.what.as_str() {
+                "unwrap" | "expect" => format!(".{}()", p.what),
+                "index" => "slice indexing".to_string(),
+                m => m.to_string(),
+            };
+            out.push(Finding {
+                rule: "panic-reachability",
+                severity: Severity::Error,
+                path: node.path.clone(),
+                line: p.line,
+                col: p.col,
+                message: format!(
+                    "{what} in `{}` can panic and is reachable from the serve \
+                     request path ({chain}); return a typed error or suppress \
+                     with a reason",
+                    node.qual
+                ),
+            });
+        }
+    }
+}
+
+/// `a -> b -> … -> z`, elided in the middle past six hops.
+fn fmt_chain(quals: &[String]) -> String {
+    if quals.len() <= 6 {
+        quals.join(" -> ")
+    } else {
+        format!(
+            "{} -> … {} calls … -> {}",
+            quals[..3].join(" -> "),
+            quals.len() - 5,
+            quals[quals.len() - 2..].join(" -> ")
+        )
     }
 }

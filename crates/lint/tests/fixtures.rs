@@ -195,27 +195,59 @@ fn crate_hygiene_requires_forbid_unsafe_in_roots() {
     }
 }
 
+// --- unsafe-audit -------------------------------------------------------
+
 #[test]
-fn crate_hygiene_requires_safety_comment_on_unsafe() {
+fn unsafe_audit_requires_safety_comment_in_allowlisted_modules() {
     let bad = "\
-#![deny(unsafe_code)]
 #[allow(unsafe_code)]
 fn f() {
     unsafe { core::hint::unreachable_unchecked() }
 }
 ";
-    let fs = lint_source("crates/demo/src/lib.rs", bad);
-    assert_eq!(rules_at(&fs, "crate-hygiene"), [(4, 5)]);
+    // event.rs is allowlisted, so the only finding is the missing
+    // SAFETY: justification.
+    let fs = lint_source("crates/serve/src/event.rs", bad);
+    assert_eq!(rules_at(&fs, "unsafe-audit"), [(3, 5)]);
 
     let good = "\
-#![deny(unsafe_code)]
 #[allow(unsafe_code)]
 fn f() {
     // SAFETY: provably unreachable, guarded above.
     unsafe { core::hint::unreachable_unchecked() }
 }
 ";
-    assert!(lint_source("crates/demo/src/lib.rs", good).is_empty());
+    let fs = lint_source("crates/serve/src/event.rs", good);
+    assert!(rules_at(&fs, "unsafe-audit").is_empty(), "{fs:?}");
+}
+
+#[test]
+fn unsafe_audit_rejects_unsafe_outside_the_allowlist() {
+    let src = "\
+#![deny(unsafe_code)]
+#[allow(unsafe_code)]
+fn f() {
+    // SAFETY: justified, but this module is not audited.
+    unsafe { core::hint::unreachable_unchecked() }
+}
+";
+    let fs = lint_source("crates/demo/src/lib.rs", src);
+    let hits = rules_at(&fs, "unsafe-audit");
+    assert_eq!(hits, [(5, 5)], "{fs:?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "unsafe-audit")
+        .all(|f| f.severity == Severity::Error));
+    assert!(fs[0].message.contains("allowlist"), "{fs:?}");
+    // The serve syscall shims are all allowlisted.
+    for path in [
+        "crates/serve/src/event.rs",
+        "crates/serve/src/signal.rs",
+        "crates/serve/src/store.rs",
+    ] {
+        let fs = lint_source(path, "// SAFETY: shim.\nfn f() { unsafe { g() } }\n");
+        assert!(rules_at(&fs, "unsafe-audit").is_empty(), "{path}: {fs:?}");
+    }
 }
 
 // --- hot-path-alloc -----------------------------------------------------
@@ -499,6 +531,7 @@ fn workspace_driver_applies_baseline_and_reports_stale() {
         root: dir.clone(),
         rules: None,
         baseline: None,
+        cache: None,
     })
     .unwrap();
     assert_eq!(report.files_scanned, 1);
@@ -514,12 +547,64 @@ fn workspace_driver_applies_baseline_and_reports_stale() {
         root: dir.clone(),
         rules: None,
         baseline: None,
+        cache: None,
     })
     .unwrap();
     assert_eq!(report.findings.len(), 1);
     assert_eq!(report.findings[0].line, 3);
     assert!(report.fails(true));
     assert!(!report.fails(false)); // warnings pass without --deny-warnings
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incremental_cache_replays_warm_runs_and_invalidates_on_edit() {
+    let dir = std::env::temp_dir().join(format!("tbstc-lint-cache-e2e-{}", std::process::id()));
+    let src_dir = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n//! Demo.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let cache_path = dir.join("lint.cache");
+    let opts = LintOptions {
+        root: dir.clone(),
+        rules: None,
+        baseline: None,
+        cache: Some(cache_path.clone()),
+    };
+
+    let cold = lint_workspace(&opts).unwrap();
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 1));
+    let stored = std::fs::read_to_string(&cache_path).unwrap();
+
+    let warm = lint_workspace(&opts).unwrap();
+    assert_eq!((warm.cache_hits, warm.cache_misses), (1, 0));
+    assert_eq!(warm.findings, cold.findings);
+    assert_eq!(warm.suppressed, cold.suppressed);
+    // A fully-warm run must not rewrite the store.
+    assert_eq!(std::fs::read_to_string(&cache_path).unwrap(), stored);
+
+    // Editing the file invalidates exactly it (and the workspace pass).
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n//! Demo.\npub fn f(x: Option<u32>) -> u32 { x.expect(\"y\") }\n",
+    )
+    .unwrap();
+    let edited = lint_workspace(&opts).unwrap();
+    assert_eq!((edited.cache_hits, edited.cache_misses), (0, 1));
+    assert!(edited
+        .findings
+        .iter()
+        .any(|f| f.message.contains(".expect()")));
+
+    // A corrupt store degrades to a cold run, never a wrong one.
+    std::fs::write(&cache_path, "garbage\n").unwrap();
+    let recovered = lint_workspace(&opts).unwrap();
+    assert_eq!((recovered.cache_hits, recovered.cache_misses), (0, 1));
+    assert_eq!(recovered.findings, edited.findings);
 
     std::fs::remove_dir_all(&dir).ok();
 }

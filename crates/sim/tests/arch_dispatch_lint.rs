@@ -34,6 +34,7 @@ fn workspace_is_free_of_arch_dispatch() {
         root: workspace.to_path_buf(),
         rules: Some(vec!["arch-dispatch".to_string()]),
         baseline: None,
+        cache: None,
     })
     .expect("lint run");
     let offenders: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();

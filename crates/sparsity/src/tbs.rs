@@ -103,6 +103,7 @@ impl TbsConfig {
             "N candidates must be strictly increasing"
         );
         assert!(
+            // tbstc-lint: allow(panic-surface) — validate() is the panic point by design; the preceding assert guarantees non-empty
             *self.n_candidates.last().unwrap() <= self.m,
             "N candidates cannot exceed M"
         );
@@ -437,6 +438,7 @@ fn nearest_candidate(candidates: &[usize], density: f64, m: usize) -> usize {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(b.cmp(&a)) // prefer the denser candidate on ties
         })
+        // tbstc-lint: allow(panic-surface) — TbsConfig::validate rejects empty candidate lists before this runs
         .expect("candidates validated non-empty")
 }
 
